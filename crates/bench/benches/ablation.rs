@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **register size sweep** — smaller register arrays mean more
+//!   collisions and spillover traffic (the paper's variable-length-key
+//!   discussion predicts exactly this trade-off);
+//! * **pairs-per-packet sweep** — fewer pairs per packet raise packet
+//!   counts; more pairs would blow the parse budget;
+//! * **spillover on/off** — without the spillover bucket, collision
+//!   victims would have to bypass aggregation entirely (modeled by a
+//!   1-pair bucket, the minimum that still forwards them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daiet::agg::AggFn;
+use daiet::switch_agg::{DaietEngine, TreeStateConfig};
+use daiet::DaietConfig;
+use daiet_dataplane::parser::{parse, ParserConfig};
+use daiet_dataplane::pipeline::{PacketCtx, SwitchExtern};
+use daiet_netsim::PortId;
+use daiet_wire::daiet::{Key, Pair, Repr};
+use daiet_wire::stack::{build_daiet, Endpoints};
+use std::hint::black_box;
+
+/// Feeds `packets` 10-pair DATA packets with `distinct` distinct keys
+/// through an engine with the given config; returns emitted frame count.
+fn drive(config: DaietConfig, packets: usize, distinct: usize) -> u64 {
+    let mut engine = DaietEngine::new(config);
+    engine.install_tree(TreeStateConfig {
+        tree_id: 1,
+        out_port: PortId(0),
+        endpoints: Endpoints::from_ids(9, 2),
+        agg: AggFn::Sum,
+        children: 1,
+    });
+    for i in 0..packets {
+        let entries: Vec<Pair> = (0..10)
+            .map(|j| {
+                Pair::new(
+                    Key::from_str_key(&format!("k{:07}", (i * 10 + j) % distinct)).unwrap(),
+                    1,
+                )
+            })
+            .collect();
+        let frame =
+            bytes::Bytes::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::data(1, entries)));
+        let parsed = parse(frame, &ParserConfig::default()).unwrap();
+        let mut pkt = PacketCtx::new(PortId(0), parsed);
+        engine.invoke(&mut pkt, 1);
+    }
+    // END triggers the flush; count everything that left the switch.
+    let end = bytes::Bytes::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::end(1)));
+    let parsed = parse(end, &ParserConfig::default()).unwrap();
+    let mut pkt = PacketCtx::new(PortId(0), parsed);
+    engine.invoke(&mut pkt, 1);
+    engine.stats().frames_out
+}
+
+fn ablation_register_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_register_size");
+    group.sample_size(10);
+    for cells in [256usize, 1024, 4096, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, &cells| {
+            let config = DaietConfig { register_cells: cells, ..DaietConfig::default() };
+            b.iter(|| black_box(drive(config, 500, 3000)));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_pairs_per_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pairs_per_packet");
+    group.sample_size(10);
+    for ppp in [2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(ppp), &ppp, |b, &ppp| {
+            let config = DaietConfig { pairs_per_packet: ppp, ..DaietConfig::default() };
+            b.iter(|| black_box(drive(config, 300, 2000)));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_spillover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_spillover");
+    group.sample_size(10);
+    // Tiny registers force collisions; compare bucket capacities.
+    for (name, cap) in [("bucket_1", Some(1)), ("bucket_10", None), ("bucket_100", Some(100))] {
+        group.bench_function(name, |b| {
+            let config = DaietConfig {
+                register_cells: 128,
+                spillover_pairs: cap,
+                ..DaietConfig::default()
+            };
+            b.iter(|| black_box(drive(config, 300, 2000)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_register_size,
+    ablation_pairs_per_packet,
+    ablation_spillover
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure-1(a,b) overlap experiments: time per
+//! recorded training step for both configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daiet_mlsim::overlap::{OverlapRun, Which};
+use std::hint::black_box;
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_overlap");
+    group.sample_size(10);
+    for which in [Which::Sgd, Which::Adam] {
+        group.bench_function(format!("{which:?}_10steps"), |b| {
+            b.iter(|| {
+                let run = OverlapRun { which, steps: 10, ..OverlapRun::fig1a() };
+                black_box(run.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

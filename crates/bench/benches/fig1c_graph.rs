@@ -1,0 +1,22 @@
+//! Criterion bench for the Figure-1(c) series: full 10-iteration runs of
+//! each algorithm on a LiveJournal-shaped R-MAT graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daiet_graphsim::generate::{rmat, RmatSpec};
+use daiet_graphsim::{reduction_series, AlgoKind};
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let graph = rmat(&RmatSpec::livejournal_like(14, 11)); // 16K vertices
+    let mut group = c.benchmark_group("fig1c_graph");
+    group.sample_size(10);
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Wcc] {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| black_box(reduction_series(algo, &graph, 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

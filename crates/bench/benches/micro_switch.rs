@@ -1,0 +1,77 @@
+//! Microbenchmarks of the switch data path: Algorithm-1 packet
+//! processing rate, the bounded parser, and the CRC hash primitive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use daiet::agg::AggFn;
+use daiet::switch_agg::{DaietEngine, TreeStateConfig};
+use daiet::DaietConfig;
+use daiet_dataplane::parser::{parse, ParserConfig};
+use daiet_dataplane::pipeline::{PacketCtx, SwitchExtern};
+use daiet_netsim::PortId;
+use daiet_wire::checksum::crc32;
+use daiet_wire::daiet::{Key, Pair, Repr};
+use daiet_wire::stack::{build_daiet, Endpoints};
+use std::hint::black_box;
+
+fn make_frames(n: usize) -> Vec<bytes::Bytes> {
+    (0..n)
+        .map(|i| {
+            let entries: Vec<Pair> = (0..10)
+                .map(|j| {
+                    Pair::new(
+                        Key::from_str_key(&format!("w{:06}", (i * 37 + j) % 5000)).unwrap(),
+                        1,
+                    )
+                })
+                .collect();
+            bytes::Bytes::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::data(1, entries)))
+        })
+        .collect()
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let frames = make_frames(1000);
+    let mut group = c.benchmark_group("algorithm1");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("aggregate_1000_packets_of_10_pairs", |b| {
+        b.iter(|| {
+            let mut engine = DaietEngine::new(DaietConfig::default());
+            engine.install_tree(TreeStateConfig {
+                tree_id: 1,
+                out_port: PortId(0),
+                endpoints: Endpoints::from_ids(9, 2),
+                agg: AggFn::Sum,
+                children: 1,
+            });
+            for f in &frames {
+                let parsed = parse(f.clone(), &ParserConfig::default()).unwrap();
+                let mut pkt = PacketCtx::new(PortId(0), parsed);
+                black_box(engine.invoke(&mut pkt, 1));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let frames = make_frames(100);
+    let cfg = ParserConfig::default();
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("bounded_parse_daiet_frames", |b| {
+        b.iter(|| {
+            for f in &frames {
+                black_box(parse(f.clone(), &cfg).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    c.bench_function("crc32_16B_key", |b| b.iter(|| black_box(crc32(&key))));
+}
+
+criterion_group!(benches, bench_algorithm1, bench_parse, bench_crc);
+criterion_main!(benches);

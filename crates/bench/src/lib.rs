@@ -1,0 +1,100 @@
+//! # daiet-bench — the harness that regenerates every figure
+//!
+//! One binary per figure (run with `cargo run -p daiet-bench --release
+//! --bin <name>`):
+//!
+//! | binary         | paper artifact                                         |
+//! |----------------|--------------------------------------------------------|
+//! | `fig1a`        | Fig 1(a): SGD tensor-update overlap per step           |
+//! | `fig1b`        | Fig 1(b): Adam tensor-update overlap per step          |
+//! | `fig1_workers` | §3 prose: overlap vs worker count (2→5)                |
+//! | `fig1c`        | Fig 1(c): graph traffic reduction per iteration        |
+//! | `fig3`         | Fig 3: WordCount reductions (4 box-plot panels)        |
+//! | `resources`    | §5 prose: switch SRAM budget for 16 K pairs × 12 trees |
+//!
+//! Criterion benches (`cargo bench -p daiet-bench`) cover the same
+//! workloads at micro scale plus the ablations called out in DESIGN.md.
+
+use std::fmt::Write as _;
+
+/// Renders a two-column series as an aligned text table.
+pub fn series_table(title: &str, x_label: &str, y_label: &str, rows: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "{x_label:>12}  {y_label:>14}");
+    for (x, y) in rows {
+        let _ = writeln!(out, "{x:>12.0}  {y:>14.3}");
+    }
+    out
+}
+
+/// Renders labelled multi-series rows (e.g. one column per algorithm).
+pub fn multi_series_table(
+    title: &str,
+    x_label: &str,
+    series_names: &[&str],
+    rows: &[(f64, Vec<Option<f64>>)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "{x_label:>10}");
+    for name in series_names {
+        let _ = write!(out, "  {name:>12}");
+    }
+    let _ = writeln!(out);
+    for (x, ys) in rows {
+        let _ = write!(out, "{x:>10.0}");
+        for y in ys {
+            match y {
+                Some(v) => {
+                    let _ = write!(out, "  {v:>12.3}");
+                }
+                None => {
+                    let _ = write!(out, "  {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parses a `--key=value` style argument from `std::env::args`.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&format!("--{key}=")).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Parses a `--key=value` u64 argument.
+pub fn arg_u64(key: &str, default: u64) -> u64 {
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&format!("--{key}=")).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_table_formats() {
+        let t = series_table("T", "x", "y", &[(1.0, 2.5), (2.0, 3.5)]);
+        assert!(t.contains("# T"));
+        assert!(t.contains("2.500"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn multi_series_handles_missing_points() {
+        let t = multi_series_table("M", "it", &["a", "b"], &[(1.0, vec![Some(0.5), None])]);
+        assert!(t.contains('-'));
+        assert!(t.contains("0.500"));
+    }
+
+    #[test]
+    fn arg_parsers_default() {
+        assert_eq!(arg_usize("definitely-not-passed", 7), 7);
+        assert_eq!(arg_u64("also-not-passed", 9), 9);
+    }
+}

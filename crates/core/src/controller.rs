@@ -1,0 +1,436 @@
+//! The network controller.
+//!
+//! §4: "Prior to starting a job, the master allocates the map and reduce
+//! jobs to the workers. This allocation information is exchanged with the
+//! network controller. Then, the controller defines the aggregation trees
+//! … The network controller then configures the network devices, pushing a
+//! set of flow rules, to perform the per-tree aggregation and forward the
+//! traffic according to the tree."
+//!
+//! [`Controller::deploy`] performs exactly those steps over a
+//! [`TopologyPlan`]: it builds one [`AggregationTree`] per reducer,
+//! instantiates a [`Switch`] for every switch slot with
+//!
+//! * a **steering table** (stage 0) matching the DAIET tree id and
+//!   invoking the aggregation extern,
+//! * an **L2 forwarding table** (stage 1) with one exact-match rule per
+//!   host (shortest-path port), which also carries all baseline traffic,
+//! * a [`DaietEngine`] with per-tree register state, SRAM-accounted
+//!   against the chip's budget,
+//!
+//! and returns a [`Deployment`] describing what hosts must do (tree ids,
+//! destination addressing, expected END counts).
+
+use crate::agg::AggFn;
+use crate::config::DaietConfig;
+use crate::switch_agg::{DaietEngine, TreeStateConfig};
+use crate::tree::{AggregationTree, TreeError};
+use daiet_dataplane::pipeline::{ActionSpec, Pipeline};
+use daiet_dataplane::resources::{ResourceError, Resources};
+use daiet_dataplane::table::{Field, KeySpec, MatchValue, Table, TableEntry, TableKind};
+use daiet_dataplane::Switch;
+use daiet_netsim::topology::TopologyPlan;
+use daiet_wire::stack::Endpoints;
+use std::collections::BTreeMap;
+
+/// Which hosts run mappers and reducers (plan slot indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPlacement {
+    /// Hosts running map tasks.
+    pub mappers: Vec<usize>,
+    /// Hosts running reduce tasks (one aggregation tree each).
+    pub reducers: Vec<usize>,
+}
+
+/// Whether switches aggregate or merely forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationMode {
+    /// DAIET: steer tree traffic into the aggregation extern.
+    InNetwork,
+    /// Baseline: DAIET packets ride the plain forwarding tables (the
+    /// paper's "UDP baseline" — same protocol, no aggregation).
+    PassThrough,
+}
+
+/// Deployment errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// Tree construction failed.
+    Tree(TreeError),
+    /// A switch ran out of resources.
+    Resources(ResourceError),
+    /// The configuration is inconsistent with the chip.
+    Config(String),
+}
+
+impl From<TreeError> for DeployError {
+    fn from(e: TreeError) -> Self {
+        DeployError::Tree(e)
+    }
+}
+
+impl From<ResourceError> for DeployError {
+    fn from(e: ResourceError) -> Self {
+        DeployError::Resources(e)
+    }
+}
+
+impl core::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeployError::Tree(e) => write!(f, "tree construction: {e}"),
+            DeployError::Resources(e) => write!(f, "switch resources: {e}"),
+            DeployError::Config(msg) => write!(f, "configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// What the controller computed and installed.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// One tree per reducer, indexed like `placement.reducers`;
+    /// `trees[i].tree_id == i`.
+    pub trees: Vec<AggregationTree>,
+    /// The mode deployed.
+    pub mode: AggregationMode,
+    /// The DAIET configuration in force.
+    pub config: DaietConfig,
+}
+
+impl Deployment {
+    /// The tree id a mapper uses for a given reducer index.
+    pub fn tree_id(&self, reducer_index: usize) -> u16 {
+        self.trees[reducer_index].tree_id
+    }
+
+    /// Frame addressing for `mapper` (plan slot) sending to reducer
+    /// `reducer_index`.
+    pub fn endpoints(&self, mapper: usize, reducer_index: usize) -> Endpoints {
+        Endpoints::from_ids(mapper as u32, self.trees[reducer_index].reducer as u32)
+    }
+
+    /// How many END packets the reducer at `reducer_index` must await
+    /// before its partition is complete.
+    pub fn expected_ends(&self, reducer_index: usize, n_mappers: usize) -> u32 {
+        match self.mode {
+            AggregationMode::InNetwork => self.trees[reducer_index].reducer_children,
+            AggregationMode::PassThrough => n_mappers as u32,
+        }
+    }
+}
+
+/// The controller: stateless; everything derives from the plan, the
+/// placement and the configuration.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    /// DAIET parameters applied to every switch.
+    pub config: DaietConfig,
+    /// Aggregation function for all trees of this job.
+    pub agg: AggFn,
+}
+
+impl Controller {
+    /// A controller for `config` aggregating with `agg`.
+    pub fn new(config: DaietConfig, agg: AggFn) -> Controller {
+        Controller { config, agg }
+    }
+
+    /// Computes trees and builds fully configured switches for every
+    /// switch slot in the plan. Returned switches are keyed by plan slot;
+    /// the caller adds them to the simulator in plan order and wires the
+    /// plan.
+    pub fn deploy(
+        &self,
+        plan: &TopologyPlan,
+        placement: &JobPlacement,
+        resources: Resources,
+        mode: AggregationMode,
+    ) -> Result<(Deployment, BTreeMap<usize, Switch>), DeployError> {
+        self.config
+            .validate(resources.max_parse_bytes)
+            .map_err(DeployError::Config)?;
+        if placement.reducers.len() > u16::MAX as usize {
+            return Err(DeployError::Config("too many reducers for a u16 tree id".into()));
+        }
+
+        // 1. Aggregation trees, one per reducer.
+        let mut trees = Vec::with_capacity(placement.reducers.len());
+        for (i, &reducer) in placement.reducers.iter().enumerate() {
+            let tree = AggregationTree::build(plan, i as u16, reducer, &placement.mappers)?;
+            debug_assert_eq!(tree.validate(), Ok(()));
+            trees.push(tree);
+        }
+
+        // 2. Per-switch configuration.
+        let hosts = plan.hosts();
+        let mut switches = BTreeMap::new();
+        for sw_slot in plan.switches() {
+            let mut pipeline = Pipeline::new(resources);
+
+            // Steering table in stage 0: one rule per tree this switch
+            // participates in (installed below once the extern id exists).
+            let steer_handle = pipeline.add_table(
+                0,
+                Table::new(
+                    format!("daiet_steer[{sw_slot}]"),
+                    TableKind::Exact,
+                    KeySpec(vec![Field::DaietTreeId]),
+                    trees.len().max(1),
+                    ActionSpec::NoOp,
+                ),
+            )?;
+
+            // L2 forwarding in stage 1: next hop toward every host.
+            let l2_handle = pipeline.add_table(
+                1,
+                Table::new(
+                    format!("l2[{sw_slot}]"),
+                    TableKind::Exact,
+                    KeySpec(vec![Field::EthDst]),
+                    hosts.len().max(1),
+                    ActionSpec::Drop,
+                ),
+            )?;
+
+            let mut switch = Switch::new(format!("switch[{sw_slot}]"), pipeline);
+
+            // Aggregation state for every tree crossing this switch.
+            let mut engine = DaietEngine::new(self.config);
+            let mut participating = Vec::new();
+            for tree in &trees {
+                if let Some(&children) = tree.switch_children.get(&sw_slot) {
+                    let upstream = tree
+                        .upstream(sw_slot)
+                        .expect("participating switch has a parent edge");
+                    // Reserve the tree's SRAM (stages 2.. hold register
+                    // state; stage 0/1 hold the tables).
+                    switch
+                        .pipeline_mut()
+                        .tracker_mut()
+                        .allocate_first_fit(
+                            &format!("daiet.tree[{}]@{}", tree.tree_id, sw_slot),
+                            2,
+                            self.config.sram_per_tree(),
+                        )?;
+                    engine.install_tree(TreeStateConfig {
+                        tree_id: tree.tree_id,
+                        out_port: upstream.port,
+                        endpoints: Endpoints::from_ids(sw_slot as u32, tree.reducer as u32),
+                        agg: self.agg,
+                        children,
+                    });
+                    participating.push(tree.tree_id);
+                }
+            }
+            let ext = switch.register_extern(Box::new(engine));
+
+            if mode == AggregationMode::InNetwork {
+                for tree_id in participating {
+                    switch
+                        .pipeline_mut()
+                        .table_mut(steer_handle)
+                        .insert(TableEntry {
+                            matcher: MatchValue::Exact(tree_id.to_be_bytes().to_vec()),
+                            action: ActionSpec::Invoke { ext, arg: u32::from(tree_id) },
+                        })
+                        .map_err(|e| DeployError::Config(e.to_string()))?;
+                }
+            }
+
+            // L2 rules: port toward each host via deterministic BFS.
+            for &h in &hosts {
+                let next = plan.next_hops_toward(h);
+                if let Some(hop) = next[sw_slot] {
+                    switch
+                        .pipeline_mut()
+                        .table_mut(l2_handle)
+                        .insert(TableEntry {
+                            matcher: MatchValue::Exact(
+                                daiet_wire::EthernetAddress::from_id(h as u32).0.to_vec(),
+                            ),
+                            action: ActionSpec::Forward(hop.port),
+                        })
+                        .map_err(|e| DeployError::Config(e.to_string()))?;
+                }
+            }
+
+            switches.insert(sw_slot, switch);
+        }
+
+        Ok((Deployment { trees, mode, config: self.config }, switches))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{ReducerHost, SenderHost};
+    use daiet_netsim::{LinkSpec, Simulator};
+    use daiet_wire::daiet::{Key, Pair};
+
+    fn key(s: &str) -> Key {
+        Key::from_str_key(s).unwrap()
+    }
+
+    fn deploy_star(
+        n_hosts: usize,
+        mappers: Vec<usize>,
+        reducers: Vec<usize>,
+        mode: AggregationMode,
+    ) -> (TopologyPlan, Deployment, BTreeMap<usize, Switch>) {
+        let plan = TopologyPlan::star(n_hosts, LinkSpec::fast());
+        let controller = Controller::new(DaietConfig::default(), AggFn::Sum);
+        let placement = JobPlacement { mappers, reducers };
+        let (dep, switches) = controller
+            .deploy(&plan, &placement, Resources::tofino_like(), mode)
+            .unwrap();
+        (plan, dep, switches)
+    }
+
+    #[test]
+    fn star_deployment_configures_the_single_switch() {
+        let (_, dep, switches) =
+            deploy_star(4, vec![0, 1, 2], vec![3], AggregationMode::InNetwork);
+        assert_eq!(dep.trees.len(), 1);
+        assert_eq!(dep.tree_id(0), 0);
+        assert_eq!(dep.expected_ends(0, 3), 1);
+        assert_eq!(switches.len(), 1);
+        let sw = switches.get(&4).unwrap();
+        // Steering (1 rule) + L2 (4 hosts).
+        let table_lens: Vec<usize> = sw.pipeline().tables().map(|t| t.len()).collect();
+        assert_eq!(table_lens, vec![1, 4]);
+    }
+
+    #[test]
+    fn passthrough_mode_installs_no_steering_rules() {
+        let (_, dep, switches) =
+            deploy_star(4, vec![0, 1, 2], vec![3], AggregationMode::PassThrough);
+        assert_eq!(dep.expected_ends(0, 3), 3);
+        let sw = switches.get(&4).unwrap();
+        let table_lens: Vec<usize> = sw.pipeline().tables().map(|t| t.len()).collect();
+        assert_eq!(table_lens, vec![0, 4]);
+    }
+
+    #[test]
+    fn sram_is_charged_per_tree() {
+        let (_, _dep, switches) =
+            deploy_star(6, vec![0, 1, 2, 3], vec![4, 5], AggregationMode::InNetwork);
+        let sw = switches.get(&6).unwrap();
+        let per_tree = DaietConfig::default().sram_per_tree();
+        let used = sw.pipeline().tracker().total_used();
+        assert!(used >= 2 * per_tree, "expected ≥ {} B for two trees, used {}", 2 * per_tree, used);
+    }
+
+    #[test]
+    fn overcommitted_chip_is_rejected() {
+        let plan = TopologyPlan::star(4, LinkSpec::fast());
+        let controller = Controller::new(
+            DaietConfig { register_cells: 1 << 20, ..Default::default() },
+            AggFn::Sum,
+        );
+        let placement = JobPlacement { mappers: vec![0, 1], reducers: vec![2, 3] };
+        let err = controller
+            .deploy(&plan, &placement, Resources::tiny(), AggregationMode::InNetwork)
+            .unwrap_err();
+        // tiny() parser (128 B) rejects the 10-pair config before SRAM is
+        // even attempted; both failure classes are acceptable rejections.
+        assert!(matches!(err, DeployError::Config(_) | DeployError::Resources(_)));
+    }
+
+    /// The Figure-2 scenario end to end: mappers on two leaves, the
+    /// aggregation happening hierarchically (leaf → spine → leaf), and
+    /// the reducer receiving exactly one aggregated stream.
+    #[test]
+    fn multi_switch_hierarchical_aggregation() {
+        let plan = TopologyPlan::leaf_spine(3, 2, 1, LinkSpec::fast());
+        // Hosts 0-2 on leaf 6, hosts 3-5 on leaf 7, spine 8.
+        let controller = Controller::new(DaietConfig::default(), AggFn::Sum);
+        let placement = JobPlacement { mappers: vec![0, 1, 2, 3, 4], reducers: vec![5] };
+        let (dep, mut switches) = controller
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap();
+
+        let mut sim = Simulator::new(5);
+        let mut ids = Vec::new();
+        let config = DaietConfig::default();
+        // Every mapper contributes ("w", 1) plus a unique word.
+        for slot in 0..plan.len() {
+            use daiet_netsim::topology::Role;
+            let id = match plan.role(slot) {
+                Role::Host if slot < 5 => sim.add_node(Box::new(SenderHost::new(
+                    &config,
+                    dep.tree_id(0),
+                    vec![
+                        Pair::new(key("w"), 1),
+                        Pair::new(key(&format!("u{slot}")), 10),
+                    ],
+                    dep.endpoints(slot, 0),
+                ))),
+                Role::Host => sim.add_node(Box::new(ReducerHost::new(
+                    AggFn::Sum,
+                    dep.expected_ends(0, 5),
+                ))),
+                Role::Switch => sim.add_node(Box::new(
+                    switches.remove(&slot).expect("controller built this switch"),
+                )),
+            };
+            ids.push(id);
+        }
+        plan.wire(&mut sim, &ids);
+        sim.run();
+
+        let r = sim.node_ref::<ReducerHost>(ids[5]).unwrap();
+        assert!(r.collector.is_complete(), "reducer saw {} ENDs", r.collector.ends_seen());
+        assert_eq!(r.collector.get(&key("w")), Some(5), "five mappers × 1");
+        for slot in 0..5 {
+            assert_eq!(r.collector.get(&key(&format!("u{slot}"))), Some(10));
+        }
+        // Exactly one END from the last-hop switch.
+        assert_eq!(r.collector.stats().end_packets, 1);
+        // 6 distinct keys fit one packet: the reducer received a single
+        // DATA frame — maximal in-network reduction.
+        assert_eq!(r.collector.stats().data_packets, 1);
+    }
+
+    #[test]
+    fn passthrough_delivers_unaggregated() {
+        let (plan, dep, mut switches) =
+            deploy_star(3, vec![0, 1], vec![2], AggregationMode::PassThrough);
+        let config = DaietConfig::default();
+        let mut sim = Simulator::new(9);
+        let mut ids = Vec::new();
+        for slot in 0..plan.len() {
+            use daiet_netsim::topology::Role;
+            let id = match plan.role(slot) {
+                Role::Host if slot < 2 => sim.add_node(Box::new(SenderHost::new(
+                    &config,
+                    dep.tree_id(0),
+                    vec![Pair::new(key("x"), 1)],
+                    dep.endpoints(slot, 0),
+                ))),
+                Role::Host => sim.add_node(Box::new(ReducerHost::new(
+                    AggFn::Sum,
+                    dep.expected_ends(0, 2),
+                ))),
+                Role::Switch => {
+                    sim.add_node(Box::new(switches.remove(&slot).unwrap()))
+                }
+            };
+            ids.push(id);
+        }
+        plan.wire(&mut sim, &ids);
+        sim.run();
+
+        let r = sim.node_ref::<ReducerHost>(ids[2]).unwrap();
+        assert!(r.collector.is_complete());
+        // Host-side merge still computes the right sum...
+        assert_eq!(r.collector.get(&key("x")), Some(2));
+        // ...but the network did not reduce anything: two DATA packets and
+        // two ENDs arrived.
+        assert_eq!(r.collector.stats().data_packets, 2);
+        assert_eq!(r.collector.stats().end_packets, 2);
+        assert_eq!(r.collector.stats().pairs_merged, 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Loss and duplication handling — the paper's *future work*, provided as
+//! an optional extension ("In the current prototype, we do not address the
+//! issue of packet losses, which we leave as future work", §4).
+//!
+//! Two composable mechanisms, both off by default to mirror the prototype:
+//!
+//! 1. **Switch-side duplicate suppression** ([`DedupWindow`]): aggregation
+//!    is *not idempotent* — replaying a DATA packet double-counts its
+//!    pairs, and replaying an END corrupts the child counter. Every DAIET
+//!    packet already carries a per-sender sequence number, so a per
+//!    `(tree, sender)` sliding bitmap suppresses re-delivery. The window
+//!    is sized in SRAM like any other switch state.
+//! 2. **Sender-side redundancy** ([`RedundantSender`]): each frame is
+//!    transmitted `k` times; duplicate suppression keeps aggregation
+//!    exact, and data survives unless *all* `k` copies are lost
+//!    (residual loss `p^k`, see [`residual_loss`]). This trades bandwidth
+//!    for reliability without a reverse channel — an appropriate design
+//!    point for a switch that cannot buffer for retransmission.
+//!
+//! A full NACK-based recovery protocol would additionally need reducer
+//! feedback and mapper-side buffering; [`residual_loss`] quantifies how far
+//! plain redundancy goes, and the integration tests exercise exactness
+//! under duplication faults and under loss with redundancy.
+
+use daiet_wire::Ipv4Address;
+use std::collections::HashMap;
+
+/// Size of each per-sender sequence window, in packets. Power of two so
+/// the bitmap math stays cheap.
+pub const WINDOW: u32 = 1024;
+
+/// A sliding-window duplicate detector for one `(tree, sender)` flow.
+///
+/// Accepts each sequence number at most once; sequence numbers more than
+/// [`WINDOW`] behind the highest seen are treated as duplicates (stale
+/// replays), which is safe because senders emit sequence numbers densely
+/// in order, so a genuine packet can never be that old on first delivery
+/// unless more than a full window was reordered in flight.
+#[derive(Debug, Clone)]
+pub struct FlowWindow {
+    /// Highest sequence number accepted so far (`None` until the first).
+    max_seen: Option<u32>,
+    bits: [u64; (WINDOW as usize) / 64],
+}
+
+impl Default for FlowWindow {
+    fn default() -> Self {
+        FlowWindow { max_seen: None, bits: [0; (WINDOW as usize) / 64] }
+    }
+}
+
+impl FlowWindow {
+    #[inline]
+    fn slot(seq: u32) -> (usize, u64) {
+        let bit = seq % WINDOW;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    /// Returns `true` exactly once per fresh sequence number.
+    pub fn accept(&mut self, seq: u32) -> bool {
+        match self.max_seen {
+            None => {
+                let (w, m) = Self::slot(seq);
+                self.bits[w] |= m;
+                self.max_seen = Some(seq);
+                true
+            }
+            Some(max) => {
+                if seq > max {
+                    // Slide forward, clearing every slot the window passed.
+                    let advance = (seq - max).min(WINDOW);
+                    for step in 1..=advance {
+                        let (w, m) = Self::slot(max.wrapping_add(step));
+                        self.bits[w] &= !m;
+                    }
+                    let (w, m) = Self::slot(seq);
+                    self.bits[w] |= m;
+                    self.max_seen = Some(seq);
+                    true
+                } else if max - seq >= WINDOW {
+                    false // too old: treat as duplicate
+                } else {
+                    let (w, m) = Self::slot(seq);
+                    if self.bits[w] & m != 0 {
+                        false
+                    } else {
+                        self.bits[w] |= m;
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    /// SRAM bytes one flow window occupies.
+    pub const fn sram_bytes() -> usize {
+        (WINDOW as usize) / 8 + 4
+    }
+}
+
+/// Duplicate suppression across all flows of one switch.
+#[derive(Debug, Default)]
+pub struct DedupWindow {
+    flows: HashMap<(u16, Ipv4Address), FlowWindow>,
+    /// Packets suppressed as duplicates.
+    pub duplicates: u64,
+}
+
+impl DedupWindow {
+    /// An empty table.
+    pub fn new() -> DedupWindow {
+        DedupWindow::default()
+    }
+
+    /// Returns `true` when `(tree, sender, seq)` is fresh.
+    pub fn accept(&mut self, tree: u16, sender: Ipv4Address, seq: u32) -> bool {
+        let fresh = self.flows.entry((tree, sender)).or_default().accept(seq);
+        if !fresh {
+            self.duplicates += 1;
+        }
+        fresh
+    }
+
+    /// Number of tracked flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// SRAM bytes the table currently occupies.
+    pub fn sram_bytes(&self) -> usize {
+        self.flows.len() * FlowWindow::sram_bytes()
+    }
+
+    /// Drops all flow state (between jobs).
+    pub fn clear(&mut self) {
+        self.flows.clear();
+    }
+}
+
+/// Expands a frame sequence into `k`-redundant transmission order:
+/// `[a, b]` with `k = 2` becomes `[a, a, b, b]`. Duplicate suppression on
+/// the aggregation path keeps semantics exact.
+#[derive(Debug, Clone, Copy)]
+pub struct RedundantSender {
+    /// Copies of each frame to transmit (`k >= 1`).
+    pub k: u32,
+}
+
+impl RedundantSender {
+    /// A sender transmitting `k` copies of everything.
+    pub fn new(k: u32) -> RedundantSender {
+        assert!(k >= 1, "at least one copy must be sent");
+        RedundantSender { k }
+    }
+
+    /// The transmission schedule for `frames`.
+    pub fn schedule<T: Clone>(&self, frames: &[T]) -> Vec<T> {
+        let mut out = Vec::with_capacity(frames.len() * self.k as usize);
+        for f in frames {
+            for _ in 0..self.k {
+                out.push(f.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Residual probability that a packet is lost entirely when each of `k`
+/// independent copies is dropped with probability `p`.
+pub fn residual_loss(p: f64, k: u32) -> f64 {
+    p.powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(n: u32) -> Ipv4Address {
+        Ipv4Address::from_id(n)
+    }
+
+    #[test]
+    fn first_delivery_accepts_duplicates_reject() {
+        let mut w = FlowWindow::default();
+        assert!(w.accept(0));
+        assert!(!w.accept(0));
+        assert!(w.accept(1));
+        assert!(!w.accept(1));
+        assert!(!w.accept(0));
+    }
+
+    #[test]
+    fn out_of_order_within_window_is_fine() {
+        let mut w = FlowWindow::default();
+        assert!(w.accept(5));
+        assert!(w.accept(3));
+        assert!(w.accept(4));
+        assert!(!w.accept(3));
+        assert!(w.accept(6));
+    }
+
+    #[test]
+    fn window_slides_and_reuses_slots() {
+        let mut w = FlowWindow::default();
+        assert!(w.accept(0));
+        // Jump a full window ahead: slot 0 is recycled for seq WINDOW.
+        assert!(w.accept(WINDOW));
+        assert!(!w.accept(WINDOW));
+        // seq 0 is now "too old" and must be refused even though its slot
+        // bit was recycled.
+        assert!(!w.accept(0));
+        // Within the new window everything works.
+        assert!(w.accept(WINDOW - 1));
+    }
+
+    #[test]
+    fn big_jump_clears_stale_bits() {
+        let mut w = FlowWindow::default();
+        for s in 0..10 {
+            assert!(w.accept(s));
+        }
+        assert!(w.accept(5 * WINDOW));
+        // Slots of 0..10 were cleared by the slide; their old seqs are
+        // outside the window and refused by the age check.
+        assert!(!w.accept(9));
+        // Fresh nearby seqs are accepted.
+        assert!(w.accept(5 * WINDOW - 10));
+    }
+
+    #[test]
+    fn dedup_tracks_flows_independently() {
+        let mut d = DedupWindow::new();
+        assert!(d.accept(1, ip(1), 0));
+        assert!(d.accept(1, ip(2), 0)); // other sender, same seq: fresh
+        assert!(d.accept(2, ip(1), 0)); // other tree: fresh
+        assert!(!d.accept(1, ip(1), 0));
+        assert_eq!(d.duplicates, 1);
+        assert_eq!(d.flow_count(), 3);
+        assert_eq!(d.sram_bytes(), 3 * FlowWindow::sram_bytes());
+        d.clear();
+        assert_eq!(d.flow_count(), 0);
+    }
+
+    #[test]
+    fn redundant_schedule_interleaves_copies() {
+        let s = RedundantSender::new(3);
+        assert_eq!(s.schedule(&['a', 'b']), vec!['a', 'a', 'a', 'b', 'b', 'b']);
+        let s1 = RedundantSender::new(1);
+        assert_eq!(s1.schedule(&[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn residual_loss_math() {
+        assert!((residual_loss(0.1, 3) - 0.001).abs() < 1e-12);
+        assert_eq!(residual_loss(0.0, 4), 0.0);
+        assert_eq!(residual_loss(1.0, 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_copies_is_rejected() {
+        RedundantSender::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the delivery pattern (duplicates, bounded reordering),
+        /// each sequence number is accepted at most once.
+        #[test]
+        fn at_most_once(seqs in prop::collection::vec(0u32..200, 1..400)) {
+            let mut w = FlowWindow::default();
+            let mut accepted = std::collections::HashSet::new();
+            for s in seqs {
+                if w.accept(s) {
+                    prop_assert!(accepted.insert(s), "seq {} accepted twice", s);
+                }
+            }
+        }
+
+        /// In-order delivery without duplicates is always accepted in full.
+        #[test]
+        fn in_order_all_accepted(n in 1u32..2000) {
+            let mut w = FlowWindow::default();
+            for s in 0..n {
+                prop_assert!(w.accept(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The end-host side of DAIET: packetizing map output into fixed-size
+//! pair packets (sender) and collecting unordered aggregated results
+//! (reducer).
+//!
+//! §4: partitions travel as "UDP packets containing a small preamble and a
+//! sequence of key-value pairs … we use a fixed-size representation for
+//! the pairs, so that it is easy to calculate the offsets of pairs in the
+//! file and extract a number of complete pairs" — i.e. packetization never
+//! splits a pair. "Finally, the end of the transmission is marked by a
+//! special END packet." On the receive side, "the intermediate results
+//! must be sorted at the reducer rather than at the mapper".
+
+use crate::agg::AggFn;
+use crate::config::DaietConfig;
+use bytes::Bytes;
+use daiet_netsim::{Context, Node, PortId, SimDuration};
+use daiet_wire::daiet::{Key, PacketType, Pair, Repr};
+use daiet_wire::stack::{build_daiet, Endpoints, Parsed, Transport};
+use std::collections::HashMap;
+
+/// Splits a partition of pairs into DAIET packets.
+#[derive(Debug, Clone)]
+pub struct Packetizer {
+    pairs_per_packet: usize,
+}
+
+impl Packetizer {
+    /// A packetizer following `config`.
+    pub fn new(config: &DaietConfig) -> Packetizer {
+        Packetizer { pairs_per_packet: config.pairs_per_packet.max(1) }
+    }
+
+    /// Serializes `pairs` into DATA packets of at most `pairs_per_packet`
+    /// entries, terminated by an END packet. Sequence numbers count up
+    /// from 0 (used only by the reliability extension; harmless
+    /// otherwise).
+    pub fn packets(&self, tree_id: u16, pairs: &[Pair]) -> Vec<Repr> {
+        self.packets_from_seq(tree_id, pairs, 0).0
+    }
+
+    /// Like [`Packetizer::packets`] but numbering from `start_seq`,
+    /// returning the next free sequence number. Iterative senders running
+    /// under the reliability extension must keep sequence numbers
+    /// monotonic across rounds so duplicate suppression stays sound.
+    pub fn packets_from_seq(
+        &self,
+        tree_id: u16,
+        pairs: &[Pair],
+        start_seq: u32,
+    ) -> (Vec<Repr>, u32) {
+        let mut out = Vec::with_capacity(pairs.len().div_ceil(self.pairs_per_packet) + 1);
+        let mut seq = start_seq;
+        for chunk in pairs.chunks(self.pairs_per_packet) {
+            let mut repr = Repr::data(tree_id, chunk.to_vec());
+            repr.seq = seq;
+            seq += 1;
+            out.push(repr);
+        }
+        let mut end = Repr::end(tree_id);
+        end.seq = seq;
+        seq += 1;
+        out.push(end);
+        (out, seq)
+    }
+
+    /// Like [`Packetizer::packets`] but fully framed for the wire.
+    pub fn frames(
+        &self,
+        tree_id: u16,
+        pairs: &[Pair],
+        endpoints: &Endpoints,
+        src_port: u16,
+    ) -> Vec<Bytes> {
+        self.packets(tree_id, pairs)
+            .iter()
+            .map(|r| Bytes::from(build_daiet(endpoints, src_port, r)))
+            .collect()
+    }
+}
+
+/// Receive-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// DATA packets received.
+    pub data_packets: u64,
+    /// END packets received.
+    pub end_packets: u64,
+    /// Packets carrying the SPILLOVER flag.
+    pub spill_packets: u64,
+    /// Pairs received (pre-merge).
+    pub pairs_received: u64,
+    /// Pairs merged into existing keys (residual aggregation done at the
+    /// host — nonzero whenever the network could not aggregate
+    /// everything).
+    pub pairs_merged: u64,
+    /// Application payload bytes received (DAIET preamble + entries).
+    pub app_bytes: u64,
+}
+
+/// Reducer-side collector: merges unordered aggregated pairs and reports
+/// completion once every expected END arrived.
+#[derive(Debug)]
+pub struct Collector {
+    agg: AggFn,
+    expected_ends: u32,
+    ends_seen: u32,
+    pairs: HashMap<Key, u32>,
+    stats: CollectorStats,
+}
+
+impl Collector {
+    /// A collector combining with `agg` and expecting `expected_ends` END
+    /// packets (= tree children of the reducer; 1 behind a DAIET switch,
+    /// the mapper count without in-network aggregation).
+    pub fn new(agg: AggFn, expected_ends: u32) -> Collector {
+        Collector {
+            agg,
+            expected_ends,
+            ends_seen: 0,
+            pairs: HashMap::new(),
+            stats: CollectorStats::default(),
+        }
+    }
+
+    /// Feeds one DAIET packet; returns `true` when the partition is
+    /// complete (all ENDs seen).
+    pub fn on_packet(&mut self, repr: &Repr) -> bool {
+        self.stats.app_bytes += repr.buffer_len() as u64;
+        match repr.packet_type {
+            PacketType::Data => {
+                self.stats.data_packets += 1;
+                if repr.flags.contains(daiet_wire::daiet::PacketFlags::SPILLOVER) {
+                    self.stats.spill_packets += 1;
+                }
+                self.stats.pairs_received += repr.entries.len() as u64;
+                for pair in &repr.entries {
+                    match self.pairs.entry(pair.key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let merged = self.agg.apply(*e.get(), pair.value);
+                            e.insert(merged);
+                            self.stats.pairs_merged += 1;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(pair.value);
+                        }
+                    }
+                }
+            }
+            PacketType::End => {
+                self.stats.end_packets += 1;
+                self.ends_seen += 1;
+            }
+            PacketType::Nack | PacketType::Unknown(_) => {}
+        }
+        self.is_complete()
+    }
+
+    /// True once all expected ENDs arrived.
+    pub fn is_complete(&self) -> bool {
+        self.ends_seen >= self.expected_ends
+    }
+
+    /// ENDs seen so far.
+    pub fn ends_seen(&self) -> u32 {
+        self.ends_seen
+    }
+
+    /// Distinct keys held.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs were collected.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Receive statistics.
+    pub fn stats(&self) -> CollectorStats {
+        self.stats
+    }
+
+    /// Consumes the collector, returning pairs **sorted by key** — the
+    /// sort the paper moves from mappers to the reducer ("the intermediate
+    /// results must be sorted at the reducer", §4).
+    pub fn into_sorted(self) -> Vec<(Key, u32)> {
+        let mut v: Vec<(Key, u32)> = self.pairs.into_iter().collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Borrowing accessor for tests.
+    pub fn get(&self, key: &Key) -> Option<u32> {
+        self.pairs.get(key).copied()
+    }
+
+    /// Iterates the collected pairs in arbitrary order (callers sort).
+    pub fn get_all(&self) -> impl Iterator<Item = (Key, u32)> + '_ {
+        self.pairs.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// A minimal sending host: transmits one preloaded partition at start
+/// (used by examples and integration tests; the MapReduce crate has a
+/// richer worker).
+pub struct SenderHost {
+    tree_id: u16,
+    pairs: Vec<Pair>,
+    endpoints: Endpoints,
+    packetizer: Packetizer,
+    /// Pace between frames (keeps egress queues shallow in examples).
+    pub gap: SimDuration,
+    queue: Vec<Bytes>,
+    next: usize,
+}
+
+impl SenderHost {
+    /// A host that will send `pairs` for `tree_id` to the reducer
+    /// addressed by `endpoints`.
+    pub fn new(
+        config: &DaietConfig,
+        tree_id: u16,
+        pairs: Vec<Pair>,
+        endpoints: Endpoints,
+    ) -> SenderHost {
+        SenderHost {
+            tree_id,
+            pairs,
+            endpoints,
+            packetizer: Packetizer::new(config),
+            gap: SimDuration::from_micros(1),
+            queue: Vec::new(),
+            next: 0,
+        }
+    }
+}
+
+impl Node for SenderHost {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {}
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.queue = self
+            .packetizer
+            .frames(self.tree_id, &self.pairs, &self.endpoints, daiet_wire::udp::DAIET_PORT);
+        ctx.schedule(self.gap, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.next < self.queue.len() {
+            ctx.send(PortId(0), self.queue[self.next].clone());
+            self.next += 1;
+            ctx.schedule(self.gap, 0);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("sender(tree {})", self.tree_id)
+    }
+}
+
+/// A minimal reducer host: collects DAIET packets until complete.
+pub struct ReducerHost {
+    /// The collector; read it out after the run.
+    pub collector: Collector,
+    /// Completion time, once reached.
+    pub completed_at: Option<daiet_netsim::SimTime>,
+    /// Receive-side duplicate suppression (reliability extension —
+    /// aggregation is not idempotent, so the *last* hop needs protection
+    /// too, not just the switches).
+    dedup: Option<crate::reliability::DedupWindow>,
+}
+
+impl ReducerHost {
+    /// A reducer expecting `expected_ends` ENDs, combining with `agg`.
+    pub fn new(agg: AggFn, expected_ends: u32) -> ReducerHost {
+        ReducerHost {
+            collector: Collector::new(agg, expected_ends),
+            completed_at: None,
+            dedup: None,
+        }
+    }
+
+    /// Enables receive-side duplicate suppression (pairs with
+    /// [`crate::DaietConfig::reliability`] on the switches).
+    pub fn with_dedup(mut self) -> ReducerHost {
+        self.dedup = Some(crate::reliability::DedupWindow::new());
+        self
+    }
+
+    /// Frames suppressed as duplicates.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.dedup.as_ref().map_or(0, |d| d.duplicates)
+    }
+}
+
+impl Node for ReducerHost {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Bytes) {
+        if let Ok(parsed) = Parsed::dissect(&frame) {
+            if let Transport::Daiet { daiet, .. } = parsed.transport {
+                if let Some(dedup) = self.dedup.as_mut() {
+                    if !dedup.accept(daiet.tree_id, parsed.ip.src_addr, daiet.seq) {
+                        return;
+                    }
+                }
+                if self.collector.on_packet(&daiet) && self.completed_at.is_none() {
+                    self.completed_at = Some(ctx.now());
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "reducer".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> Key {
+        Key::from_str_key(s).unwrap()
+    }
+
+    fn npairs(n: usize) -> Vec<Pair> {
+        (0..n).map(|i| Pair::new(key(&format!("k{i}")), i as u32)).collect()
+    }
+
+    #[test]
+    fn packetizer_never_splits_pairs_and_ends_with_end() {
+        let p = Packetizer::new(&DaietConfig::default());
+        let packets = p.packets(4, &npairs(25));
+        assert_eq!(packets.len(), 4); // 10 + 10 + 5 + END
+        assert_eq!(packets[0].entries.len(), 10);
+        assert_eq!(packets[2].entries.len(), 5);
+        assert_eq!(packets[3].packet_type, PacketType::End);
+        assert!(packets.iter().all(|r| r.tree_id == 4));
+        // Sequence numbers are consecutive.
+        let seqs: Vec<u32> = packets.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_partition_is_just_an_end() {
+        let p = Packetizer::new(&DaietConfig::default());
+        let packets = p.packets(1, &[]);
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].packet_type, PacketType::End);
+    }
+
+    #[test]
+    fn frames_parse_back() {
+        let p = Packetizer::new(&DaietConfig::default());
+        let ep = Endpoints::from_ids(7, 8);
+        let frames = p.frames(2, &npairs(12), &ep, 777);
+        assert_eq!(frames.len(), 3);
+        for f in frames {
+            let parsed = Parsed::dissect(&f).unwrap();
+            assert!(matches!(parsed.transport, Transport::Daiet { .. }));
+        }
+    }
+
+    #[test]
+    fn collector_merges_and_completes() {
+        let mut c = Collector::new(AggFn::Sum, 2);
+        assert!(!c.on_packet(&Repr::data(1, vec![Pair::new(key("a"), 5)])));
+        assert!(!c.on_packet(&Repr::data(1, vec![Pair::new(key("a"), 3), Pair::new(key("b"), 1)])));
+        assert!(!c.on_packet(&Repr::end(1)));
+        assert!(!c.is_complete());
+        assert!(c.on_packet(&Repr::end(1)));
+        assert!(c.is_complete());
+        assert_eq!(c.get(&key("a")), Some(8));
+        assert_eq!(c.stats().pairs_merged, 1);
+        assert_eq!(c.stats().data_packets, 2);
+        assert_eq!(c.stats().end_packets, 2);
+        let sorted = c.into_sorted();
+        assert_eq!(sorted, vec![(key("a"), 8), (key("b"), 1)]);
+    }
+
+    #[test]
+    fn collector_counts_app_bytes_and_spill() {
+        let mut c = Collector::new(AggFn::Sum, 1);
+        let mut spill = Repr::data(1, npairs(3));
+        spill.flags = daiet_wire::daiet::PacketFlags::SPILLOVER;
+        c.on_packet(&spill);
+        c.on_packet(&Repr::end(1));
+        assert_eq!(c.stats().spill_packets, 1);
+        // 10 B preamble + 3×20 B entries + 10 B END preamble.
+        assert_eq!(c.stats().app_bytes, 10 + 60 + 10);
+    }
+
+    #[test]
+    fn sorted_output_is_ordered_by_key_bytes() {
+        let mut c = Collector::new(AggFn::Sum, 0);
+        for name in ["zebra", "alpha", "mid"] {
+            c.on_packet(&Repr::data(1, vec![Pair::new(key(name), 1)]));
+        }
+        let sorted: Vec<String> = c
+            .into_sorted()
+            .into_iter()
+            .map(|(k, _)| k.display_lossy())
+            .collect();
+        assert_eq!(sorted, vec!["alpha", "mid", "zebra"]);
+    }
+
+    #[test]
+    fn end_to_end_sender_switch_reducer() {
+        use crate::switch_agg::{DaietEngine, TreeStateConfig};
+        use daiet_dataplane::pipeline::{ActionSpec, Pipeline};
+        use daiet_dataplane::table::{Field, KeySpec, Table, TableEntry, TableKind};
+        use daiet_dataplane::{MatchValue, Resources, Switch};
+        use daiet_netsim::{LinkSpec, Simulator};
+
+        let config = DaietConfig::default();
+        let mut sim = Simulator::new(11);
+
+        // Two senders, one reducer, one switch doing the aggregation.
+        let s1 = sim.add_node(Box::new(SenderHost::new(
+            &config,
+            1,
+            vec![Pair::new(key("dog"), 2), Pair::new(key("cat"), 1)],
+            Endpoints::from_ids(1, 3),
+        )));
+        let s2 = sim.add_node(Box::new(SenderHost::new(
+            &config,
+            1,
+            vec![Pair::new(key("dog"), 5)],
+            Endpoints::from_ids(2, 3),
+        )));
+        let reducer = sim.add_node(Box::new(ReducerHost::new(AggFn::Sum, 1)));
+
+        let mut pipeline = Pipeline::new(Resources::tofino_like());
+        let steer = pipeline
+            .add_table(
+                0,
+                Table::new(
+                    "daiet_steer",
+                    TableKind::Exact,
+                    KeySpec(vec![Field::DaietTreeId]),
+                    16,
+                    ActionSpec::NoOp,
+                ),
+            )
+            .unwrap();
+        let l2 = pipeline
+            .add_table(
+                1,
+                Table::new(
+                    "l2",
+                    TableKind::Exact,
+                    KeySpec(vec![Field::EthDst]),
+                    16,
+                    ActionSpec::Drop,
+                ),
+            )
+            .unwrap();
+        let mut sw = Switch::new("tor", pipeline);
+        let mut engine = DaietEngine::new(config);
+        engine.install_tree(TreeStateConfig {
+            tree_id: 1,
+            out_port: PortId(2), // reducer's port on the switch (3rd link)
+            endpoints: Endpoints::from_ids(100, 3),
+            agg: AggFn::Sum,
+            children: 2,
+        });
+        let ext = sw.register_extern(Box::new(engine));
+        sw.pipeline_mut()
+            .table_mut(steer)
+            .insert(TableEntry {
+                matcher: MatchValue::Exact(1u16.to_be_bytes().to_vec()),
+                action: ActionSpec::Invoke { ext, arg: 1 },
+            })
+            .unwrap();
+        sw.pipeline_mut()
+            .table_mut(l2)
+            .insert(TableEntry {
+                matcher: MatchValue::Exact(daiet_wire::EthernetAddress::from_id(3).0.to_vec()),
+                action: ActionSpec::Forward(PortId(2)),
+            })
+            .unwrap();
+
+        let sw_id = sim.add_node(Box::new(sw));
+        sim.connect(s1, sw_id, LinkSpec::fast()); // switch port 0
+        sim.connect(s2, sw_id, LinkSpec::fast()); // switch port 1
+        sim.connect(sw_id, reducer, LinkSpec::fast()); // switch port 2
+        sim.run();
+
+        let r = sim.node_ref::<ReducerHost>(reducer).unwrap();
+        assert!(r.collector.is_complete());
+        assert_eq!(r.collector.get(&key("dog")), Some(7));
+        assert_eq!(r.collector.get(&key("cat")), Some(1));
+        // The reducer saw exactly one END (from the switch), and at most
+        // one DATA packet (both keys fit one packet).
+        assert_eq!(r.collector.stats().end_packets, 1);
+        assert_eq!(r.collector.stats().data_packets, 1);
+    }
+}

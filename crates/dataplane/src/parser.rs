@@ -1,0 +1,281 @@
+//! The programmable parser with a bounded parse depth.
+//!
+//! A line-rate parser walks a state machine over the first
+//! [`crate::Resources::max_parse_bytes`] bytes of a packet; anything deeper is
+//! opaque payload it can neither match on nor rewrite. For DAIET this is
+//! the binding constraint on entries per packet: a DATA packet whose
+//! declared entry list extends beyond the parse budget is flagged
+//! [`ParsedPacket::daiet_truncated`] and must travel unaggregated.
+
+use bytes::Bytes;
+use daiet_wire::{daiet, ethernet, ipv4, tcpseg, udp, Error as WireError};
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParserConfig {
+    /// Bytes of each packet the parser may inspect.
+    pub max_parse_bytes: usize,
+    /// Verify IPv4 header and UDP checksums. Checksum engines on real
+    /// ASICs run beside the parser over the full packet, so this is not
+    /// subject to the parse-depth budget.
+    pub verify_checksums: bool,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig { max_parse_bytes: 256, verify_checksums: true }
+    }
+}
+
+/// Why a packet failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// A checksum failed (frame damaged in flight).
+    Checksum,
+    /// A header was malformed or truncated.
+    Malformed,
+    /// The frame is not IPv4-over-Ethernet (this pipeline forwards only
+    /// IPv4; others would add parser states).
+    Unsupported,
+}
+
+impl From<WireError> for ParseError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Checksum => ParseError::Checksum,
+            WireError::Truncated | WireError::Malformed => ParseError::Malformed,
+            WireError::Unsupported => ParseError::Unsupported,
+        }
+    }
+}
+
+/// Headers extracted from one packet, up to the parse budget.
+#[derive(Debug, Clone)]
+pub struct ParsedPacket {
+    /// The original, unmodified frame (needed to forward without
+    /// re-serialization).
+    pub frame: Bytes,
+    /// Link-layer header.
+    pub eth: ethernet::Repr,
+    /// Network-layer header, if IPv4.
+    pub ip: Option<ipv4::Repr>,
+    /// UDP header, if present.
+    pub udp: Option<udp::Repr>,
+    /// TCP header, if present.
+    pub tcp: Option<tcpseg::Repr>,
+    /// DAIET preamble + entries, if the packet is DAIET traffic and the
+    /// preamble fits in the parse budget. Entries are parsed only as far
+    /// as the budget allows; see [`ParsedPacket::daiet_truncated`].
+    pub daiet: Option<daiet::Repr>,
+    /// True when the DAIET packet declares more entries than the parser
+    /// could reach — the switch must treat it as opaque.
+    pub daiet_truncated: bool,
+    /// Bytes actually consumed by the parser.
+    pub parsed_bytes: usize,
+}
+
+impl ParsedPacket {
+    /// The DAIET tree id, if this is parseable DAIET traffic.
+    pub fn daiet_tree(&self) -> Option<u16> {
+        self.daiet.as_ref().map(|d| d.tree_id)
+    }
+}
+
+/// Parses `frame` under `cfg`. This is the switch ingress parser: errors
+/// mean the packet is dropped and counted, exactly like a malformed packet
+/// hitting a real pipeline.
+pub fn parse(frame: Bytes, cfg: &ParserConfig) -> Result<ParsedPacket, ParseError> {
+    let eth_frame = ethernet::Frame::new_checked(frame.as_ref())?;
+    let eth = ethernet::Repr::parse(&eth_frame)?;
+    let mut consumed = ethernet::HEADER_LEN;
+
+    if eth.ethertype != ethernet::EtherType::Ipv4 {
+        return Err(ParseError::Unsupported);
+    }
+
+    let ip_packet = ipv4::Packet::new_checked(eth_frame.payload())?;
+    if cfg.verify_checksums && !ip_packet.verify_checksum() {
+        return Err(ParseError::Checksum);
+    }
+    let ip = ipv4::Repr {
+        src_addr: ip_packet.src_addr(),
+        dst_addr: ip_packet.dst_addr(),
+        protocol: ip_packet.protocol(),
+        payload_len: ip_packet.total_len() as usize - ipv4::HEADER_LEN,
+        ttl: ip_packet.ttl(),
+    };
+    consumed += ipv4::HEADER_LEN;
+
+    let mut parsed = ParsedPacket {
+        eth,
+        ip: Some(ip),
+        udp: None,
+        tcp: None,
+        daiet: None,
+        daiet_truncated: false,
+        parsed_bytes: consumed,
+        frame: frame.clone(),
+    };
+
+    match ip.protocol {
+        ipv4::Protocol::Udp => {
+            let dgram = udp::Datagram::new_checked(ip_packet.payload())?;
+            if cfg.verify_checksums && !dgram.verify_checksum(ip.src_addr, ip.dst_addr) {
+                return Err(ParseError::Checksum);
+            }
+            let udp_repr = udp::Repr::parse(&dgram, None)?;
+            consumed += udp::HEADER_LEN;
+            parsed.udp = Some(udp_repr);
+
+            if udp_repr.dst_port == udp::DAIET_PORT {
+                let payload = dgram.payload();
+                let budget = cfg.max_parse_bytes.saturating_sub(consumed);
+                if budget < daiet::HEADER_LEN {
+                    // Cannot even see the preamble: opaque.
+                    parsed.daiet_truncated = true;
+                } else {
+                    let packet = daiet::Packet::new_checked(payload)?;
+                    let declared = packet.num_entries() as usize;
+                    let visible = (budget - daiet::HEADER_LEN) / daiet::ENTRY_LEN;
+                    if declared > visible {
+                        parsed.daiet_truncated = true;
+                        consumed += daiet::HEADER_LEN + visible * daiet::ENTRY_LEN;
+                    } else {
+                        parsed.daiet = Some(daiet::Repr::parse(&packet)?);
+                        consumed += daiet::HEADER_LEN + declared * daiet::ENTRY_LEN;
+                    }
+                }
+            }
+        }
+        ipv4::Protocol::Tcp => {
+            let seg = tcpseg::Segment::new_checked(ip_packet.payload())?;
+            // TCP checksum is verified at hosts; switches forward on the
+            // 5-tuple without touching the payload.
+            let tcp_repr = tcpseg::Repr::parse(&seg, None)?;
+            consumed += tcpseg::HEADER_LEN;
+            parsed.tcp = Some(tcp_repr);
+        }
+        ipv4::Protocol::Unknown(_) => {}
+    }
+
+    parsed.parsed_bytes = consumed.min(cfg.max_parse_bytes);
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daiet_wire::daiet::{Key, Pair};
+    use daiet_wire::stack::{build_daiet, build_tcp, build_udp, Endpoints};
+
+    fn ep() -> Endpoints {
+        Endpoints::from_ids(1, 2)
+    }
+
+    fn pairs(n: usize) -> Vec<Pair> {
+        (0..n)
+            .map(|i| Pair::new(Key::from_str_key(&format!("k{i}")).unwrap(), i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn parses_daiet_within_budget() {
+        let repr = daiet::Repr::data(5, pairs(10));
+        let frame = Bytes::from(build_daiet(&ep(), 100, &repr));
+        let parsed = parse(frame, &ParserConfig::default()).unwrap();
+        assert_eq!(parsed.daiet.as_ref().unwrap().entries.len(), 10);
+        assert!(!parsed.daiet_truncated);
+        assert_eq!(parsed.daiet_tree(), Some(5));
+        // 14 + 20 + 8 + 10 + 200 = 252 bytes consumed.
+        assert_eq!(parsed.parsed_bytes, 252);
+    }
+
+    #[test]
+    fn oversized_entry_list_is_truncated() {
+        // 12 entries push the frame to 292 bytes — beyond a 256 B budget.
+        let repr = daiet::Repr::data(5, pairs(12));
+        let frame = Bytes::from(build_daiet(&ep(), 100, &repr));
+        let parsed = parse(frame, &ParserConfig::default()).unwrap();
+        assert!(parsed.daiet_truncated);
+        assert!(parsed.daiet.is_none());
+        // A deeper parser accepts the same packet.
+        let deep = ParserConfig { max_parse_bytes: 512, ..Default::default() };
+        let frame = Bytes::from(build_daiet(&ep(), 100, &daiet::Repr::data(5, pairs(12))));
+        let parsed = parse(frame, &deep).unwrap();
+        assert!(!parsed.daiet_truncated);
+        assert_eq!(parsed.daiet.unwrap().entries.len(), 12);
+    }
+
+    #[test]
+    fn non_daiet_udp_is_plain_udp() {
+        let frame = Bytes::from(build_udp(&ep(), 5000, 6000, b"hello"));
+        let parsed = parse(frame, &ParserConfig::default()).unwrap();
+        assert!(parsed.udp.is_some());
+        assert!(parsed.daiet.is_none());
+        assert!(!parsed.daiet_truncated);
+    }
+
+    #[test]
+    fn tcp_headers_are_extracted() {
+        let repr = tcpseg::Repr {
+            src_port: 1234,
+            dst_port: 80,
+            seq: 1,
+            ack: 2,
+            flags: tcpseg::Flags::ACK,
+            window: 8192,
+            payload_len: 3,
+        };
+        let frame = Bytes::from(build_tcp(&ep(), &repr, b"abc"));
+        let parsed = parse(frame, &ParserConfig::default()).unwrap();
+        assert_eq!(parsed.tcp.unwrap().dst_port, 80);
+        assert_eq!(parsed.parsed_bytes, 14 + 20 + 20);
+    }
+
+    #[test]
+    fn corrupt_ipv4_header_is_checksum_error() {
+        let mut bytes = build_udp(&ep(), 1, 2, b"x");
+        bytes[22] ^= 0xff; // inside the IPv4 header
+        assert_eq!(
+            parse(Bytes::from(bytes), &ParserConfig::default()).unwrap_err(),
+            ParseError::Checksum
+        );
+    }
+
+    #[test]
+    fn corrupt_udp_payload_is_checksum_error() {
+        let repr = daiet::Repr::data(1, pairs(2));
+        let mut bytes = build_daiet(&ep(), 1, &repr);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        let frame = Bytes::from(bytes);
+        assert_eq!(
+            parse(frame.clone(), &ParserConfig::default()).unwrap_err(),
+            ParseError::Checksum
+        );
+        // With verification off, the damage goes unnoticed (what a switch
+        // without checksum engines would do).
+        let lax = ParserConfig { verify_checksums: false, ..Default::default() };
+        assert!(parse(frame, &lax).is_ok());
+    }
+
+    #[test]
+    fn runt_frame_is_malformed() {
+        let frame = Bytes::from_static(&[0u8; 10]);
+        assert_eq!(
+            parse(frame, &ParserConfig::default()).unwrap_err(),
+            ParseError::Malformed
+        );
+    }
+
+    #[test]
+    fn non_ipv4_is_unsupported() {
+        let mut bytes = build_udp(&ep(), 1, 2, b"x");
+        bytes[12] = 0x86;
+        bytes[13] = 0xDD; // IPv6 ethertype
+        assert_eq!(
+            parse(Bytes::from(bytes), &ParserConfig::default()).unwrap_err(),
+            ParseError::Unsupported
+        );
+    }
+}

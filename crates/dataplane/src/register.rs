@@ -1,0 +1,148 @@
+//! Stateful register arrays — the switch memory DAIET stores its key and
+//! value arrays in ("For each tree, network devices store two arrays, one
+//! for the keys and one for the values", §4).
+//!
+//! A register array is a fixed-length vector of fixed-width cells. Its
+//! SRAM footprint is `cells × bytes_per_cell` (declared explicitly, since
+//! hardware packing differs from Rust layout) and must be reserved from a
+//! [`crate::SramTracker`] before use. Reads and writes are counted so the
+//! per-packet operation budget can be enforced by the pipeline.
+
+/// A fixed-size array of registers holding `T`.
+#[derive(Debug, Clone)]
+pub struct RegisterArray<T: Copy + Default> {
+    name: String,
+    cells: Vec<T>,
+    bytes_per_cell: usize,
+    reads: u64,
+    writes: u64,
+}
+
+impl<T: Copy + Default> RegisterArray<T> {
+    /// Creates an array of `len` zeroed cells. `bytes_per_cell` is the
+    /// hardware width used for SRAM accounting.
+    pub fn new(name: impl Into<String>, len: usize, bytes_per_cell: usize) -> Self {
+        RegisterArray {
+            name: name.into(),
+            cells: vec![T::default(); len],
+            bytes_per_cell,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The array name (used in SRAM allocation records).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// SRAM footprint in bytes.
+    pub fn sram_bytes(&self) -> usize {
+        self.cells.len() * self.bytes_per_cell
+    }
+
+    /// Reads cell `idx`. Panics on out-of-range access: indices come from
+    /// `hash % len`, so a violation is a program bug, not a data error.
+    pub fn read(&mut self, idx: usize) -> T {
+        self.reads += 1;
+        self.cells[idx]
+    }
+
+    /// Writes cell `idx`.
+    pub fn write(&mut self, idx: usize, value: T) {
+        self.writes += 1;
+        self.cells[idx] = value;
+    }
+
+    /// Atomic read-modify-write, the primitive RMT stages actually offer
+    /// (one access per packet per stage); counted as a single operation.
+    pub fn update(&mut self, idx: usize, f: impl FnOnce(T) -> T) -> T {
+        self.writes += 1;
+        let v = f(self.cells[idx]);
+        self.cells[idx] = v;
+        v
+    }
+
+    /// Resets every cell to the default value (controller-plane reset
+    /// between jobs; not a data-plane operation, so not counted).
+    pub fn clear(&mut self) {
+        for c in &mut self.cells {
+            *c = T::default();
+        }
+    }
+
+    /// Total reads performed.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes (including updates) performed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Read-only view of all cells (control-plane inspection, not counted).
+    pub fn snapshot(&self) -> &[T] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized_and_sized() {
+        let r: RegisterArray<u32> = RegisterArray::new("vals", 1024, 4);
+        assert_eq!(r.len(), 1024);
+        assert!(!r.is_empty());
+        assert_eq!(r.sram_bytes(), 4096);
+        assert!(r.snapshot().iter().all(|&v| v == 0));
+        assert_eq!(r.name(), "vals");
+    }
+
+    #[test]
+    fn read_write_update_count_ops() {
+        let mut r: RegisterArray<u32> = RegisterArray::new("vals", 8, 4);
+        r.write(3, 10);
+        assert_eq!(r.read(3), 10);
+        let v = r.update(3, |x| x + 5);
+        assert_eq!(v, 15);
+        assert_eq!(r.read(3), 15);
+        assert_eq!(r.read_count(), 2);
+        assert_eq!(r.write_count(), 2);
+    }
+
+    #[test]
+    fn clear_resets_without_counting() {
+        let mut r: RegisterArray<u64> = RegisterArray::new("acc", 4, 8);
+        r.write(0, 7);
+        r.clear();
+        assert!(r.snapshot().iter().all(|&v| v == 0));
+        assert_eq!(r.write_count(), 1); // clear not counted
+    }
+
+    #[test]
+    fn wide_cells_account_their_declared_width() {
+        // A DAIET key register: 16-byte cells.
+        let r: RegisterArray<[u8; 16]> = RegisterArray::new("keys", 16_384, 16);
+        assert_eq!(r.sram_bytes(), 262_144);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_access_panics() {
+        let mut r: RegisterArray<u32> = RegisterArray::new("vals", 4, 4);
+        r.read(4);
+    }
+}

@@ -1,0 +1,298 @@
+//! Switch resource budgets and allocation accounting.
+//!
+//! A register array or table cannot simply be "created" on a real switch —
+//! it occupies SRAM in a specific pipeline stage, and the chip has a fixed
+//! number of stages each with a fixed SRAM slice. [`Resources`] captures
+//! those budgets; [`SramTracker`] hands out allocations and refuses ones
+//! that do not fit, so an over-provisioned DAIET configuration fails at
+//! deployment time exactly as `p4c` would reject it at compile time.
+
+use core::fmt;
+
+/// Static capacity of one switch ASIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resources {
+    /// Match-action stages in the ingress pipeline.
+    pub stages: usize,
+    /// SRAM bytes available to each stage.
+    pub sram_per_stage: usize,
+    /// Bytes of each packet visible to the parser; headers beyond this
+    /// depth cannot be inspected or rewritten (the paper: "current P4
+    /// hardware switches are expected to parse only around 200-300 B").
+    pub max_parse_bytes: usize,
+    /// Primitive operations (ALU actions, register accesses, hash
+    /// invocations) the pipeline may spend on one packet traversal. This
+    /// models the "few operations per packet" constraint; pair-processing
+    /// loops must be unrolled within it.
+    pub ops_per_packet: usize,
+    /// Maximum times one packet may be recirculated.
+    pub max_recirculations: u32,
+}
+
+impl Resources {
+    /// A Tofino-class profile: 12 stages × 1.25 MB ≈ 15 MB of SRAM,
+    /// 256-byte parse budget.
+    pub fn tofino_like() -> Resources {
+        Resources {
+            stages: 12,
+            sram_per_stage: 1_310_720, // 1.25 MiB
+            max_parse_bytes: 256,
+            ops_per_packet: 512,
+            max_recirculations: 4,
+        }
+    }
+
+    /// A deliberately small profile for exercising rejection paths in
+    /// tests: 4 stages × 64 KiB.
+    pub fn tiny() -> Resources {
+        Resources {
+            stages: 4,
+            sram_per_stage: 65_536,
+            max_parse_bytes: 128,
+            ops_per_packet: 64,
+            max_recirculations: 1,
+        }
+    }
+
+    /// Total SRAM across all stages.
+    pub fn total_sram(&self) -> usize {
+        self.stages * self.sram_per_stage
+    }
+}
+
+impl Default for Resources {
+    fn default() -> Self {
+        Resources::tofino_like()
+    }
+}
+
+/// Why an allocation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceError {
+    /// The requested stage does not exist.
+    NoSuchStage {
+        /// Requested stage index.
+        stage: usize,
+        /// Number of stages on the chip.
+        stages: usize,
+    },
+    /// The stage's SRAM slice cannot hold the request.
+    SramExhausted {
+        /// Requested stage index.
+        stage: usize,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still free in that stage.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::NoSuchStage { stage, stages } => {
+                write!(f, "stage {stage} out of range (chip has {stages})")
+            }
+            ResourceError::SramExhausted { stage, requested, available } => write!(
+                f,
+                "stage {stage}: requested {requested} B of SRAM, {available} B free"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// One recorded allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// What the allocation is for (register/table name).
+    pub name: String,
+    /// Stage it lives in.
+    pub stage: usize,
+    /// Bytes of SRAM consumed.
+    pub bytes: usize,
+}
+
+/// Tracks SRAM allocations against a [`Resources`] budget.
+#[derive(Debug, Clone)]
+pub struct SramTracker {
+    resources: Resources,
+    used: Vec<usize>,
+    allocations: Vec<Allocation>,
+}
+
+impl SramTracker {
+    /// A tracker with everything free.
+    pub fn new(resources: Resources) -> SramTracker {
+        SramTracker {
+            used: vec![0; resources.stages],
+            allocations: Vec::new(),
+            resources,
+        }
+    }
+
+    /// The budget being tracked.
+    pub fn resources(&self) -> &Resources {
+        &self.resources
+    }
+
+    /// Attempts to reserve `bytes` in `stage` under `name`.
+    pub fn allocate(&mut self, name: &str, stage: usize, bytes: usize) -> Result<(), ResourceError> {
+        if stage >= self.resources.stages {
+            return Err(ResourceError::NoSuchStage { stage, stages: self.resources.stages });
+        }
+        let available = self.resources.sram_per_stage - self.used[stage];
+        if bytes > available {
+            return Err(ResourceError::SramExhausted { stage, requested: bytes, available });
+        }
+        self.used[stage] += bytes;
+        self.allocations.push(Allocation { name: name.to_string(), stage, bytes });
+        Ok(())
+    }
+
+    /// Reserves `bytes` in the first stage at or after `from_stage` with
+    /// room, returning the stage chosen. This mirrors how a compiler
+    /// places tables: sequential dependencies advance stages, independent
+    /// tables pack together.
+    pub fn allocate_first_fit(
+        &mut self,
+        name: &str,
+        from_stage: usize,
+        bytes: usize,
+    ) -> Result<usize, ResourceError> {
+        for stage in from_stage..self.resources.stages {
+            if self.resources.sram_per_stage - self.used[stage] >= bytes {
+                self.allocate(name, stage, bytes)?;
+                return Ok(stage);
+            }
+        }
+        Err(ResourceError::SramExhausted {
+            stage: from_stage,
+            requested: bytes,
+            available: self
+                .used
+                .iter()
+                .skip(from_stage)
+                .map(|u| self.resources.sram_per_stage - u)
+                .max()
+                .unwrap_or(0),
+        })
+    }
+
+    /// Bytes used in `stage`.
+    pub fn used_in_stage(&self, stage: usize) -> usize {
+        self.used.get(stage).copied().unwrap_or(0)
+    }
+
+    /// Total bytes allocated across stages.
+    pub fn total_used(&self) -> usize {
+        self.used.iter().sum()
+    }
+
+    /// Every allocation made, in order.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+
+    /// A human-readable utilization report (used by the `resources`
+    /// figure binary to reproduce the paper's ≈10 MB SRAM estimate).
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SRAM: {}/{} bytes ({:.1}%) across {} stages",
+            self.total_used(),
+            self.resources.total_sram(),
+            100.0 * self.total_used() as f64 / self.resources.total_sram() as f64,
+            self.resources.stages,
+        );
+        for alloc in &self.allocations {
+            let _ = writeln!(
+                out,
+                "  stage {:2}  {:>10} B  {}",
+                alloc.stage, alloc.bytes, alloc.name
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_within_budget_succeeds() {
+        let mut t = SramTracker::new(Resources::tiny());
+        t.allocate("keys", 0, 32_768).unwrap();
+        t.allocate("values", 0, 16_384).unwrap();
+        assert_eq!(t.used_in_stage(0), 49_152);
+        assert_eq!(t.total_used(), 49_152);
+        assert_eq!(t.allocations().len(), 2);
+    }
+
+    #[test]
+    fn exhausted_stage_is_refused_with_details() {
+        let mut t = SramTracker::new(Resources::tiny());
+        t.allocate("big", 1, 60_000).unwrap();
+        let err = t.allocate("more", 1, 10_000).unwrap_err();
+        assert_eq!(
+            err,
+            ResourceError::SramExhausted { stage: 1, requested: 10_000, available: 5_536 }
+        );
+        // The failed allocation must not change accounting.
+        assert_eq!(t.used_in_stage(1), 60_000);
+        assert_eq!(t.allocations().len(), 1);
+    }
+
+    #[test]
+    fn bad_stage_is_refused() {
+        let mut t = SramTracker::new(Resources::tiny());
+        let err = t.allocate("x", 9, 1).unwrap_err();
+        assert_eq!(err, ResourceError::NoSuchStage { stage: 9, stages: 4 });
+    }
+
+    #[test]
+    fn first_fit_walks_stages() {
+        let mut t = SramTracker::new(Resources::tiny());
+        t.allocate("fill0", 0, 65_536).unwrap();
+        t.allocate("fill1", 1, 60_000).unwrap();
+        // 10 000 B does not fit stage 0 (full) or stage 1 (5 536 free).
+        let stage = t.allocate_first_fit("reg", 0, 10_000).unwrap();
+        assert_eq!(stage, 2);
+        // A small request lands in the first stage with room: stage 1.
+        assert_eq!(t.allocate_first_fit("small", 0, 1_000).unwrap(), 1);
+        // Nothing fits anywhere once all stages are full.
+        for s in 1..4 {
+            let free = 65_536 - t.used_in_stage(s);
+            t.allocate("fill", s, free).unwrap();
+        }
+        assert!(t.allocate_first_fit("no", 0, 1).is_err());
+    }
+
+    #[test]
+    fn report_mentions_allocations() {
+        let mut t = SramTracker::new(Resources::tofino_like());
+        t.allocate("daiet.keys[0]", 0, 262_144).unwrap();
+        let report = t.report();
+        assert!(report.contains("daiet.keys[0]"));
+        assert!(report.contains("262144"));
+    }
+
+    #[test]
+    fn tofino_profile_totals() {
+        let r = Resources::tofino_like();
+        assert_eq!(r.total_sram(), 12 * 1_310_720); // ≈ 15 MiB
+        assert!(r.max_parse_bytes >= 200 && r.max_parse_bytes <= 300);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ResourceError::SramExhausted { stage: 3, requested: 10, available: 5 };
+        assert!(e.to_string().contains("stage 3"));
+        let e = ResourceError::NoSuchStage { stage: 8, stages: 4 };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,216 @@
+//! The three algorithms of Figure 1(c), each "associated with a
+//! commutative and associative aggregation function" (§3).
+
+use crate::graph::Graph;
+use crate::pregel::VertexProgram;
+
+/// PageRank with sum-combining.
+///
+/// "each vertex starts by sending its PageRank value to all its
+/// neighbours. Then, each vertex in the next iteration receives and sums
+/// the various values from its neighbours and calculates a new PageRank
+/// value … In each iteration, all vertices are active" (§3).
+pub struct PageRank {
+    /// Damping factor (0.85 classically).
+    pub damping: f64,
+}
+
+impl Default for PageRank {
+    fn default() -> Self {
+        PageRank { damping: 0.85 }
+    }
+}
+
+impl VertexProgram for PageRank {
+    type State = f64;
+    type Msg = f64;
+
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn init(&self, _v: u32, graph: &Graph) -> f64 {
+        1.0 / graph.vertices() as f64
+    }
+
+    fn first_messages(&self, v: u32, state: &f64, graph: &Graph) -> Vec<(u32, f64)> {
+        let deg = graph.out_degree(v);
+        if deg == 0 {
+            return vec![];
+        }
+        let share = *state / deg as f64;
+        graph.out(v).iter().map(|&t| (t, share)).collect()
+    }
+
+    fn step(&self, v: u32, state: &mut f64, inbox: f64, graph: &Graph) -> Vec<(u32, f64)> {
+        *state = (1.0 - self.damping) / graph.vertices() as f64 + self.damping * inbox;
+        let deg = graph.out_degree(v);
+        if deg == 0 {
+            return vec![];
+        }
+        let share = *state / deg as f64;
+        graph.out(v).iter().map(|&t| (t, share)).collect()
+    }
+}
+
+/// Single-source shortest paths with min-combining (unit edge weights).
+///
+/// "SSSP starts by sending a smaller number of messages from the source
+/// vertex. In the following iteration, the number of messages increases
+/// exponentially" (§3).
+pub struct Sssp {
+    /// The source vertex.
+    pub source: u32,
+}
+
+impl VertexProgram for Sssp {
+    type State = u64;
+    type Msg = u64;
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    fn init(&self, v: u32, _graph: &Graph) -> u64 {
+        if v == self.source {
+            0
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn first_messages(&self, v: u32, state: &u64, graph: &Graph) -> Vec<(u32, u64)> {
+        if *state == 0 {
+            graph.out(v).iter().map(|&t| (t, 1)).collect()
+        } else {
+            vec![]
+        }
+    }
+
+    fn step(&self, v: u32, state: &mut u64, inbox: u64, graph: &Graph) -> Vec<(u32, u64)> {
+        if inbox < *state {
+            *state = inbox;
+            graph.out(v).iter().map(|&t| (t, inbox + 1)).collect()
+        } else {
+            vec![]
+        }
+    }
+}
+
+/// Weakly connected components with min-combining over component labels.
+///
+/// "WCC starts by sending large number of messages from all vertices
+/// which decrease as the algorithm converges" (§3). Run on the
+/// undirected view of the graph.
+pub struct Wcc;
+
+impl VertexProgram for Wcc {
+    type State = u32;
+    type Msg = u32;
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn init(&self, v: u32, _graph: &Graph) -> u32 {
+        v
+    }
+
+    fn first_messages(&self, v: u32, state: &u32, graph: &Graph) -> Vec<(u32, u32)> {
+        graph.out(v).iter().map(|&t| (t, *state)).collect()
+    }
+
+    fn step(&self, v: u32, state: &mut u32, inbox: u32, graph: &Graph) -> Vec<(u32, u32)> {
+        if inbox < *state {
+            *state = inbox;
+            graph.out(v).iter().map(|&t| (t, inbox)).collect()
+        } else {
+            vec![]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::path;
+    use crate::pregel::run;
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        // Star pointing at vertex 0: 0 should outrank the leaves.
+        let mut edges = vec![];
+        for v in 1..=5u32 {
+            edges.push((v, 0));
+            edges.push((0, v));
+        }
+        let g = Graph::from_edges(6, &edges);
+        let (ranks, _) = run(&PageRank::default(), &g, 30);
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "ranks sum to {total}");
+        for leaf in 1..6 {
+            assert!(ranks[0] > ranks[leaf]);
+        }
+    }
+
+    #[test]
+    fn sssp_computes_hop_distances() {
+        let g = path(5);
+        let (dist, _) = run(&Sssp { source: 0 }, &g, 10);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sssp_unreachable_stays_infinite() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let (dist, _) = run(&Sssp { source: 0 }, &g, 10);
+        assert_eq!(dist[2], u64::MAX);
+    }
+
+    #[test]
+    fn sssp_frontier_grows_then_shrinks() {
+        // Binary-tree-ish fanout: message volume rises for a few rounds.
+        let mut edges = vec![];
+        for v in 0..31u32 {
+            if 2 * v + 2 < 63 {
+                edges.push((v, 2 * v + 1));
+                edges.push((v, 2 * v + 2));
+            }
+        }
+        let g = Graph::from_edges(63, &edges);
+        let (_, census) = run(&Sssp { source: 0 }, &g, 20);
+        let produced: Vec<u64> = census.iter().map(|c| c.produced).collect();
+        let max_idx = produced
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| p)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(max_idx > 0, "message volume should grow: {produced:?}");
+    }
+
+    #[test]
+    fn wcc_labels_components() {
+        // Two components: {0,1,2} and {3,4}.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).undirected();
+        let (labels, _) = run(&Wcc, &g, 20);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[3], 3);
+    }
+
+    #[test]
+    fn wcc_message_volume_decreases() {
+        // On a long path, label 0 propagates one hop per superstep; the
+        // first superstep floods from everyone, later ones quiet down —
+        // the paper's "decrease as the algorithm converges".
+        let g = path(40).undirected();
+        let (_, census) = run(&Wcc, &g, 100);
+        assert!(census[0].produced > census[census.len() - 1].produced);
+        assert!(census.first().unwrap().active_vertices == 40);
+        assert!(census.last().unwrap().active_vertices <= 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Directed graphs in compressed sparse row form.
+
+/// A directed graph, CSR-encoded: `offsets[v]..offsets[v+1]` indexes the
+/// out-neighbors of `v` in `targets`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an edge list. Parallel edges
+    /// are kept (they carry distinct messages in Pregel); self-loops are
+    /// kept too.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut degree = vec![0usize; n];
+        for &(s, _) in edges {
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, t) in edges {
+            targets[cursor[s as usize]] = t;
+            cursor[s as usize] += 1;
+        }
+        Graph { offsets, targets }
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Edge count.
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn out(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.out(v).len()
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.edges() as f64 / self.vertices() as f64
+    }
+
+    /// The graph with every edge reversed (used to build undirected views
+    /// for WCC and SSSP on directed inputs).
+    pub fn reversed(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.edges());
+        for v in 0..self.vertices() as u32 {
+            for &t in self.out(v) {
+                edges.push((t, v));
+            }
+        }
+        Graph::from_edges(self.vertices(), &edges)
+    }
+
+    /// An undirected view: both directions of every edge, deduplicated.
+    pub fn undirected(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.edges() * 2);
+        for v in 0..self.vertices() as u32 {
+            for &t in self.out(v) {
+                edges.push((v, t));
+                edges.push((t, v));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Graph::from_edges(self.vertices(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn csr_layout_is_correct() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edges(), 4);
+        assert_eq!(g.out(0), &[1, 2]);
+        assert_eq!(g.out(1), &[] as &[u32]);
+        assert_eq!(g.out(2), &[3]);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.avg_degree(), 1.0);
+    }
+
+    #[test]
+    fn reversal_flips_edges() {
+        let g = triangle().reversed();
+        assert_eq!(g.out(1), &[0]);
+        assert_eq!(g.out(2), &[1]);
+        assert_eq!(g.out(0), &[2]);
+    }
+
+    #[test]
+    fn undirected_doubles_and_dedups() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let u = g.undirected();
+        assert_eq!(u.out(0), &[1]);
+        assert_eq!(u.out(1), &[0, 2]);
+        assert_eq!(u.out(2), &[1]);
+        assert_eq!(u.edges(), 4);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept_in_directed_form() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.out(0), &[1, 1]);
+    }
+}

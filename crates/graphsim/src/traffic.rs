@@ -1,0 +1,153 @@
+//! The Figure-1(c) series: per-iteration traffic reduction ratio for
+//! PageRank, SSSP and WCC.
+//!
+//! "The traffic reduction ratio is calculated by combining all the
+//! messages sent to the same destination into a single message by
+//! applying the aggregation function used by the algorithm, i.e., sum,
+//! inside the network" — i.e. `1 − distinct_destinations / messages` per
+//! superstep, the quantity [`crate::pregel::MessageCensus`] records.
+
+use crate::algos::{PageRank, Sssp, Wcc};
+use crate::graph::Graph;
+use crate::pregel::{run, MessageCensus};
+
+/// Which algorithm to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// PageRank (sum combiner); runs on the directed graph.
+    PageRank,
+    /// Single-source shortest paths (min combiner) from vertex 0, on the
+    /// undirected view (like GPS's SSSP on LiveJournal).
+    Sssp,
+    /// Weakly connected components (min combiner), undirected view.
+    Wcc,
+}
+
+impl AlgoKind {
+    /// Display name matching the figure legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoKind::PageRank => "PageRank",
+            AlgoKind::Sssp => "SSSP",
+            AlgoKind::Wcc => "WCC",
+        }
+    }
+}
+
+/// One iteration's traffic numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperstepTraffic {
+    /// Iteration (1-based like the figure's x-axis).
+    pub iteration: usize,
+    /// Messages the wire would carry unaggregated.
+    pub messages: u64,
+    /// Messages after perfect per-destination combining.
+    pub combined: u64,
+    /// The reduction ratio `1 − combined/messages`.
+    pub reduction: f64,
+}
+
+/// Runs `algo` on `graph` for up to `iterations` supersteps and returns
+/// the reduction series (entries stop early if the algorithm converges,
+/// as WCC and SSSP do).
+pub fn reduction_series(algo: AlgoKind, graph: &Graph, iterations: usize) -> Vec<SuperstepTraffic> {
+    let census: Vec<MessageCensus> = match algo {
+        AlgoKind::PageRank => run(&PageRank::default(), graph, iterations).1,
+        AlgoKind::Sssp => {
+            let und = graph.undirected();
+            run(&Sssp { source: 0 }, &und, iterations).1
+        }
+        AlgoKind::Wcc => {
+            let und = graph.undirected();
+            run(&Wcc, &und, iterations).1
+        }
+    };
+    census
+        .into_iter()
+        .take(iterations)
+        .enumerate()
+        .filter(|(_, c)| c.produced > 0)
+        .map(|(i, c)| SuperstepTraffic {
+            iteration: i + 1,
+            messages: c.produced,
+            combined: c.distinct_destinations,
+            reduction: c.reduction_ratio(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{rmat, RmatSpec};
+
+    fn lj(scale: u32) -> Graph {
+        rmat(&RmatSpec::livejournal_like(scale, 11))
+    }
+
+    #[test]
+    fn pagerank_reduction_is_high_and_flat() {
+        // Paper: "the traffic reduction ratio is almost the same across
+        // all iterations", approaching 1 − V/E ≈ 0.93 on LiveJournal.
+        let g = lj(12);
+        let series = reduction_series(AlgoKind::PageRank, &g, 10);
+        assert_eq!(series.len(), 10);
+        let first = series[0].reduction;
+        assert!(first > 0.80, "PageRank reduction {first:.3}");
+        for s in &series {
+            assert!((s.reduction - first).abs() < 0.03, "not flat: {series:?}");
+        }
+    }
+
+    #[test]
+    fn sssp_reduction_rises_with_the_frontier() {
+        let g = lj(12);
+        let series = reduction_series(AlgoKind::Sssp, &g, 10);
+        assert!(series.len() >= 3);
+        let early = series[0].reduction;
+        let peak = series.iter().map(|s| s.reduction).fold(0.0f64, f64::max);
+        assert!(
+            peak > early + 0.2,
+            "SSSP should climb: early {early:.3}, peak {peak:.3} ({series:?})"
+        );
+    }
+
+    #[test]
+    fn wcc_starts_high_then_falls() {
+        let g = lj(12);
+        let series = reduction_series(AlgoKind::Wcc, &g, 10);
+        assert!(series.len() >= 3);
+        let first = series[0].reduction;
+        let last = series.last().unwrap().reduction;
+        assert!(first > 0.5, "WCC first iteration reduction {first:.3}");
+        assert!(last < first, "WCC should decay: {series:?}");
+    }
+
+    #[test]
+    fn reductions_sit_in_the_papers_band() {
+        // "The potential traffic reduction ratio in all the three
+        // applications ranges from 48% up to 93%" — check the envelope
+        // of the meaningful (high-volume) iterations.
+        let g = lj(13);
+        for algo in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Wcc] {
+            let series = reduction_series(algo, &g, 10);
+            let peak = series.iter().map(|s| s.reduction).fold(0.0f64, f64::max);
+            assert!(
+                (0.45..=0.97).contains(&peak),
+                "{}: peak reduction {peak:.3} outside band",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn combined_never_exceeds_messages() {
+        let g = lj(10);
+        for algo in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Wcc] {
+            for s in reduction_series(algo, &g, 10) {
+                assert!(s.combined <= s.messages);
+                assert!((0.0..=1.0).contains(&s.reduction));
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Drives a complete WordCount shuffle over the simulator in each of the
+//! three modes of §5 and collects the Figure-3 measurements.
+//!
+//! * [`ShuffleMode::TcpBaseline`] — "the original TCP-based data
+//!   exchange": every mapper opens a TCP connection per reducer and
+//!   streams its (pre-sorted, variable-length) partition;
+//! * [`ShuffleMode::UdpNoAgg`] — "using UDP and the DAIET protocol, but
+//!   without executing data aggregation in the switch": same DAIET
+//!   packets, switches merely forward;
+//! * [`ShuffleMode::DaietAgg`] — full DAIET: switches aggregate on-path.
+//!
+//! The topology mirrors the paper's testbed: one switch, every mapper and
+//! reducer on its own port (they ran 24 mapper + 12 reducer containers
+//! behind one bmv2 switch). The runner is topology-generic — pass any
+//! [`TopologyPlan`] — so multi-switch trees are exercised in the
+//! integration tests.
+
+use crate::metrics::{BoxStats, CostModel, ReducerMetrics};
+use crate::serialize;
+use crate::wordcount::Corpus;
+use bytes::Bytes;
+use daiet::agg::AggFn;
+use daiet::controller::{AggregationMode, Controller, JobPlacement};
+use daiet::worker::{Packetizer, ReducerHost};
+use daiet::DaietConfig;
+use daiet_dataplane::Resources;
+use daiet_netsim::topology::{Role, TopologyPlan};
+use daiet_netsim::{Context, LinkSpec, Node, NodeId, PortId, SimDuration, SimTime, Simulator};
+use daiet_transport::tcp::{BulkSenderNode, SinkReceiverNode, TcpConfig};
+use daiet_wire::stack::Endpoints;
+use std::collections::HashMap;
+
+/// The shuffle transport under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleMode {
+    /// TCP streams, mapper-side sort, reducer-side k-way merge.
+    TcpBaseline,
+    /// DAIET packets without in-network aggregation.
+    UdpNoAgg,
+    /// DAIET with in-network aggregation.
+    DaietAgg,
+}
+
+/// TCP port reducers listen on in the baseline.
+const SHUFFLE_PORT: u16 = 9000;
+
+/// A mapper host for the UDP modes: sends every reducer partition as
+/// DAIET packets, round-robin across trees (per-tree order preserved, so
+/// each END trails its data), paced to keep queues shallow.
+struct UdpMapperNode {
+    frames: Vec<Bytes>,
+    next: usize,
+    gap: SimDuration,
+}
+
+impl UdpMapperNode {
+    fn new(
+        config: &DaietConfig,
+        mapper_index: usize,
+        partitions: Vec<(u16, Endpoints, Vec<daiet_wire::daiet::Pair>)>,
+        gap: SimDuration,
+    ) -> UdpMapperNode {
+        let packetizer = Packetizer::new(config);
+        // Per-tree frame queues.
+        let mut queues: Vec<Vec<Bytes>> = partitions
+            .iter()
+            .map(|(tree, ep, pairs)| {
+                packetizer.frames(*tree, pairs, ep, daiet_wire::udp::DAIET_PORT)
+            })
+            .collect();
+        // Interleave round-robin, starting at a mapper-specific offset so
+        // the fan-in to any one reducer is spread over time.
+        let mut frames = Vec::new();
+        if !queues.is_empty() {
+            let n = queues.len();
+            let mut cursors = vec![0usize; n];
+            let mut remaining: usize = queues.iter().map(Vec::len).sum();
+            let mut t = mapper_index % n;
+            while remaining > 0 {
+                if cursors[t] < queues[t].len() {
+                    frames.push(std::mem::take(&mut queues[t][cursors[t]]));
+                    cursors[t] += 1;
+                    remaining -= 1;
+                }
+                t = (t + 1) % n;
+            }
+        }
+        UdpMapperNode { frames, next: 0, gap }
+    }
+}
+
+impl Node for UdpMapperNode {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {}
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.schedule(self.gap, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.next < self.frames.len() {
+            ctx.send(PortId(0), self.frames[self.next].clone());
+            self.next += 1;
+            ctx.schedule(self.gap, 0);
+        }
+    }
+
+    fn name(&self) -> String {
+        "udp-mapper".into()
+    }
+}
+
+/// One complete run's results.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The transport that produced these numbers.
+    pub mode: ShuffleMode,
+    /// Per-reducer measurements, indexed by reducer.
+    pub reducers: Vec<ReducerMetrics>,
+    /// Frames dropped anywhere in the network (must be 0 in the loss-free
+    /// configurations for the UDP modes to be meaningful).
+    pub frames_dropped: u64,
+    /// Simulated completion time.
+    pub finished_at: SimTime,
+}
+
+impl RunOutcome {
+    /// True when every reducer produced the ground-truth output.
+    pub fn all_correct(&self) -> bool {
+        self.reducers.iter().all(|r| r.correct)
+    }
+}
+
+/// Orchestrates runs of one corpus over one topology.
+pub struct Runner {
+    /// The generated workload.
+    pub corpus: Corpus,
+    /// DAIET parameters.
+    pub daiet_config: DaietConfig,
+    /// Reduce-time model.
+    pub cost: CostModel,
+    /// Link parameters for every edge.
+    pub link: LinkSpec,
+    /// Switch chip profile.
+    pub resources: Resources,
+    /// Gap between UDP frames at each mapper.
+    pub pacing: SimDuration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Runner {
+    /// A runner with paper-shaped defaults over `corpus`.
+    pub fn new(corpus: Corpus) -> Runner {
+        let register_cells = corpus.spec.register_cells;
+        Runner {
+            corpus,
+            daiet_config: DaietConfig { register_cells, ..DaietConfig::default() },
+            cost: CostModel::default(),
+            // Generous queues: the paper's bmv2 testbed was not
+            // loss-limited, and the UDP prototype has no loss recovery.
+            link: LinkSpec::fast().with_queue_bytes(4 * 1024 * 1024),
+            resources: Resources::tofino_like(),
+            pacing: SimDuration::from_micros(2),
+            seed: 42,
+        }
+    }
+
+    /// The star topology of the paper's testbed for this corpus.
+    pub fn star_plan(&self) -> TopologyPlan {
+        let spec = &self.corpus.spec;
+        TopologyPlan::star(spec.n_mappers + spec.n_reducers, self.link)
+    }
+
+    /// Mapper plan slots (hosts `0..n_mappers` in the star plan).
+    fn placement(&self, plan: &TopologyPlan) -> JobPlacement {
+        let hosts = plan.hosts();
+        let spec = &self.corpus.spec;
+        assert!(hosts.len() >= spec.n_mappers + spec.n_reducers, "plan too small");
+        JobPlacement {
+            mappers: hosts[..spec.n_mappers].to_vec(),
+            reducers: hosts[spec.n_mappers..spec.n_mappers + spec.n_reducers].to_vec(),
+        }
+    }
+
+    /// Runs `mode` on the star topology.
+    pub fn run(&self, mode: ShuffleMode) -> RunOutcome {
+        let plan = self.star_plan();
+        self.run_on(&plan, mode)
+    }
+
+    /// Runs `mode` on an arbitrary topology plan.
+    pub fn run_on(&self, plan: &TopologyPlan, mode: ShuffleMode) -> RunOutcome {
+        match mode {
+            ShuffleMode::TcpBaseline => self.run_tcp(plan),
+            ShuffleMode::UdpNoAgg => self.run_udp(plan, AggregationMode::PassThrough),
+            ShuffleMode::DaietAgg => self.run_udp(plan, AggregationMode::InNetwork),
+        }
+    }
+
+    fn run_tcp(&self, plan: &TopologyPlan) -> RunOutcome {
+        let placement = self.placement(plan);
+        let spec = &self.corpus.spec;
+        // PassThrough deployment still builds the L2 forwarding tables.
+        let controller = Controller::new(self.daiet_config, AggFn::Sum);
+        let (_dep, mut switches) = controller
+            .deploy(plan, &placement, self.resources, AggregationMode::PassThrough)
+            .expect("deployment fits");
+
+        let mut sim = Simulator::new(self.seed);
+        let mut ids: Vec<NodeId> = Vec::with_capacity(plan.len());
+        let tcp_cfg = TcpConfig::default();
+
+        for slot in 0..plan.len() {
+            let id = match plan.role(slot) {
+                Role::Host => {
+                    if let Some(m) = placement.mappers.iter().position(|&s| s == slot) {
+                        // Jobs: one stream per reducer, sorted records
+                        // (mappers sort in the baseline).
+                        let jobs: Vec<(u32, u16, Vec<u8>)> = (0..spec.n_reducers)
+                            .map(|r| {
+                                let mut recs = self.corpus.partitions[m][r].clone();
+                                recs.sort_by(|a, b| a.word.cmp(&b.word));
+                                (
+                                    placement.reducers[r] as u32,
+                                    SHUFFLE_PORT,
+                                    serialize::encode_varlen(&recs),
+                                )
+                            })
+                            .collect();
+                        sim.add_node(Box::new(BulkSenderNode::new(slot as u32, tcp_cfg, jobs)))
+                    } else {
+                        sim.add_node(Box::new(SinkReceiverNode::new(slot as u32, tcp_cfg, SHUFFLE_PORT)))
+                    }
+                }
+                Role::Switch => sim.add_node(Box::new(
+                    switches.remove(&slot).expect("controller built every switch"),
+                )),
+            };
+            ids.push(id);
+        }
+        plan.wire(&mut sim, &ids);
+        let finished_at = sim.run_until(SimTime(SimDuration::from_secs(120).as_nanos()));
+
+        let mut reducers = Vec::with_capacity(spec.n_reducers);
+        for (r, &slot) in placement.reducers.iter().enumerate() {
+            let node = sim.node_ref::<SinkReceiverNode>(ids[slot]).expect("reducer node");
+            let mut merged: HashMap<String, u32> = HashMap::new();
+            let mut records = 0usize;
+            let mut app_bytes = 0u64;
+            for stream in node.received.values() {
+                app_bytes += stream.len() as u64;
+                let recs = serialize::decode_varlen(stream).expect("TCP delivers byte-exact");
+                records += recs.len();
+                for rec in recs {
+                    *merged.entry(rec.word).or_insert(0) += rec.count;
+                }
+            }
+            let mut got: Vec<(String, u32)> = merged.iter().map(|(w, &c)| (w.clone(), c)).collect();
+            got.sort();
+            let correct = got == self.corpus.expected_reduction(r)
+                && node.finished.len() == spec.n_mappers;
+            let nic = sim.node_stats(ids[slot]);
+            reducers.push(ReducerMetrics {
+                reducer: r,
+                app_bytes,
+                nic_frames_in: nic.frames_in,
+                nic_frames_observed: nic.frames_observed(),
+                records,
+                distinct_keys: merged.len(),
+                reduce_time_ns: self.cost.baseline_reduce_ns(records, spec.n_mappers),
+                correct,
+            });
+        }
+        RunOutcome {
+            mode: ShuffleMode::TcpBaseline,
+            reducers,
+            frames_dropped: total_drops(&sim),
+            finished_at,
+        }
+    }
+
+    fn run_udp(&self, plan: &TopologyPlan, agg: AggregationMode) -> RunOutcome {
+        let placement = self.placement(plan);
+        let spec = &self.corpus.spec;
+        let controller = Controller::new(self.daiet_config, AggFn::Sum);
+        let (dep, mut switches) = controller
+            .deploy(plan, &placement, self.resources, agg)
+            .expect("deployment fits");
+
+        let mut sim = Simulator::new(self.seed);
+        let mut ids: Vec<NodeId> = Vec::with_capacity(plan.len());
+        for slot in 0..plan.len() {
+            let id = match plan.role(slot) {
+                Role::Host => {
+                    if let Some(m) = placement.mappers.iter().position(|&s| s == slot) {
+                        let partitions: Vec<_> = (0..spec.n_reducers)
+                            .map(|r| {
+                                (
+                                    dep.tree_id(r),
+                                    dep.endpoints(slot, r),
+                                    serialize::to_pairs(&self.corpus.partitions[m][r]),
+                                )
+                            })
+                            .collect();
+                        sim.add_node(Box::new(UdpMapperNode::new(
+                            &self.daiet_config,
+                            m,
+                            partitions,
+                            self.pacing,
+                        )))
+                    } else {
+                        let r = placement
+                            .reducers
+                            .iter()
+                            .position(|&s| s == slot)
+                            .expect("host is mapper or reducer");
+                        sim.add_node(Box::new(ReducerHost::new(
+                            AggFn::Sum,
+                            dep.expected_ends(r, spec.n_mappers),
+                        )))
+                    }
+                }
+                Role::Switch => sim.add_node(Box::new(
+                    switches.remove(&slot).expect("controller built every switch"),
+                )),
+            };
+            ids.push(id);
+        }
+        plan.wire(&mut sim, &ids);
+        let finished_at = sim.run_until(SimTime(SimDuration::from_secs(120).as_nanos()));
+
+        let mode = match agg {
+            AggregationMode::InNetwork => ShuffleMode::DaietAgg,
+            AggregationMode::PassThrough => ShuffleMode::UdpNoAgg,
+        };
+        let mut reducers = Vec::with_capacity(spec.n_reducers);
+        for (r, &slot) in placement.reducers.iter().enumerate() {
+            let node = sim.node_ref::<ReducerHost>(ids[slot]).expect("reducer node");
+            let stats = node.collector.stats();
+            let mut got: Vec<(String, u32)> = node
+                .collector
+                .get_all()
+                .map(|(k, v)| (k.display_lossy(), v))
+                .collect();
+            got.sort();
+            let correct = node.collector.is_complete() && got == self.corpus.expected_reduction(r);
+            let nic = sim.node_stats(ids[slot]);
+            reducers.push(ReducerMetrics {
+                reducer: r,
+                app_bytes: stats.app_bytes,
+                nic_frames_in: nic.frames_in,
+                nic_frames_observed: nic.frames_observed(),
+                records: stats.pairs_received as usize,
+                distinct_keys: node.collector.len(),
+                reduce_time_ns: self.cost.daiet_reduce_ns(stats.pairs_received as usize),
+                correct,
+            });
+        }
+        RunOutcome { mode, reducers, frames_dropped: total_drops(&sim), finished_at }
+    }
+}
+
+fn total_drops(sim: &Simulator) -> u64 {
+    (0..sim.link_count())
+        .map(|l| {
+            let s = sim.link_stats(l);
+            s.dirs[0].drops_overflow + s.dirs[0].drops_fault + s.dirs[1].drops_overflow
+                + s.dirs[1].drops_fault
+        })
+        .sum()
+}
+
+/// The four Figure-3 panels, as percentage reductions per reducer.
+#[derive(Debug, Clone)]
+pub struct Fig3Summary {
+    /// Data volume at the reducer: DAIET vs TCP baseline.
+    pub data_volume: BoxStats,
+    /// Modeled reduce time: DAIET vs TCP baseline.
+    pub reduce_time: BoxStats,
+    /// Frames at the reducer NIC: DAIET vs UDP baseline.
+    pub packets_vs_udp: BoxStats,
+    /// Frames at the reducer NIC (both directions): DAIET vs TCP.
+    pub packets_vs_tcp: BoxStats,
+}
+
+impl Fig3Summary {
+    /// Builds the panels from the three runs.
+    pub fn from_runs(tcp: &RunOutcome, udp: &RunOutcome, daiet: &RunOutcome) -> Fig3Summary {
+        use crate::metrics::reduction_pct;
+        let n = daiet.reducers.len();
+        assert!(tcp.reducers.len() == n && udp.reducers.len() == n);
+        let mut vol = Vec::new();
+        let mut time = Vec::new();
+        let mut pkt_udp = Vec::new();
+        let mut pkt_tcp = Vec::new();
+        for r in 0..n {
+            let (t, u, d) = (&tcp.reducers[r], &udp.reducers[r], &daiet.reducers[r]);
+            vol.push(reduction_pct(d.app_bytes as f64, t.app_bytes as f64));
+            time.push(reduction_pct(d.reduce_time_ns, t.reduce_time_ns));
+            pkt_udp.push(reduction_pct(
+                d.nic_frames_observed as f64,
+                u.nic_frames_observed as f64,
+            ));
+            pkt_tcp.push(reduction_pct(
+                d.nic_frames_observed as f64,
+                t.nic_frames_observed as f64,
+            ));
+        }
+        Fig3Summary {
+            data_volume: BoxStats::of(&vol),
+            reduce_time: BoxStats::of(&time),
+            packets_vs_udp: BoxStats::of(&pkt_udp),
+            packets_vs_tcp: BoxStats::of(&pkt_tcp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wordcount::CorpusSpec;
+
+    fn tiny_runner(seed: u64) -> Runner {
+        let corpus = Corpus::generate(&CorpusSpec::tiny(seed));
+        Runner::new(corpus)
+    }
+
+    #[test]
+    fn daiet_mode_is_correct_and_reduces() {
+        let runner = tiny_runner(1);
+        let daiet = runner.run(ShuffleMode::DaietAgg);
+        assert!(daiet.all_correct(), "DAIET output mismatched ground truth");
+        assert_eq!(daiet.frames_dropped, 0);
+        let udp = runner.run(ShuffleMode::UdpNoAgg);
+        assert!(udp.all_correct());
+        // Aggregation strictly reduces records and frames.
+        for (d, u) in daiet.reducers.iter().zip(&udp.reducers) {
+            assert!(d.records <= u.records);
+            assert!(d.nic_frames_in <= u.nic_frames_in);
+        }
+        let d_total: usize = daiet.reducers.iter().map(|r| r.records).sum();
+        let u_total: usize = udp.reducers.iter().map(|r| r.records).sum();
+        assert!(d_total < u_total, "no aggregation happened");
+    }
+
+    #[test]
+    fn tcp_baseline_is_correct() {
+        let runner = tiny_runner(2);
+        let tcp = runner.run(ShuffleMode::TcpBaseline);
+        assert!(tcp.all_correct(), "TCP shuffle output mismatched");
+        // TCP reducers exchange frames both ways (ACKs).
+        for r in &tcp.reducers {
+            assert!(r.nic_frames_observed > r.nic_frames_in);
+        }
+    }
+
+    #[test]
+    fn fig3_summary_shows_reductions() {
+        let runner = tiny_runner(3);
+        let tcp = runner.run(ShuffleMode::TcpBaseline);
+        let udp = runner.run(ShuffleMode::UdpNoAgg);
+        let daiet = runner.run(ShuffleMode::DaietAgg);
+        let fig = Fig3Summary::from_runs(&tcp, &udp, &daiet);
+        // Tiny corpora have modest multiplicity (≈2.5) so the reductions
+        // are smaller than the paper's, but all must be positive.
+        assert!(fig.data_volume.median > 0.0, "{:?}", fig.data_volume);
+        assert!(fig.packets_vs_udp.median > 0.0, "{:?}", fig.packets_vs_udp);
+        assert!(fig.reduce_time.median > 0.0, "{:?}", fig.reduce_time);
+    }
+
+    #[test]
+    fn multi_switch_topology_works_end_to_end() {
+        // 3 hosts per leaf × 2 leaves handles 4 mappers + 2 reducers.
+        let spec = CorpusSpec { n_mappers: 4, n_reducers: 2, ..CorpusSpec::tiny(4) };
+        let corpus = Corpus::generate(&spec);
+        let runner = Runner::new(corpus);
+        let plan = TopologyPlan::leaf_spine(3, 2, 2, runner.link);
+        let out = runner.run_on(&plan, ShuffleMode::DaietAgg);
+        assert!(out.all_correct());
+        assert_eq!(out.frames_dropped, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Record encodings for the shuffle.
+//!
+//! The TCP baseline streams **variable-length** records (length-prefixed
+//! word + 4-byte count), the natural on-disk format of a MapReduce
+//! implementation. DAIET requires **fixed-size** pairs so packetization
+//! can slice the serialized partition at pair boundaries without
+//! deserializing (§4) — at the cost of padding every key to 16 bytes,
+//! which the paper calls out as measured overhead ("the fixed-size length
+//! of strings in our implementation … forces a 16 B key even for smaller
+//! strings").
+
+use daiet_wire::daiet::{Key, Pair, KEY_LEN};
+
+/// One logical shuffle record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The word (≤ 16 bytes).
+    pub word: String,
+    /// Its partial count.
+    pub count: u32,
+}
+
+/// Encodes records in the baseline's variable-length format:
+/// `u8 len ‖ word bytes ‖ u32 count`.
+pub fn encode_varlen(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 12);
+    for r in records {
+        debug_assert!(r.word.len() <= u8::MAX as usize);
+        out.push(r.word.len() as u8);
+        out.extend_from_slice(r.word.as_bytes());
+        out.extend_from_slice(&r.count.to_be_bytes());
+    }
+    out
+}
+
+/// Decodes a variable-length stream. Returns `None` on a malformed tail
+/// (truncated record).
+pub fn decode_varlen(mut data: &[u8]) -> Option<Vec<Record>> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        let len = data[0] as usize;
+        if data.len() < 1 + len + 4 {
+            return None;
+        }
+        let word = String::from_utf8(data[1..1 + len].to_vec()).ok()?;
+        let count = u32::from_be_bytes([data[1 + len], data[2 + len], data[3 + len], data[4 + len]]);
+        out.push(Record { word, count });
+        data = &data[1 + len + 4..];
+    }
+    Some(out)
+}
+
+/// The byte size of one record in the variable-length encoding.
+pub fn varlen_size(word: &str) -> usize {
+    1 + word.len() + 4
+}
+
+/// Converts records to DAIET fixed-size pairs. Words longer than
+/// [`KEY_LEN`] are rejected upstream (the corpus generator never produces
+/// them).
+pub fn to_pairs(records: &[Record]) -> Vec<Pair> {
+    records
+        .iter()
+        .map(|r| Pair::new(Key::from_str_key(&r.word).expect("corpus words fit 16 bytes"), r.count))
+        .collect()
+}
+
+/// Converts pairs back to records (trimming key padding).
+pub fn from_pairs(pairs: &[(Key, u32)]) -> Vec<Record> {
+    pairs
+        .iter()
+        .map(|(k, v)| Record { word: k.display_lossy(), count: *v })
+        .collect()
+}
+
+/// The byte size of one record in DAIET's fixed encoding (always 20).
+pub const fn fixed_size() -> usize {
+    KEY_LEN + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record { word: "a".into(), count: 1 },
+            Record { word: "sixteen-chars-xy".into(), count: 7 },
+            Record { word: "medium".into(), count: 42 },
+        ]
+    }
+
+    #[test]
+    fn varlen_round_trips() {
+        let recs = sample();
+        let bytes = encode_varlen(&recs);
+        assert_eq!(decode_varlen(&bytes).unwrap(), recs);
+        // Size: (1+1+4) + (1+16+4) + (1+6+4) = 38.
+        assert_eq!(bytes.len(), 38);
+        assert_eq!(varlen_size("a") + varlen_size("sixteen-chars-xy") + varlen_size("medium"), 38);
+    }
+
+    #[test]
+    fn truncated_varlen_is_rejected() {
+        let bytes = encode_varlen(&sample());
+        assert!(decode_varlen(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_varlen(&bytes[..1]).is_none());
+        assert_eq!(decode_varlen(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn fixed_encoding_pads_keys() {
+        let pairs = to_pairs(&sample());
+        assert_eq!(pairs.len(), 3);
+        // Every pair costs 20 bytes regardless of word length — the
+        // paper's overhead observation.
+        assert_eq!(fixed_size(), 20);
+        let back = from_pairs(&pairs.iter().map(|p| (p.key, p.value)).collect::<Vec<_>>());
+        assert_eq!(back[0].word, "a");
+        assert_eq!(back[1].word, "sixteen-chars-xy");
+        assert_eq!(back[2].count, 42);
+    }
+
+    #[test]
+    fn fixed_is_larger_for_short_words_smaller_never() {
+        for r in sample() {
+            assert!(fixed_size() >= varlen_size(&r.word) || r.word.len() > 15);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic MNIST-like digit images.
+//!
+//! The overlap measurement depends only on *which pixels are active* per
+//! image: the softmax gradient for an image touches exactly the weight
+//! rows of its nonzero pixels. MNIST's relevant shape properties are (i)
+//! ≈150 of 784 pixels active per image (≈19 %), (ii) strong centre bias
+//! (borders are almost always blank), and (iii) class-specific stroke
+//! patterns with per-image jitter. The generator reproduces those three
+//! properties with a per-class prototype mask plus noise.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side (28 × 28 like MNIST).
+pub const SIDE: usize = 28;
+/// Pixels per image.
+pub const DIM: usize = SIDE * SIDE;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// One labelled image.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Pixel intensities in `[0, 1]`; most are exactly 0.
+    pub pixels: Vec<f32>,
+    /// The digit label `0..10`.
+    pub label: usize,
+}
+
+impl Sample {
+    /// Indices of active (nonzero) pixels.
+    pub fn active_pixels(&self) -> Vec<usize> {
+        self.pixels
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Deterministic synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All samples.
+    pub samples: Vec<Sample>,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DataSpec {
+    /// Samples to generate.
+    pub n: usize,
+    /// Mean active pixels per image (MNIST ≈ 150).
+    pub mean_active: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DataSpec {
+    fn default() -> Self {
+        DataSpec { n: 6000, mean_active: 150, seed: 1 }
+    }
+}
+
+/// Per-class prototype: a set of stroke segments through the image
+/// centre; images sample pixels near the prototype strokes.
+fn class_prototype(class: usize) -> Vec<(f32, f32, f32, f32)> {
+    // Hand-placed stroke endpoints per digit shape family (coarse but
+    // class-distinct, all centre-biased like real digits).
+    let c = SIDE as f32 / 2.0;
+    let r = SIDE as f32 / 3.2;
+    match class {
+        0 => vec![(c - r, c, c, c - r), (c, c - r, c + r, c), (c + r, c, c, c + r), (c, c + r, c - r, c)],
+        1 => vec![(c, c - r, c, c + r)],
+        2 => vec![(c - r, c - r, c + r, c - r), (c + r, c - r, c - r, c + r), (c - r, c + r, c + r, c + r)],
+        3 => vec![(c - r, c - r, c + r, c), (c + r, c, c - r, c + r)],
+        4 => vec![(c - r, c - r, c - r, c), (c - r, c, c + r, c), (c + r / 2.0, c - r, c + r / 2.0, c + r)],
+        5 => vec![(c + r, c - r, c - r, c - r), (c - r, c - r, c + r, c + r)],
+        6 => vec![(c, c - r, c - r, c + r / 2.0), (c - r, c + r / 2.0, c + r, c + r / 2.0)],
+        7 => vec![(c - r, c - r, c + r, c - r), (c + r, c - r, c - r / 2.0, c + r)],
+        8 => vec![(c - r, c - r / 2.0, c + r, c - r / 2.0), (c - r, c + r / 2.0, c + r, c + r / 2.0), (c, c - r, c, c + r)],
+        _ => vec![(c - r, c - r, c - r, c + r), (c - r, c - r, c + r, c - r), (c + r, c - r, c + r, c + r)],
+    }
+}
+
+impl Dataset {
+    /// Generates `spec.n` images, labels uniform over the classes.
+    pub fn generate(spec: &DataSpec) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let mut samples = Vec::with_capacity(spec.n);
+        for i in 0..spec.n {
+            let label = i % CLASSES;
+            samples.push(Self::one(&mut rng, label, spec.mean_active));
+        }
+        Dataset { samples }
+    }
+
+    fn one(rng: &mut SmallRng, label: usize, mean_active: usize) -> Sample {
+        let mut pixels = vec![0.0f32; DIM];
+        let strokes = class_prototype(label);
+        // Per-image jitter: translate the whole glyph slightly.
+        let dx: f32 = rng.random_range(-2.0..2.0);
+        let dy: f32 = rng.random_range(-2.0..2.0);
+        let thickness: f32 = rng.random_range(1.2..2.2);
+        let mut active = 0usize;
+        // Rasterize strokes with thickness noise until we hit the target
+        // density band.
+        let target = (mean_active as f32 * rng.random_range(0.8..1.2)) as usize;
+        let mut pass = 0;
+        while active < target && pass < 8 {
+            for &(x0, y0, x1, y1) in &strokes {
+                let steps = 40;
+                for s in 0..=steps {
+                    let t = s as f32 / steps as f32;
+                    let x = x0 + (x1 - x0) * t + dx + rng.random_range(-thickness..thickness);
+                    let y = y0 + (y1 - y0) * t + dy + rng.random_range(-thickness..thickness);
+                    let (xi, yi) = (x.round() as i32, y.round() as i32);
+                    if (0..SIDE as i32).contains(&xi) && (0..SIDE as i32).contains(&yi) {
+                        let idx = yi as usize * SIDE + xi as usize;
+                        if pixels[idx] == 0.0 {
+                            active += 1;
+                        }
+                        pixels[idx] = (pixels[idx] + rng.random_range(0.3..1.0)).min(1.0);
+                        if active >= target {
+                            break;
+                        }
+                    }
+                }
+                if active >= target {
+                    break;
+                }
+            }
+            pass += 1;
+        }
+        Sample { pixels, label }
+    }
+
+    /// Mean active pixels across the dataset.
+    pub fn mean_active(&self) -> f64 {
+        let total: usize = self.samples.iter().map(|s| s.active_pixels().len()).sum();
+        total as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(&DataSpec { n: 20, ..Default::default() });
+        let b = Dataset::generate(&DataSpec { n: 20, ..Default::default() });
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.pixels, y.pixels);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn density_is_mnist_like() {
+        let d = Dataset::generate(&DataSpec { n: 200, mean_active: 150, seed: 3 });
+        let mean = d.mean_active();
+        assert!((100.0..200.0).contains(&mean), "mean active pixels {mean}");
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let d = Dataset::generate(&DataSpec { n: 25, ..Default::default() });
+        for (i, s) in d.samples.iter().enumerate() {
+            assert_eq!(s.label, i % CLASSES);
+        }
+    }
+
+    #[test]
+    fn images_are_centre_biased() {
+        let d = Dataset::generate(&DataSpec { n: 100, ..Default::default() });
+        let mut border = 0usize;
+        let mut centre = 0usize;
+        for s in &d.samples {
+            for idx in s.active_pixels() {
+                let (x, y) = (idx % SIDE, idx / SIDE);
+                if x < 3 || x >= SIDE - 3 || y < 3 || y >= SIDE - 3 {
+                    border += 1;
+                } else {
+                    centre += 1;
+                }
+            }
+        }
+        assert!(centre > border * 10, "centre {centre} vs border {border}");
+    }
+
+    #[test]
+    fn classes_have_distinct_footprints() {
+        let d = Dataset::generate(&DataSpec { n: 100, ..Default::default() });
+        let union = |class: usize| -> std::collections::HashSet<usize> {
+            d.samples
+                .iter()
+                .filter(|s| s.label == class)
+                .flat_map(|s| s.active_pixels())
+                .collect()
+        };
+        let a = union(0);
+        let b = union(1);
+        let inter = a.intersection(&b).count();
+        // Digit 1 (a vertical bar) must be much smaller than digit 0's
+        // ring, and not contained in it.
+        assert!(inter < a.len(), "class footprints identical");
+        assert!(b.len() < a.len());
+    }
+}

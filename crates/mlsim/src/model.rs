@@ -1,0 +1,242 @@
+//! Softmax regression ("Soft-Max Neural Network" in the paper's §3): a
+//! single dense layer `W ∈ R^{DIM×CLASSES}` + bias, cross-entropy loss.
+//!
+//! The gradient structure is what matters for the overlap experiment:
+//! `∂L/∂W[p][c] = x[p] · (softmax(z)[c] − y[c])`, so the rows of `W`
+//! touched by one mini-batch are exactly the union of the batch's active
+//! pixels — sparse, centre-biased, and overlapping across workers.
+
+use crate::data::{Sample, CLASSES, DIM};
+
+/// The trainable parameters.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Row-major weights: `w[pixel * CLASSES + class]`.
+    pub w: Vec<f32>,
+    /// Per-class bias.
+    pub b: Vec<f32>,
+}
+
+/// A sparse gradient: only rows whose pixel was active carry values.
+#[derive(Debug, Clone)]
+pub struct SparseGrad {
+    /// `(pixel row, per-class gradient)` entries, ascending by row.
+    pub rows: Vec<(usize, [f32; CLASSES])>,
+    /// Bias gradient (always dense — it is one row).
+    pub bias: [f32; CLASSES],
+}
+
+impl SparseGrad {
+    /// The set of touched rows.
+    pub fn touched_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.rows.iter().map(|(r, _)| *r)
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model::new()
+    }
+}
+
+impl Model {
+    /// Zero-initialized model (fine for softmax regression — the loss is
+    /// convex).
+    pub fn new() -> Model {
+        Model { w: vec![0.0; DIM * CLASSES], b: vec![0.0; CLASSES] }
+    }
+
+    /// Class logits for one sample.
+    pub fn logits(&self, x: &[f32]) -> [f32; CLASSES] {
+        let mut z = [0.0f32; CLASSES];
+        z.copy_from_slice(&self.b);
+        for (p, &xp) in x.iter().enumerate() {
+            if xp != 0.0 {
+                let row = &self.w[p * CLASSES..(p + 1) * CLASSES];
+                for c in 0..CLASSES {
+                    z[c] += xp * row[c];
+                }
+            }
+        }
+        z
+    }
+
+    /// Softmax probabilities.
+    pub fn predict_proba(&self, x: &[f32]) -> [f32; CLASSES] {
+        softmax(&self.logits(x))
+    }
+
+    /// Arg-max class.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let p = self.logits(x);
+        let mut best = 0;
+        for c in 1..CLASSES {
+            if p[c] > p[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Mean cross-entropy over `batch`.
+    pub fn loss(&self, batch: &[&Sample]) -> f32 {
+        let mut total = 0.0f32;
+        for s in batch {
+            let p = self.predict_proba(&s.pixels);
+            total -= p[s.label].max(1e-9).ln();
+        }
+        total / batch.len() as f32
+    }
+
+    /// Sparse mini-batch gradient (mean over the batch). Rows = union of
+    /// active pixels across the batch.
+    pub fn gradient(&self, batch: &[&Sample]) -> SparseGrad {
+        let inv = 1.0 / batch.len() as f32;
+        let mut acc: std::collections::BTreeMap<usize, [f32; CLASSES]> = Default::default();
+        let mut bias = [0.0f32; CLASSES];
+        for s in batch {
+            let p = self.predict_proba(&s.pixels);
+            let mut err = p;
+            err[s.label] -= 1.0;
+            for c in 0..CLASSES {
+                bias[c] += err[c] * inv;
+            }
+            for (pixel, &xp) in s.pixels.iter().enumerate() {
+                if xp != 0.0 {
+                    let row = acc.entry(pixel).or_insert([0.0; CLASSES]);
+                    for c in 0..CLASSES {
+                        row[c] += xp * err[c] * inv;
+                    }
+                }
+            }
+        }
+        SparseGrad { rows: acc.into_iter().collect(), bias }
+    }
+
+    /// Applies a dense delta to touched rows: `w[r] += delta[r]`.
+    pub fn apply_rows(&mut self, rows: &[(usize, [f32; CLASSES])], bias: &[f32; CLASSES]) {
+        for (r, delta) in rows {
+            let row = &mut self.w[r * CLASSES..(r + 1) * CLASSES];
+            for c in 0..CLASSES {
+                row[c] += delta[c];
+            }
+        }
+        for c in 0..CLASSES {
+            self.b[c] += bias[c];
+        }
+    }
+
+    /// Classification accuracy over samples.
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        let correct = samples.iter().filter(|s| self.predict(&s.pixels) == s.label).count();
+        correct as f64 / samples.len() as f64
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(z: &[f32; CLASSES]) -> [f32; CLASSES] {
+    let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut out = [0.0f32; CLASSES];
+    let mut sum = 0.0f32;
+    for c in 0..CLASSES {
+        out[c] = (z[c] - max).exp();
+        sum += out[c];
+    }
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataSpec, Dataset};
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let z = [1.0, 2.0, 3.0, -1.0, 0.0, 0.5, 2.5, -2.0, 1.5, 0.1];
+        let p = softmax(&z);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| x > 0.0));
+        // Largest logit gets largest probability.
+        assert_eq!(
+            p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0,
+            2
+        );
+    }
+
+    #[test]
+    fn gradient_rows_match_batch_support() {
+        let d = Dataset::generate(&DataSpec { n: 6, ..Default::default() });
+        let m = Model::new();
+        let batch: Vec<&Sample> = d.samples.iter().take(3).collect();
+        let g = m.gradient(&batch);
+        let support: std::collections::HashSet<usize> =
+            batch.iter().flat_map(|s| s.active_pixels()).collect();
+        let touched: std::collections::HashSet<usize> = g.touched_rows().collect();
+        assert_eq!(touched, support);
+    }
+
+    #[test]
+    fn gradient_descends_the_loss() {
+        let d = Dataset::generate(&DataSpec { n: 30, ..Default::default() });
+        let mut m = Model::new();
+        let batch: Vec<&Sample> = d.samples.iter().collect();
+        let before = m.loss(&batch);
+        for _ in 0..20 {
+            let g = m.gradient(&batch);
+            let lr = 0.5f32;
+            let step: Vec<(usize, [f32; CLASSES])> = g
+                .rows
+                .iter()
+                .map(|(r, row)| {
+                    let mut d = [0.0f32; CLASSES];
+                    for c in 0..CLASSES {
+                        d[c] = -lr * row[c];
+                    }
+                    (*r, d)
+                })
+                .collect();
+            let mut bias = [0.0f32; CLASSES];
+            for c in 0..CLASSES {
+                bias[c] = -lr * g.bias[c];
+            }
+            m.apply_rows(&step, &bias);
+        }
+        let after = m.loss(&batch);
+        assert!(after < before * 0.7, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn training_reaches_usable_accuracy() {
+        // Convex problem on synthetic digits: full-batch GD should
+        // separate the 10 stroke patterns far above chance.
+        let d = Dataset::generate(&DataSpec { n: 200, ..Default::default() });
+        let mut m = Model::new();
+        let batch: Vec<&Sample> = d.samples.iter().collect();
+        for _ in 0..60 {
+            let g = m.gradient(&batch);
+            let lr = 1.0f32;
+            let step: Vec<(usize, [f32; CLASSES])> = g
+                .rows
+                .iter()
+                .map(|(r, row)| {
+                    let mut dd = [0.0f32; CLASSES];
+                    for c in 0..CLASSES {
+                        dd[c] = -lr * row[c];
+                    }
+                    (*r, dd)
+                })
+                .collect();
+            let mut bias = [0.0f32; CLASSES];
+            for c in 0..CLASSES {
+                bias[c] = -lr * g.bias[c];
+            }
+            m.apply_rows(&step, &bias);
+        }
+        let acc = m.accuracy(&d.samples);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+}

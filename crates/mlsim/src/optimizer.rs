@@ -1,0 +1,201 @@
+//! Optimizers: mini-batch SGD and Adam (Kingma & Ba), sparse-aware — an
+//! update step touches only the gradient's support, matching how
+//! TensorFlow workers ship sparse tensor deltas to the parameter server.
+
+use crate::data::CLASSES;
+use crate::model::SparseGrad;
+use std::collections::HashMap;
+
+/// A parameter update: deltas for the touched rows plus bias.
+#[derive(Debug, Clone)]
+pub struct Update {
+    /// `(row, delta per class)` entries.
+    pub rows: Vec<(usize, [f32; CLASSES])>,
+    /// Bias delta.
+    pub bias: [f32; CLASSES],
+}
+
+impl Update {
+    /// Rows this update writes.
+    pub fn touched_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.rows.iter().map(|(r, _)| *r)
+    }
+}
+
+/// An optimizer turns gradients into parameter updates.
+pub trait Optimizer {
+    /// Computes the update for `grad` (may keep internal state per row).
+    fn step(&mut self, grad: &SparseGrad) -> Update;
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain mini-batch SGD: `Δ = −lr · g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD at learning rate `lr`.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, grad: &SparseGrad) -> Update {
+        let rows = grad
+            .rows
+            .iter()
+            .map(|(r, g)| {
+                let mut d = [0.0f32; CLASSES];
+                for c in 0..CLASSES {
+                    d[c] = -self.lr * g[c];
+                }
+                (*r, d)
+            })
+            .collect();
+        let mut bias = [0.0f32; CLASSES];
+        for c in 0..CLASSES {
+            bias[c] = -self.lr * grad.bias[c];
+        }
+        Update { rows, bias }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Adam with sparse (lazy) moment updates: first/second moments are kept
+/// per touched row, as TensorFlow's sparse Adam does.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: i32,
+    m: HashMap<usize, [f32; CLASSES]>,
+    v: HashMap<usize, [f32; CLASSES]>,
+    m_bias: [f32; CLASSES],
+    v_bias: [f32; CLASSES],
+}
+
+impl Adam {
+    /// Adam with the standard defaults (β1 = 0.9, β2 = 0.999).
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+            m_bias: [0.0; CLASSES],
+            v_bias: [0.0; CLASSES],
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, grad: &SparseGrad) -> Update {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        let mut rows = Vec::with_capacity(grad.rows.len());
+        for (r, g) in &grad.rows {
+            let m = self.m.entry(*r).or_insert([0.0; CLASSES]);
+            let v = self.v.entry(*r).or_insert([0.0; CLASSES]);
+            let mut d = [0.0f32; CLASSES];
+            for c in 0..CLASSES {
+                m[c] = self.beta1 * m[c] + (1.0 - self.beta1) * g[c];
+                v[c] = self.beta2 * v[c] + (1.0 - self.beta2) * g[c] * g[c];
+                let m_hat = m[c] / bc1;
+                let v_hat = v[c] / bc2;
+                d[c] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            rows.push((*r, d));
+        }
+        let mut bias = [0.0f32; CLASSES];
+        for c in 0..CLASSES {
+            self.m_bias[c] = self.beta1 * self.m_bias[c] + (1.0 - self.beta1) * grad.bias[c];
+            self.v_bias[c] = self.beta2 * self.v_bias[c] + (1.0 - self.beta2) * grad.bias[c] * grad.bias[c];
+            let m_hat = self.m_bias[c] / bc1;
+            let v_hat = self.v_bias[c] / bc2;
+            bias[c] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        Update { rows, bias }
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(rows: &[(usize, f32)]) -> SparseGrad {
+        SparseGrad {
+            rows: rows
+                .iter()
+                .map(|&(r, g)| {
+                    let mut row = [0.0f32; CLASSES];
+                    row[0] = g;
+                    (r, row)
+                })
+                .collect(),
+            bias: [0.0; CLASSES],
+        }
+    }
+
+    #[test]
+    fn sgd_is_linear_in_gradient() {
+        let mut opt = Sgd::new(0.1);
+        let u = opt.step(&grad(&[(3, 2.0)]));
+        assert_eq!(u.rows.len(), 1);
+        assert!((u.rows[0].1[0] + 0.2).abs() < 1e-6);
+        assert_eq!(u.rows[0].0, 3);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step ≈ −lr · sign(g).
+        let mut opt = Adam::new(0.01);
+        let u = opt.step(&grad(&[(0, 5.0)]));
+        assert!((u.rows[0].1[0] + 0.01).abs() < 1e-4, "{}", u.rows[0].1[0]);
+        let mut opt2 = Adam::new(0.01);
+        let u2 = opt2.step(&grad(&[(0, -5.0)]));
+        assert!((u2.rows[0].1[0] - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_keeps_per_row_state() {
+        let mut opt = Adam::new(0.01);
+        opt.step(&grad(&[(1, 1.0)]));
+        opt.step(&grad(&[(2, 1.0)]));
+        // Row 2's first step must still be bias-corrected as if fresh in
+        // *its* moments — but the global t advanced; both rows tracked.
+        assert_eq!(opt.m.len(), 2);
+        assert_eq!(opt.v.len(), 2);
+    }
+
+    #[test]
+    fn updates_touch_exactly_the_gradient_support() {
+        for opt in [&mut Sgd::new(0.1) as &mut dyn Optimizer, &mut Adam::new(0.1)] {
+            let g = grad(&[(2, 1.0), (7, -3.0), (100, 0.5)]);
+            let u = opt.step(&g);
+            let touched: Vec<usize> = u.touched_rows().collect();
+            assert_eq!(touched, vec![2, 7, 100], "{}", opt.name());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The event queue: a binary heap ordered by `(time, sequence)` so that
+//! simultaneous events fire in insertion order, keeping runs deterministic.
+
+use crate::node::{NodeId, PortId};
+use crate::time::SimTime;
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A frame finishes propagation and is delivered to a node's port.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port on that node.
+        port: PortId,
+        /// The frame bytes.
+        frame: Bytes,
+    },
+    /// A node timer fires.
+    Timer {
+        /// The owning node.
+        node: NodeId,
+        /// Opaque token the node passed to `schedule`.
+        token: u64,
+    },
+    /// A link transmitter finishes serializing a frame (frees queue space).
+    TxDone {
+        /// Index into the simulator's link table.
+        link: usize,
+        /// Direction within the link (0 = a→b, 1 = b→a).
+        dir: usize,
+        /// Size of the frame leaving the queue.
+        bytes: usize,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Firing time.
+    pub time: SimTime,
+    /// Global insertion sequence; breaks ties at equal `time`.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic priority queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer { node: NodeId(node), token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), timer(0, 3));
+        q.push(SimTime(10), timer(0, 1));
+        q.push(SimTime(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for token in 0..100 {
+            q.push(SimTime(42), timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(50), timer(0, 0));
+        q.push(SimTime(5), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # daiet-netsim — deterministic discrete-event network simulator
+//!
+//! The substrate on which the DAIET reproduction runs: hosts and switches
+//! are [`Node`]s exchanging Ethernet frames over [`link`]s with bandwidth,
+//! propagation delay, bounded drop-tail queues and optional fault injection
+//! (loss, corruption, duplication). A binary-heap event queue with
+//! deterministic tie-breaking makes every run reproducible from a seed.
+//!
+//! The design deliberately avoids threads and async runtimes: the workload
+//! is CPU-bound simulation, so a single-threaded event loop is both faster
+//! and reproducible (the session guides make the same argument for choosing
+//! plain loops over Tokio for compute-bound work).
+//!
+//! ```
+//! use daiet_netsim::{Simulator, Node, Context, PortId, LinkSpec};
+//! use bytes::Bytes;
+//!
+//! struct Echo;
+//! impl Node for Echo {
+//!     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Bytes) {
+//!         ctx.send(port, frame); // bounce it straight back
+//!     }
+//! }
+//!
+//! struct Counter(usize);
+//! impl Node for Counter {
+//!     fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {
+//!         self.0 += 1;
+//!     }
+//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!         ctx.send(PortId(0), Bytes::from_static(&[0u8; 64]));
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(1);
+//! let echo = sim.add_node(Box::new(Echo));
+//! let counter = sim.add_node(Box::new(Counter(0)));
+//! sim.connect(echo, counter, LinkSpec::fast());
+//! sim.run();
+//! assert_eq!(sim.node_ref::<Counter>(counter).unwrap().0, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod node;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use link::{FaultProfile, LinkSpec};
+pub use node::{Context, Node, NodeId, PortId};
+pub use sim::Simulator;
+pub use stats::{LinkStats, NodeStats};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Role, TopologyPlan};

@@ -1,0 +1,100 @@
+//! The [`Node`] trait implemented by every simulated device (host NIC
+//! stack, switch, middlebox) and the [`Context`] handed to its callbacks.
+
+use crate::event::EventKind;
+use crate::link::PortTable;
+use crate::stats::StatsTable;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use std::any::Any;
+
+/// Identifies a node within one simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifies a port on a node. Ports are numbered 0.. in the order links
+/// were attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+/// A simulated device.
+///
+/// Handlers receive a [`Context`] through which they interact with the
+/// world (send frames, arm timers, read the clock, draw random numbers).
+/// The `Any` supertrait lets callers recover the concrete type after a run
+/// via [`crate::Simulator::node_ref`].
+pub trait Node: Any {
+    /// A frame arrived on `port`.
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Bytes);
+
+    /// A timer armed via [`Context::schedule`] fired.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
+
+    /// Called once before the first event, in node-id order; the usual
+    /// place to kick off transmissions or arm the first timer.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Human-readable name for traces and panics.
+    fn name(&self) -> String {
+        "node".to_string()
+    }
+}
+
+/// The world as visible from inside a node callback.
+///
+/// Splitting this out of the simulator (which also owns the nodes) is what
+/// lets a node mutate itself while scheduling work: the simulator
+/// temporarily removes the node from its slot during dispatch.
+pub struct Context<'a> {
+    pub(crate) node: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) queue: &'a mut crate::event::EventQueue,
+    pub(crate) ports: &'a mut PortTable,
+    pub(crate) stats: &'a mut StatsTable,
+    pub(crate) rng: &'a mut SmallRng,
+}
+
+impl Context<'_> {
+    /// The id of the node being called.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Transmits `frame` out of `port`. The frame enters the link's egress
+    /// queue; it may be dropped there (queue overflow or injected fault) —
+    /// exactly like handing a frame to real NIC hardware, no feedback.
+    ///
+    /// Sending on an unconnected port is a programming error and panics:
+    /// the topology is static, so a bad port can never be data-dependent.
+    pub fn send(&mut self, port: PortId, frame: Bytes) {
+        self.stats.node_sent(self.node, frame.len());
+        self.ports
+            .transmit(self.node, port, frame, self.now, self.queue, self.rng, self.stats);
+    }
+
+    /// Arms a one-shot timer `delay` from now; `token` is returned to
+    /// [`Node::on_timer`].
+    pub fn schedule(&mut self, delay: SimDuration, token: u64) {
+        self.queue.push(
+            self.now + delay,
+            EventKind::Timer { node: self.node, token },
+        );
+    }
+
+    /// Number of ports connected to this node.
+    pub fn port_count(&self) -> usize {
+        self.ports.port_count(self.node)
+    }
+
+    /// The deterministic simulation RNG (shared; draws interleave with
+    /// other nodes', but the global sequence is seed-stable).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}

@@ -1,0 +1,295 @@
+//! The simulator: owns nodes, links, the event queue and the clock, and
+//! runs the event loop to completion.
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{LinkSpec, PortTable};
+use crate::node::{Context, Node, NodeId, PortId};
+use crate::stats::{LinkStats, NodeStats, StatsTable};
+use crate::time::SimTime;
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+
+/// A discrete-event network simulator.
+///
+/// Typical lifecycle: construct with a seed, [`add_node`](Self::add_node)
+/// devices, [`connect`](Self::connect) them, [`run`](Self::run), then read
+/// results back out of the nodes with [`node_ref`](Self::node_ref) and out
+/// of [`node_stats`](Self::node_stats)/[`link_stats`](Self::link_stats).
+pub struct Simulator {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    queue: EventQueue,
+    ports: PortTable,
+    stats: StatsTable,
+    rng: SmallRng,
+    now: SimTime,
+    started: bool,
+    events_processed: u64,
+    /// Safety valve against runaway simulations; `run` panics past this.
+    pub max_events: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulator; all randomness derives from `seed`.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            ports: PortTable::default(),
+            stats: StatsTable::default(),
+            rng: SmallRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            started: false,
+            events_processed: 0,
+            max_events: 2_000_000_000,
+        }
+    }
+
+    /// Registers a node, returning its id. Ids are dense and start at 0.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Connects two nodes with a link, assigning the next free port on
+    /// each side; returns `(port on a, port on b)`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "connect before add_node");
+        assert_ne!(a, b, "self-links are not supported");
+        self.ports.connect(a, b, spec)
+    }
+
+    /// The peer `(node, port)` across the link attached at `(node, port)`.
+    pub fn peer(&self, node: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
+        self.ports.peer(node, port)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Counters for `node`.
+    pub fn node_stats(&self, node: NodeId) -> NodeStats {
+        self.stats.node(node)
+    }
+
+    /// Counters for link `idx` (links are numbered in connect order).
+    pub fn link_stats(&self, idx: usize) -> LinkStats {
+        self.stats.link(idx)
+    }
+
+    /// Number of links created.
+    pub fn link_count(&self) -> usize {
+        self.ports.link_count()
+    }
+
+    /// Borrows a node downcast to its concrete type.
+    pub fn node_ref<T: Any>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes.get(id.0)?.as_deref()?;
+        (node as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a node downcast to its concrete type.
+    pub fn node_mut<T: Any>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes.get_mut(id.0)?.as_deref_mut()?;
+        (node as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Injects a frame delivery from outside the topology (useful in unit
+    /// tests that exercise a single node without links).
+    pub fn inject(&mut self, at: SimTime, node: NodeId, port: PortId, frame: Bytes) {
+        self.queue.push(at, EventKind::Deliver { node, port, frame });
+    }
+
+    fn dispatch<F>(&mut self, node_id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Context<'_>),
+    {
+        // Temporarily take the node out of its slot so it can borrow both
+        // itself and the world.
+        let mut node = match self.nodes.get_mut(node_id.0).and_then(Option::take) {
+            Some(n) => n,
+            None => return, // node removed or unknown: drop the event
+        };
+        {
+            let mut ctx = Context {
+                node: node_id,
+                now: self.now,
+                queue: &mut self.queue,
+                ports: &mut self.ports,
+                stats: &mut self.stats,
+                rng: &mut self.rng,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[node_id.0] = Some(node);
+    }
+
+    fn start_nodes(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs until the event queue drains; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Runs until the queue drains or the next event lies beyond
+    /// `deadline`; returns the time reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.start_nodes();
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.max_events,
+                "simulation exceeded {} events — runaway?",
+                self.max_events
+            );
+            match ev.kind {
+                EventKind::Deliver { node, port, frame } => {
+                    self.stats.node_received(node, frame.len());
+                    self.dispatch(node, |n, ctx| n.on_packet(ctx, port, frame));
+                }
+                EventKind::Timer { node, token } => {
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+                }
+                EventKind::TxDone { link, dir, bytes } => {
+                    self.ports.tx_done(link, dir, bytes);
+                }
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Sends `count` frames to port 0 on start, spaced by a timer.
+    struct Blaster {
+        count: usize,
+        sent: usize,
+        frame_len: usize,
+    }
+
+    impl Node for Blaster {
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.schedule(SimDuration::from_nanos(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            if self.sent < self.count {
+                ctx.send(PortId(0), Bytes::from(vec![0u8; self.frame_len]));
+                self.sent += 1;
+                ctx.schedule(SimDuration::from_micros(1), 0);
+            }
+        }
+    }
+
+    /// Records arrival times.
+    #[derive(Default)]
+    struct Sink {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {
+            self.arrivals.push(ctx.now());
+        }
+    }
+
+    #[test]
+    fn frames_flow_end_to_end() {
+        let mut sim = Simulator::new(42);
+        let src = sim.add_node(Box::new(Blaster { count: 5, sent: 0, frame_len: 500 }));
+        let dst = sim.add_node(Box::new(Sink::default()));
+        sim.connect(src, dst, LinkSpec::fast());
+        sim.run();
+        let sink = sim.node_ref::<Sink>(dst).unwrap();
+        assert_eq!(sink.arrivals.len(), 5);
+        // Arrival times strictly increase.
+        assert!(sink.arrivals.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sim.node_stats(dst).frames_in, 5);
+        assert_eq!(sim.node_stats(src).frames_out, 5);
+        assert_eq!(sim.node_stats(src).bytes_out, 2500);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let src = sim.add_node(Box::new(Blaster { count: 50, sent: 0, frame_len: 700 }));
+            let dst = sim.add_node(Box::new(Sink::default()));
+            sim.connect(
+                src,
+                dst,
+                LinkSpec::fast().with_faults(crate::FaultProfile::loss(0.3)),
+            );
+            sim.run();
+            sim.node_ref::<Sink>(dst).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should diverge under loss");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(0);
+        let src = sim.add_node(Box::new(Blaster { count: 100, sent: 0, frame_len: 100 }));
+        let dst = sim.add_node(Box::new(Sink::default()));
+        sim.connect(src, dst, LinkSpec::fast());
+        let reached = sim.run_until(SimTime(10_000)); // 10 us
+        assert!(reached <= SimTime(10_000));
+        let partial = sim.node_ref::<Sink>(dst).unwrap().arrivals.len();
+        assert!(partial < 100, "deadline should cut the run short");
+        sim.run();
+        assert_eq!(sim.node_ref::<Sink>(dst).unwrap().arrivals.len(), 100);
+    }
+
+    #[test]
+    fn inject_delivers_without_links() {
+        let mut sim = Simulator::new(0);
+        let dst = sim.add_node(Box::new(Sink::default()));
+        sim.inject(SimTime(500), dst, PortId(0), Bytes::from_static(b"hi"));
+        sim.run();
+        assert_eq!(sim.node_ref::<Sink>(dst).unwrap().arrivals, vec![SimTime(500)]);
+    }
+
+    #[test]
+    fn downcast_to_wrong_type_is_none() {
+        let mut sim = Simulator::new(0);
+        let dst = sim.add_node(Box::new(Sink::default()));
+        assert!(sim.node_ref::<Blaster>(dst).is_none());
+        assert!(sim.node_mut::<Sink>(dst).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node(Box::new(Sink::default()));
+        sim.connect(n, n, LinkSpec::fast());
+    }
+}

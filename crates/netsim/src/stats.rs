@@ -1,0 +1,159 @@
+//! Counters collected by the simulator: per-node frame/byte counts and
+//! per-link transmission/drop/fault statistics. The Figure-3 harness reads
+//! reducer NIC counts from here rather than trusting application logic.
+
+use crate::node::NodeId;
+
+/// Per-direction link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Frames put on the wire.
+    pub tx_frames: u64,
+    /// Bytes put on the wire.
+    pub tx_bytes: u64,
+    /// Frames dropped because the egress queue was full.
+    pub drops_overflow: u64,
+    /// Frames dropped by fault injection.
+    pub drops_fault: u64,
+    /// Frames corrupted by fault injection.
+    pub corrupted: u64,
+    /// Frames duplicated by fault injection.
+    pub duplicated: u64,
+}
+
+/// Both directions of one link (0 = a→b, 1 = b→a in connect order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Direction statistics.
+    pub dirs: [DirStats; 2],
+}
+
+/// Per-node counters, maintained by the simulator at delivery/send time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Frames delivered to the node.
+    pub frames_in: u64,
+    /// Bytes delivered to the node.
+    pub bytes_in: u64,
+    /// Frames the node transmitted.
+    pub frames_out: u64,
+    /// Bytes the node transmitted.
+    pub bytes_out: u64,
+}
+
+impl NodeStats {
+    /// Frames observed at the NIC in either direction — the quantity a
+    /// packet capture on the host would report (used for the Figure-3
+    /// packet-count panels).
+    pub fn frames_observed(&self) -> u64 {
+        self.frames_in + self.frames_out
+    }
+}
+
+/// All statistics for one simulation.
+#[derive(Debug, Default)]
+pub struct StatsTable {
+    links: Vec<LinkStats>,
+    nodes: Vec<NodeStats>,
+}
+
+impl StatsTable {
+    fn link_mut(&mut self, idx: usize) -> &mut LinkStats {
+        if idx >= self.links.len() {
+            self.links.resize(idx + 1, LinkStats::default());
+        }
+        &mut self.links[idx]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeStats {
+        if id.0 >= self.nodes.len() {
+            self.nodes.resize(id.0 + 1, NodeStats::default());
+        }
+        &mut self.nodes[id.0]
+    }
+
+    /// Counters for link `idx` (zeros if never touched).
+    pub fn link(&self, idx: usize) -> LinkStats {
+        self.links.get(idx).copied().unwrap_or_default()
+    }
+
+    /// Counters for `node` (zeros if never touched).
+    pub fn node(&self, node: NodeId) -> NodeStats {
+        self.nodes.get(node.0).copied().unwrap_or_default()
+    }
+
+    pub(crate) fn link_tx(&mut self, idx: usize, dir: usize, bytes: usize) {
+        let s = &mut self.link_mut(idx).dirs[dir];
+        s.tx_frames += 1;
+        s.tx_bytes += bytes as u64;
+    }
+
+    pub(crate) fn link_drop_overflow(&mut self, idx: usize, dir: usize, _bytes: usize) {
+        self.link_mut(idx).dirs[dir].drops_overflow += 1;
+    }
+
+    pub(crate) fn link_drop_fault(&mut self, idx: usize, dir: usize, _bytes: usize) {
+        self.link_mut(idx).dirs[dir].drops_fault += 1;
+    }
+
+    pub(crate) fn link_corrupt(&mut self, idx: usize, dir: usize) {
+        self.link_mut(idx).dirs[dir].corrupted += 1;
+    }
+
+    pub(crate) fn link_duplicate(&mut self, idx: usize, dir: usize) {
+        self.link_mut(idx).dirs[dir].duplicated += 1;
+    }
+
+    pub(crate) fn node_sent(&mut self, node: NodeId, bytes: usize) {
+        let s = self.node_mut(node);
+        s.frames_out += 1;
+        s.bytes_out += bytes as u64;
+    }
+
+    pub(crate) fn node_received(&mut self, node: NodeId, bytes: usize) {
+        let s = self.node_mut(node);
+        s.frames_in += 1;
+        s.bytes_in += bytes as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_grow_on_demand() {
+        let mut t = StatsTable::default();
+        assert_eq!(t.node(NodeId(5)), NodeStats::default());
+        t.node_sent(NodeId(5), 100);
+        t.node_received(NodeId(5), 40);
+        let s = t.node(NodeId(5));
+        assert_eq!(s.frames_out, 1);
+        assert_eq!(s.bytes_out, 100);
+        assert_eq!(s.frames_in, 1);
+        assert_eq!(s.bytes_in, 40);
+        assert_eq!(s.frames_observed(), 2);
+    }
+
+    #[test]
+    fn link_counters_accumulate() {
+        let mut t = StatsTable::default();
+        t.link_tx(2, 0, 1500);
+        t.link_tx(2, 0, 1500);
+        t.link_tx(2, 1, 64);
+        t.link_drop_overflow(2, 0, 1500);
+        t.link_drop_fault(2, 1, 64);
+        t.link_corrupt(2, 0);
+        t.link_duplicate(2, 1);
+        let s = t.link(2);
+        assert_eq!(s.dirs[0].tx_frames, 2);
+        assert_eq!(s.dirs[0].tx_bytes, 3000);
+        assert_eq!(s.dirs[0].drops_overflow, 1);
+        assert_eq!(s.dirs[0].corrupted, 1);
+        assert_eq!(s.dirs[1].tx_frames, 1);
+        assert_eq!(s.dirs[1].drops_fault, 1);
+        assert_eq!(s.dirs[1].duplicated, 1);
+        // Untouched link reads as zeros.
+        assert_eq!(t.link(0), LinkStats::default());
+    }
+}

@@ -1,0 +1,52 @@
+//! A thin UDP convenience layer: fire-and-forget datagrams between hosts
+//! identified by their numeric ids (the DAIET protocol itself builds its
+//! frames directly; this helper serves examples and tests).
+
+use bytes::Bytes;
+use daiet_wire::stack::{build_udp, Endpoints, Parsed, Transport};
+
+/// Builds a ready-to-send UDP frame between two host ids.
+pub fn datagram(src_host: u32, dst_host: u32, src_port: u16, dst_port: u16, payload: &[u8]) -> Bytes {
+    Bytes::from(build_udp(
+        &Endpoints::from_ids(src_host, dst_host),
+        src_port,
+        dst_port,
+        payload,
+    ))
+}
+
+/// Extracts `(src_port, dst_port, payload)` from a frame if it is a plain
+/// UDP datagram addressed to anyone (checksum verified).
+pub fn open(frame: &[u8]) -> Option<(u16, u16, Vec<u8>)> {
+    match Parsed::dissect(frame).ok()?.transport {
+        Transport::Udp { udp, payload } => Some((udp.src_port, udp.dst_port, payload)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let f = datagram(3, 4, 1000, 2000, b"ping");
+        let (sp, dp, payload) = open(&f).unwrap();
+        assert_eq!((sp, dp), (1000, 2000));
+        assert_eq!(payload, b"ping");
+    }
+
+    #[test]
+    fn non_udp_is_none() {
+        assert_eq!(open(&[0u8; 64]), None);
+    }
+
+    #[test]
+    fn corrupted_datagram_is_none() {
+        let f = datagram(3, 4, 1, 2, b"data");
+        let mut v = f.to_vec();
+        let n = v.len() - 1;
+        v[n] ^= 1;
+        assert_eq!(open(&v), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Link-layer and network-layer address types.
+
+use core::fmt;
+
+/// A six-octet Ethernet (MAC) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EthernetAddress(pub [u8; 6]);
+
+impl EthernetAddress {
+    /// The broadcast address, `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddress = EthernetAddress([0xff; 6]);
+
+    /// Deterministically derives a locally-administered unicast address
+    /// from a small integer id, convenient for simulated hosts.
+    pub fn from_id(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 sets the locally-administered bit and keeps unicast.
+        EthernetAddress([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Returns true if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns true if the multicast (group) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Returns true for a unicast address (neither broadcast nor multicast).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// The raw octets.
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+}
+
+impl fmt::Display for EthernetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// A four-octet IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Address(pub [u8; 4]);
+
+impl Ipv4Address {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Address = Ipv4Address([0; 4]);
+    /// The limited broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Address = Ipv4Address([0xff; 4]);
+
+    /// Derives a `10.x.y.z` address from a host id, convenient for
+    /// simulated clusters (supports up to 2^24 hosts).
+    pub fn from_id(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        Ipv4Address([10, b[1], b[2], b[3]])
+    }
+
+    /// Returns true if this is `255.255.255.255`.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns true if this is `0.0.0.0`.
+    pub fn is_unspecified(&self) -> bool {
+        *self == Self::UNSPECIFIED
+    }
+
+    /// The raw octets.
+    pub fn as_bytes(&self) -> &[u8; 4] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Ipv4Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.0;
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_classes() {
+        let a = EthernetAddress([0x02, 0x00, 0, 0, 0, 0x2a]);
+        assert_eq!(a.to_string(), "02:00:00:00:00:2a");
+        assert!(a.is_unicast());
+        assert!(!a.is_broadcast());
+        assert!(EthernetAddress::BROADCAST.is_broadcast());
+        assert!(EthernetAddress::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn mac_from_id_is_unicast_and_unique() {
+        let a = EthernetAddress::from_id(7);
+        let b = EthernetAddress::from_id(8);
+        assert!(a.is_unicast());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ip_display_and_from_id() {
+        let a = Ipv4Address::from_id(258);
+        assert_eq!(a.to_string(), "10.0.1.2");
+        assert!(!a.is_broadcast());
+        assert!(Ipv4Address::BROADCAST.is_broadcast());
+        assert!(Ipv4Address::UNSPECIFIED.is_unspecified());
+    }
+}

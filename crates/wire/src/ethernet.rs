@@ -1,0 +1,219 @@
+//! Ethernet II frames.
+//!
+//! ```text
+//!  0                   6                  12        14
+//! +-------------------+------------------+---------+------------------
+//! | destination MAC   | source MAC       | type    | payload ...
+//! +-------------------+------------------+---------+------------------
+//! ```
+
+use crate::{EthernetAddress, Error, Result};
+
+/// Length of the Ethernet II header in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// Recognized EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`) — carried for completeness; the simulator resolves
+    /// addresses out of band.
+    Arp,
+    /// Any other value.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(raw: u16) -> Self {
+        match raw {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(ty: EtherType) -> u16 {
+        match ty {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+mod field {
+    use core::ops::Range;
+    pub const DST: Range<usize> = 0..6;
+    pub const SRC: Range<usize> = 6..12;
+    pub const ETHERTYPE: Range<usize> = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// A read/write view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wraps a buffer without checking its length; accessors may panic on
+    /// an undersized buffer. Use [`Frame::new_checked`] for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wraps a buffer after verifying it can hold an Ethernet header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        let frame = Self::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    /// Verifies the buffer holds at least a full header.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> EthernetAddress {
+        let data = self.buffer.as_ref();
+        let mut b = [0u8; 6];
+        b.copy_from_slice(&data[field::DST]);
+        EthernetAddress(b)
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> EthernetAddress {
+        let data = self.buffer.as_ref();
+        let mut b = [0u8; 6];
+        b.copy_from_slice(&data[field::SRC]);
+        EthernetAddress(b)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        crate::read_u16(&self.buffer.as_ref()[field::ETHERTYPE]).into()
+    }
+
+    /// Immutable payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the EtherType field.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::ETHERTYPE], ty.into());
+    }
+
+    /// Mutable payload following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+/// Parsed representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source address.
+    pub src_addr: EthernetAddress,
+    /// Destination address.
+    pub dst_addr: EthernetAddress,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parses an Ethernet header out of a checked frame.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<Repr> {
+        frame.check_len()?;
+        Ok(Repr {
+            src_addr: frame.src_addr(),
+            dst_addr: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// The emitted header length (always [`HEADER_LEN`]).
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Writes this header into `frame`.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_src_addr(self.src_addr);
+        frame.set_dst_addr(self.dst_addr);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repr() -> Repr {
+        Repr {
+            src_addr: EthernetAddress::from_id(1),
+            dst_addr: EthernetAddress::from_id(2),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.buffer_len() + 8];
+        let mut frame = Frame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        frame.payload_mut()[..4].copy_from_slice(b"data");
+
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&frame).unwrap(), repr);
+        assert_eq!(&frame.payload()[..4], b"data");
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let buf = [0u8; HEADER_LEN - 1];
+        assert_eq!(Frame::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn ethertype_conversion() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x1234), EtherType::Unknown(0x1234));
+        assert_eq!(u16::from(EtherType::Ipv4), 0x0800);
+        assert_eq!(u16::from(EtherType::Unknown(0x4242)), 0x4242);
+    }
+
+    #[test]
+    fn exact_size_header_is_accepted() {
+        let buf = [0u8; HEADER_LEN];
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert!(frame.payload().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! # daiet-wire — packet wire formats
+//!
+//! Wire representations for every protocol used by the DAIET reproduction:
+//!
+//! * [`ethernet`] — Ethernet II frames,
+//! * [`ipv4`] — IPv4 headers with internet checksum,
+//! * [`udp`] — UDP datagrams with pseudo-header checksum,
+//! * [`tcpseg`] — simplified TCP segments (used by the shuffle baseline),
+//! * [`daiet`] — the DAIET in-network aggregation protocol (preamble +
+//!   fixed-size key-value pairs, §4 of the paper).
+//!
+//! The style follows smoltcp: each protocol has a zero-copy *view* type
+//! (`Frame`/`Packet`/`Segment`) wrapping a byte buffer with typed field
+//! accessors, and a parsed-representation struct (`Repr`) offering
+//! `parse`/`emit`/`buffer_len`. Malformed input yields a typed [`Error`];
+//! nothing in this crate panics on untrusted bytes.
+//!
+//! ```
+//! use daiet_wire::{ethernet, EthernetAddress};
+//!
+//! let mut buf = vec![0u8; 64];
+//! let mut frame = ethernet::Frame::new_unchecked(&mut buf[..]);
+//! frame.set_src_addr(EthernetAddress([0, 0, 0, 0, 0, 1]));
+//! frame.set_dst_addr(EthernetAddress::BROADCAST);
+//! frame.set_ethertype(ethernet::EtherType::Ipv4);
+//! assert_eq!(frame.dst_addr(), EthernetAddress::BROADCAST);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod daiet;
+pub mod ethernet;
+pub mod ipv4;
+pub mod stack;
+pub mod tcpseg;
+pub mod udp;
+
+mod addr;
+
+pub use addr::{EthernetAddress, Ipv4Address};
+
+use core::fmt;
+
+/// Errors produced when parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Error {
+    /// The buffer is too short to contain the header (or the declared
+    /// payload length exceeds the buffer).
+    Truncated,
+    /// A field holds a value that violates the protocol (e.g. an IPv4
+    /// header length below 20 bytes, or a DAIET entry count above the
+    /// declared packet capacity).
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+    /// The value is syntactically valid but not supported by this
+    /// implementation (e.g. a fragmented IPv4 packet).
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated packet"),
+            Error::Malformed => write!(f, "malformed field"),
+            Error::Checksum => write!(f, "checksum failure"),
+            Error::Unsupported => write!(f, "unsupported feature"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Reads a big-endian `u16` from the first two bytes of `data`.
+///
+/// Helper shared by the protocol modules; `data` must be at least 2 bytes
+/// (guaranteed by the callers' `check_len`).
+pub(crate) fn read_u16(data: &[u8]) -> u16 {
+    u16::from_be_bytes([data[0], data[1]])
+}
+
+/// Reads a big-endian `u32` from the first four bytes of `data`.
+pub(crate) fn read_u32(data: &[u8]) -> u32 {
+    u32::from_be_bytes([data[0], data[1], data[2], data[3]])
+}
+
+/// Writes a big-endian `u16` into the first two bytes of `data`.
+pub(crate) fn write_u16(data: &mut [u8], value: u16) {
+    data[..2].copy_from_slice(&value.to_be_bytes());
+}
+
+/// Writes a big-endian `u32` into the first four bytes of `data`.
+pub(crate) fn write_u32(data: &mut [u8], value: u32) {
+    data[..4].copy_from_slice(&value.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(Error::Truncated.to_string(), "truncated packet");
+        assert_eq!(Error::Malformed.to_string(), "malformed field");
+        assert_eq!(Error::Checksum.to_string(), "checksum failure");
+        assert_eq!(Error::Unsupported.to_string(), "unsupported feature");
+    }
+
+    #[test]
+    fn endian_helpers_round_trip() {
+        let mut buf = [0u8; 4];
+        write_u16(&mut buf, 0xBEEF);
+        assert_eq!(read_u16(&buf), 0xBEEF);
+        write_u32(&mut buf, 0xDEAD_BEEF);
+        assert_eq!(read_u32(&buf), 0xDEAD_BEEF);
+    }
+}

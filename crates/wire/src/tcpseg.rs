@@ -1,0 +1,366 @@
+//! Simplified TCP segments for the shuffle baseline transport.
+//!
+//! A fixed 20-byte header without options: ports, sequence and
+//! acknowledgment numbers, flags, window and checksum. This is all the
+//! state the simplified TCP state machine in `daiet-transport` requires;
+//! options (MSS advertisement, SACK, timestamps) are negotiated out of band
+//! by the simulator configuration, which keeps the baseline's on-wire byte
+//! counts faithful (Linux data segments in a steady-state bulk transfer
+//! carry a plain 20-byte header plus the 12-byte timestamp option; we model
+//! the plain header and expose the constant so the harness can account for
+//! options explicitly if desired).
+
+use crate::{checksum, Error, Ipv4Address, Result};
+
+/// Length of the option-less TCP header.
+pub const HEADER_LEN: usize = 20;
+
+// A tiny local stand-in for the `bitflags` crate (not in the approved
+// dependency set): generates a transparent wrapper with bit operations.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $($(#[$fmeta:meta])* const $fname:ident = $fval:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $($(#[$fmeta])* pub const $fname: $name = $name($fval);)*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self { $name(0) }
+            /// Returns true if every bit of `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+            /// Returns true if any bit of `other` is set in `self`.
+            pub const fn intersects(self, other: $name) -> bool {
+                self.0 & other.0 != 0
+            }
+        }
+
+        impl core::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { $name(self.0 | rhs.0) }
+        }
+        impl core::ops::BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: $name) { self.0 |= rhs.0; }
+        }
+    };
+}
+bitflags_lite! {
+    /// TCP flag bits (subset used by the simplified state machine).
+    pub struct Flags: u8 {
+        /// FIN: sender has finished sending.
+        const FIN = 0b0000_0001;
+        /// SYN: synchronize sequence numbers.
+        const SYN = 0b0000_0010;
+        /// RST: reset the connection.
+        const RST = 0b0000_0100;
+        /// PSH: push buffered data to the application.
+        const PSH = 0b0000_1000;
+        /// ACK: the acknowledgment field is significant.
+        const ACK = 0b0001_0000;
+    }
+}
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const SEQ: Range<usize> = 4..8;
+    pub const ACK: Range<usize> = 8..12;
+    pub const OFFSET: usize = 12;
+    pub const FLAGS: usize = 13;
+    pub const WINDOW: Range<usize> = 14..16;
+    pub const CHECKSUM: Range<usize> = 16..18;
+    pub const URGENT: Range<usize> = 18..20;
+}
+
+/// A read/write view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Segment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Segment<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Segment<T> {
+        Segment { buffer }
+    }
+
+    /// Wraps a buffer, validating header length and data offset.
+    pub fn new_checked(buffer: T) -> Result<Segment<T>> {
+        let seg = Self::new_unchecked(buffer);
+        seg.check_len()?;
+        Ok(seg)
+    }
+
+    /// Validates the buffer and the data-offset field.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let off = self.header_len();
+        if off < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if off != HEADER_LEN {
+            return Err(Error::Unsupported); // options unsupported
+        }
+        Ok(())
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::SRC_PORT])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::DST_PORT])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        crate::read_u32(&self.buffer.as_ref()[field::SEQ])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        crate::read_u32(&self.buffer.as_ref()[field::ACK])
+    }
+
+    /// Header length in bytes from the data-offset field.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[field::OFFSET] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> Flags {
+        Flags(self.buffer.as_ref()[field::FLAGS] & 0x1f)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::WINDOW])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::CHECKSUM])
+    }
+
+    /// Verifies the checksum with the IPv4 pseudo-header over the whole
+    /// buffer (the caller must slice the buffer to the segment length).
+    pub fn verify_checksum(&self, src: Ipv4Address, dst: Ipv4Address) -> bool {
+        checksum::verify_pseudo(src, dst, 6, self.buffer.as_ref())
+    }
+
+    /// Payload after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::SRC_PORT], port);
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::DST_PORT], port);
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        crate::write_u32(&mut self.buffer.as_mut()[field::SEQ], seq);
+    }
+
+    /// Sets the acknowledgment number.
+    pub fn set_ack(&mut self, ack: u32) {
+        crate::write_u32(&mut self.buffer.as_mut()[field::ACK], ack);
+    }
+
+    /// Sets data offset to 5 words (no options).
+    pub fn set_header_len(&mut self) {
+        self.buffer.as_mut()[field::OFFSET] = 5 << 4;
+    }
+
+    /// Sets the flag bits.
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.buffer.as_mut()[field::FLAGS] = flags.0;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, window: u16) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::WINDOW], window);
+    }
+
+    /// Computes and stores the checksum (payload must be in place).
+    pub fn fill_checksum(&mut self, src: Ipv4Address, dst: Ipv4Address) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::CHECKSUM], 0);
+        crate::write_u16(&mut self.buffer.as_mut()[field::URGENT], 0);
+        let ck = checksum::pseudo_header_checksum(src, dst, 6, self.buffer.as_ref());
+        crate::write_u16(&mut self.buffer.as_mut()[field::CHECKSUM], ck);
+    }
+
+    /// Mutable payload area.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Parsed representation of a TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (meaningful when `flags` contains ACK).
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: Flags,
+    /// Receive window.
+    pub window: u16,
+    /// Payload length.
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parses a segment; `segment`'s buffer must be sliced to the segment
+    /// end (the IPv4 layer knows the length). Checksum verified when
+    /// addresses are supplied.
+    pub fn parse<T: AsRef<[u8]>>(
+        segment: &Segment<T>,
+        addrs: Option<(Ipv4Address, Ipv4Address)>,
+    ) -> Result<Repr> {
+        segment.check_len()?;
+        if let Some((src, dst)) = addrs {
+            if !segment.verify_checksum(src, dst) {
+                return Err(Error::Checksum);
+            }
+        }
+        Ok(Repr {
+            src_port: segment.src_port(),
+            dst_port: segment.dst_port(),
+            seq: segment.seq(),
+            ack: segment.ack(),
+            flags: segment.flags(),
+            window: segment.window(),
+            payload_len: segment.payload().len(),
+        })
+    }
+
+    /// The emitted total length (header + payload).
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Writes the header and checksum (payload must be in place).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        segment: &mut Segment<T>,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+    ) {
+        segment.set_src_port(self.src_port);
+        segment.set_dst_port(self.dst_port);
+        segment.set_seq(self.seq);
+        segment.set_ack(self.ack);
+        segment.set_header_len();
+        segment.set_flags(self.flags);
+        segment.set_window(self.window);
+        segment.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Address = Ipv4Address([10, 0, 0, 1]);
+    const DST: Ipv4Address = Ipv4Address([10, 0, 0, 2]);
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = Repr {
+            src_port: 5000,
+            dst_port: 80,
+            seq: 0x1000_0000,
+            ack: 0x2000_0001,
+            flags: Flags::ACK | Flags::PSH,
+            window: 65535,
+            payload_len: 6,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        {
+            let mut seg = Segment::new_unchecked(&mut buf[..]);
+            seg.payload_mut().copy_from_slice(b"stream");
+            repr.emit(&mut seg, SRC, DST);
+        }
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&seg, Some((SRC, DST))).unwrap(), repr);
+        assert_eq!(seg.payload(), b"stream");
+    }
+
+    #[test]
+    fn flags_behave_like_bitsets() {
+        let f = Flags::SYN | Flags::ACK;
+        assert!(f.contains(Flags::SYN));
+        assert!(f.contains(Flags::ACK));
+        assert!(!f.contains(Flags::FIN));
+        assert!(f.intersects(Flags::SYN | Flags::FIN));
+        assert!(!f.intersects(Flags::FIN | Flags::RST));
+        assert_eq!(Flags::empty().0, 0);
+    }
+
+    #[test]
+    fn corrupt_segment_fails_checksum() {
+        let repr = Repr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 7,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 1000,
+            payload_len: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        {
+            let mut seg = Segment::new_unchecked(&mut buf[..]);
+            repr.emit(&mut seg, SRC, DST);
+        }
+        buf[4] ^= 0x80;
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&seg, Some((SRC, DST))).unwrap_err(), Error::Checksum);
+    }
+
+    #[test]
+    fn options_are_unsupported() {
+        let mut buf = vec![0u8; 24];
+        buf[field::OFFSET] = 6 << 4;
+        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn short_buffer_is_truncated() {
+        let buf = [0u8; HEADER_LEN - 1];
+        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+}

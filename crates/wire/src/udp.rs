@@ -1,0 +1,250 @@
+//! UDP datagrams. DAIET rides over UDP (§4 of the paper: partitions are
+//! sent "using UDP packets containing a small preamble and a sequence of
+//! key-value pairs").
+
+use crate::{checksum, Error, Ipv4Address, Result};
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// The well-known destination port carrying DAIET traffic in this
+/// reproduction (switches parse DAIET headers only behind this port).
+pub const DAIET_PORT: u16 = 0xDA1E;
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const LENGTH: Range<usize> = 4..6;
+    pub const CHECKSUM: Range<usize> = 6..8;
+}
+
+/// A read/write view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct Datagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Datagram<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Datagram<T> {
+        Datagram { buffer }
+    }
+
+    /// Wraps a buffer, validating the header and length field.
+    pub fn new_checked(buffer: T) -> Result<Datagram<T>> {
+        let dgram = Self::new_unchecked(buffer);
+        dgram.check_len()?;
+        Ok(dgram)
+    }
+
+    /// Validates buffer length against the header and `length` field.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = self.length() as usize;
+        if len < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if len > data.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::SRC_PORT])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::DST_PORT])
+    }
+
+    /// Datagram length (header + payload).
+    pub fn length(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::LENGTH])
+    }
+
+    /// Checksum field (0 = not computed, legal for UDP over IPv4).
+    pub fn checksum(&self) -> u16 {
+        crate::read_u16(&self.buffer.as_ref()[field::CHECKSUM])
+    }
+
+    /// Verifies the checksum with the IPv4 pseudo-header; a zero checksum
+    /// field counts as valid (sender opted out).
+    pub fn verify_checksum(&self, src: Ipv4Address, dst: Ipv4Address) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let len = self.length() as usize;
+        checksum::verify_pseudo(src, dst, 17, &self.buffer.as_ref()[..len])
+    }
+
+    /// Payload bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        let len = self.length() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Datagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::SRC_PORT], port);
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::DST_PORT], port);
+    }
+
+    /// Sets the length field.
+    pub fn set_length(&mut self, len: u16) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::LENGTH], len);
+    }
+
+    /// Computes and stores the checksum using the IPv4 pseudo-header.
+    pub fn fill_checksum(&mut self, src: Ipv4Address, dst: Ipv4Address) {
+        crate::write_u16(&mut self.buffer.as_mut()[field::CHECKSUM], 0);
+        let len = self.length() as usize;
+        let mut ck = checksum::pseudo_header_checksum(src, dst, 17, &self.buffer.as_ref()[..len]);
+        // Per RFC 768 a computed checksum of zero is transmitted as all-ones.
+        if ck == 0 {
+            ck = 0xffff;
+        }
+        crate::write_u16(&mut self.buffer.as_mut()[field::CHECKSUM], ck);
+    }
+
+    /// Mutable payload area.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Parsed representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length (excluding the UDP header).
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parses and validates a datagram header (checksum included when the
+    /// caller provides addresses).
+    pub fn parse<T: AsRef<[u8]>>(
+        dgram: &Datagram<T>,
+        addrs: Option<(Ipv4Address, Ipv4Address)>,
+    ) -> Result<Repr> {
+        dgram.check_len()?;
+        if let Some((src, dst)) = addrs {
+            if !dgram.verify_checksum(src, dst) {
+                return Err(Error::Checksum);
+            }
+        }
+        Ok(Repr {
+            src_port: dgram.src_port(),
+            dst_port: dgram.dst_port(),
+            payload_len: dgram.length() as usize - HEADER_LEN,
+        })
+    }
+
+    /// The emitted total length (header + payload).
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Writes the header into `dgram` and fills the checksum; the payload
+    /// must already be in place for the checksum to cover it.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        dgram: &mut Datagram<T>,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+    ) {
+        dgram.set_src_port(self.src_port);
+        dgram.set_dst_port(self.dst_port);
+        dgram.set_length((HEADER_LEN + self.payload_len) as u16);
+        dgram.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Address = Ipv4Address([10, 0, 0, 1]);
+    const DST: Ipv4Address = Ipv4Address([10, 0, 0, 2]);
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = Repr { src_port: 4242, dst_port: DAIET_PORT, payload_len: 5 };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        {
+            let mut dgram = Datagram::new_unchecked(&mut buf[..]);
+            dgram.payload_mut()[..5].copy_from_slice(b"hello");
+            repr.emit(&mut dgram, SRC, DST);
+        }
+        let dgram = Datagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&dgram, Some((SRC, DST))).unwrap(), repr);
+        assert_eq!(dgram.payload(), b"hello");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let repr = Repr { src_port: 1, dst_port: 2, payload_len: 4 };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        {
+            let mut dgram = Datagram::new_unchecked(&mut buf[..]);
+            dgram.payload_mut().copy_from_slice(b"data");
+            repr.emit(&mut dgram, SRC, DST);
+        }
+        buf[HEADER_LEN] ^= 0x40;
+        let dgram = Datagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(
+            Repr::parse(&dgram, Some((SRC, DST))).unwrap_err(),
+            Error::Checksum
+        );
+        // Without addresses the checksum is not verified.
+        assert!(Repr::parse(&dgram, None).is_ok());
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let mut buf = vec![0u8; HEADER_LEN + 2];
+        let mut dgram = Datagram::new_unchecked(&mut buf[..]);
+        dgram.set_src_port(7);
+        dgram.set_dst_port(8);
+        dgram.set_length((HEADER_LEN + 2) as u16);
+        // checksum left at zero
+        let dgram = Datagram::new_checked(&buf[..]).unwrap();
+        assert!(dgram.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn bad_length_field() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        {
+            let mut dgram = Datagram::new_unchecked(&mut buf[..]);
+            dgram.set_length(4); // below header size
+        }
+        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        {
+            let mut dgram = Datagram::new_unchecked(&mut buf[..]);
+            dgram.set_length(64); // beyond buffer
+        }
+        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,34 @@
+//! The paper's §3 graph analysis at example scale: PageRank, SSSP and WCC
+//! on a LiveJournal-shaped R-MAT graph, printing the per-iteration
+//! potential traffic reduction (Figure 1(c)).
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use daiet_repro::graphsim::generate::{rmat, RmatSpec};
+use daiet_repro::graphsim::{reduction_series, AlgoKind};
+
+fn main() {
+    let graph = rmat(&RmatSpec::livejournal_like(15, 11));
+    println!(
+        "graph: {} vertices, {} edges (avg degree {:.1}; LiveJournal has 4.8M/68M at 14.2)\n",
+        graph.vertices(),
+        graph.edges(),
+        graph.avg_degree()
+    );
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Wcc] {
+        println!("{}:", algo.name());
+        for s in reduction_series(algo, &graph, 10) {
+            let bar = "#".repeat((s.reduction * 40.0) as usize);
+            println!(
+                "  iter {:>2}: {:>9} msgs -> {:>9} combined  reduction {:>5.1}% {}",
+                s.iteration,
+                s.messages,
+                s.combined,
+                100.0 * s.reduction,
+                bar
+            );
+        }
+        println!();
+    }
+    println!("(paper: PageRank flat near 0.93, SSSP rising, WCC decaying; range 0.48-0.93)");
+}

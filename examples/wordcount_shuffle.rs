@@ -1,0 +1,44 @@
+//! The paper's §5 experiment at example scale: a WordCount shuffle run
+//! three ways (TCP baseline, UDP without aggregation, DAIET), printing a
+//! Figure-3-style comparison.
+//!
+//! Run with: `cargo run --release --example wordcount_shuffle`
+
+use daiet_repro::mapreduce::runner::{Fig3Summary, Runner, ShuffleMode};
+use daiet_repro::mapreduce::wordcount::{Corpus, CorpusSpec};
+
+fn main() {
+    let spec = CorpusSpec {
+        register_cells: 1024,
+        ..CorpusSpec::paper_scaled(12 * 512, 7)
+    };
+    println!("generating corpus ({} distinct words, 24 mappers, 12 reducers)...", spec.distinct_words);
+    let corpus = Corpus::generate(&spec);
+    println!(
+        "shuffle: {} records, mean mapper multiplicity {:.1}",
+        corpus.total_records(),
+        corpus.realized_multiplicity()
+    );
+
+    let mut runner = Runner::new(corpus);
+    runner.daiet_config.register_cells = 1024;
+
+    let tcp = runner.run(ShuffleMode::TcpBaseline);
+    let udp = runner.run(ShuffleMode::UdpNoAgg);
+    let daiet = runner.run(ShuffleMode::DaietAgg);
+    for (name, out) in [("TCP", &tcp), ("UDP", &udp), ("DAIET", &daiet)] {
+        println!(
+            "{name:>6}: correct={} reducer frames(in)={} app bytes={}",
+            out.all_correct(),
+            out.reducers.iter().map(|r| r.nic_frames_in).sum::<u64>(),
+            out.reducers.iter().map(|r| r.app_bytes).sum::<u64>(),
+        );
+    }
+
+    let fig = Fig3Summary::from_runs(&tcp, &udp, &daiet);
+    println!("\nreductions at reducers (percent, box stats over 12 reducers):");
+    println!("  data volume vs TCP:   {}", fig.data_volume);
+    println!("  reduce time vs TCP:   {}", fig.reduce_time);
+    println!("  packets vs UDP:       {}", fig.packets_vs_udp);
+    println!("  packets vs TCP:       {}", fig.packets_vs_tcp);
+}

@@ -1,0 +1,23 @@
+//! # daiet-repro — facade crate
+//!
+//! Re-exports every crate of the DAIET reproduction workspace so that the
+//! root `examples/` and `tests/` can reach the whole system through one
+//! dependency. See the individual crates for documentation:
+//!
+//! * [`wire`] — packet formats,
+//! * [`netsim`] — discrete-event network simulator,
+//! * [`dataplane`] — programmable switch model,
+//! * [`transport`] — UDP and simplified TCP end-host transports,
+//! * [`daiet`] — the paper's system: controller, trees, switch aggregation,
+//! * [`mapreduce`] — MapReduce framework and the WordCount benchmark,
+//! * [`mlsim`] — parameter-server ML workloads (Figure 1a/1b),
+//! * [`graphsim`] — Pregel-like graph processing (Figure 1c).
+
+pub use daiet;
+pub use daiet_dataplane as dataplane;
+pub use daiet_graphsim as graphsim;
+pub use daiet_mapreduce as mapreduce;
+pub use daiet_mlsim as mlsim;
+pub use daiet_netsim as netsim;
+pub use daiet_transport as transport;
+pub use daiet_wire as wire;
