@@ -53,7 +53,7 @@ fn main() {
 
     let fig = Fig3Summary::from_runs(&tcp, &udp, &daiet);
     println!("# Figure 3 — reduction at reducers (percent), box statistics over 12 reducers");
-    println!("{:<28} {}", "panel", "min     q1     med     q3     max   (paper)");
+    println!("{:<28} min     q1     med     q3     max   (paper)", "panel");
     println!("{:<28} {}   (86.9-89.3%)", "data volume vs TCP", fig.data_volume);
     println!("{:<28} {}   (median ~83.6%)", "reduce time vs TCP", fig.reduce_time);
     println!("{:<28} {}   (88.1-90.5%, med 90.5%)", "packets vs UDP baseline", fig.packets_vs_udp);

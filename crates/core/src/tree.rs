@@ -258,7 +258,7 @@ mod tests {
         tree.validate().unwrap();
         // Path: host0 -> leaf -> spine -> leaf -> host3: every switch has
         // exactly one child.
-        for (_, &c) in &tree.switch_children {
+        for &c in tree.switch_children.values() {
             assert_eq!(c, 1);
         }
         assert_eq!(tree.reducer_children, 1);

@@ -185,7 +185,7 @@ impl Collector {
     /// results must be sorted at the reducer", §4).
     pub fn into_sorted(self) -> Vec<(Key, u32)> {
         let mut v: Vec<(Key, u32)> = self.pairs.into_iter().collect();
-        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v.sort_unstable_by_key(|a| a.0);
         v
     }
 

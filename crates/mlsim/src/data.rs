@@ -180,7 +180,7 @@ mod tests {
         for s in &d.samples {
             for idx in s.active_pixels() {
                 let (x, y) = (idx % SIDE, idx / SIDE);
-                if x < 3 || x >= SIDE - 3 || y < 3 || y >= SIDE - 3 {
+                if !(3..SIDE - 3).contains(&x) || !(3..SIDE - 3).contains(&y) {
                     border += 1;
                 } else {
                     centre += 1;

@@ -117,12 +117,12 @@ impl Model {
     pub fn apply_rows(&mut self, rows: &[(usize, [f32; CLASSES])], bias: &[f32; CLASSES]) {
         for (r, delta) in rows {
             let row = &mut self.w[r * CLASSES..(r + 1) * CLASSES];
-            for c in 0..CLASSES {
-                row[c] += delta[c];
+            for (w, d) in row.iter_mut().zip(delta) {
+                *w += d;
             }
         }
-        for c in 0..CLASSES {
-            self.b[c] += bias[c];
+        for (b, d) in self.b.iter_mut().zip(bias) {
+            *b += d;
         }
     }
 
@@ -200,8 +200,8 @@ mod tests {
                 })
                 .collect();
             let mut bias = [0.0f32; CLASSES];
-            for c in 0..CLASSES {
-                bias[c] = -lr * g.bias[c];
+            for (b, g) in bias.iter_mut().zip(&g.bias) {
+                *b = -lr * g;
             }
             m.apply_rows(&step, &bias);
         }
@@ -231,8 +231,8 @@ mod tests {
                 })
                 .collect();
             let mut bias = [0.0f32; CLASSES];
-            for c in 0..CLASSES {
-                bias[c] = -lr * g.bias[c];
+            for (b, g) in bias.iter_mut().zip(&g.bias) {
+                *b = -lr * g;
             }
             m.apply_rows(&step, &bias);
         }

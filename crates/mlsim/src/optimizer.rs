@@ -51,15 +51,15 @@ impl Optimizer for Sgd {
             .iter()
             .map(|(r, g)| {
                 let mut d = [0.0f32; CLASSES];
-                for c in 0..CLASSES {
-                    d[c] = -self.lr * g[c];
+                for (d, g) in d.iter_mut().zip(g) {
+                    *d = -self.lr * g;
                 }
                 (*r, d)
             })
             .collect();
         let mut bias = [0.0f32; CLASSES];
-        for c in 0..CLASSES {
-            bias[c] = -self.lr * grad.bias[c];
+        for (b, g) in bias.iter_mut().zip(&grad.bias) {
+            *b = -self.lr * g;
         }
         Update { rows, bias }
     }
@@ -125,12 +125,13 @@ impl Optimizer for Adam {
             rows.push((*r, d));
         }
         let mut bias = [0.0f32; CLASSES];
-        for c in 0..CLASSES {
-            self.m_bias[c] = self.beta1 * self.m_bias[c] + (1.0 - self.beta1) * grad.bias[c];
-            self.v_bias[c] = self.beta2 * self.v_bias[c] + (1.0 - self.beta2) * grad.bias[c] * grad.bias[c];
+        for (c, b) in bias.iter_mut().enumerate() {
+            let g = grad.bias[c];
+            self.m_bias[c] = self.beta1 * self.m_bias[c] + (1.0 - self.beta1) * g;
+            self.v_bias[c] = self.beta2 * self.v_bias[c] + (1.0 - self.beta2) * g * g;
             let m_hat = self.m_bias[c] / bc1;
             let v_hat = self.v_bias[c] / bc2;
-            bias[c] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            *b = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
         Update { rows, bias }
     }

@@ -91,12 +91,12 @@ impl<O: Optimizer> PsCluster<O> {
         for wu in &updates {
             for (r, g) in &wu.grad.rows {
                 let acc = rows.entry(*r).or_insert([0.0; CLASSES]);
-                for c in 0..CLASSES {
-                    acc[c] += g[c] * inv;
+                for (a, g) in acc.iter_mut().zip(g) {
+                    *a += g * inv;
                 }
             }
-            for c in 0..CLASSES {
-                bias[c] += wu.grad.bias[c] * inv;
+            for (b, g) in bias.iter_mut().zip(&wu.grad.bias) {
+                *b += g * inv;
             }
         }
         let mean_grad = SparseGrad { rows: rows.into_iter().collect(), bias };

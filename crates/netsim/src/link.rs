@@ -198,11 +198,9 @@ impl PortTable {
         // while it waits for the transmitter; the frame being serialized
         // is not counted, matching switch output-port models.
         let start = if dir.busy_until > now { dir.busy_until } else { now };
-        if start > now {
-            if dir.queued_bytes + len > spec.queue_bytes {
-                stats.link_drop_overflow(idx, dir_idx, len);
-                return;
-            }
+        if start > now && dir.queued_bytes + len > spec.queue_bytes {
+            stats.link_drop_overflow(idx, dir_idx, len);
+            return;
         }
 
         // Fault injection: drop.

@@ -228,7 +228,7 @@ impl TopologyPlan {
     /// then edge), then edge switches, aggregation switches, and core
     /// switches.
     pub fn fat_tree(k: usize, spec: LinkSpec) -> TopologyPlan {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2");
         let half = k / 2;
         let mut plan = TopologyPlan::new();
 

@@ -420,13 +420,12 @@ impl TcpStack {
                 // FIN acknowledged?
                 if conn.fin_sent && conn.snd_una == conn.snd_nxt {
                     match conn.state {
-                        State::FinWait => {
+                        State::FinWait
                             // Wait for the peer's FIN (or it already came).
-                            if conn.peer_fin_delivered {
+                            if conn.peer_fin_delivered => {
                                 conn.state = State::Closed;
                                 self.events.push_back(SocketEvent::Closed(key));
                             }
-                        }
                         State::LastAck => {
                             conn.state = State::Closed;
                             self.events.push_back(SocketEvent::Closed(key));

@@ -281,7 +281,7 @@ mod tests {
     #[test]
     fn emit_parse_round_trip() {
         let repr = sample_repr(8);
-        let mut buf = vec![0u8; HEADER_LEN + 8];
+        let mut buf = [0u8; HEADER_LEN + 8];
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         packet.payload_mut()[..3].copy_from_slice(b"udp");
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn corrupt_checksum_is_rejected() {
         let repr = sample_repr(0);
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         buf[8] ^= 0xff; // flip TTL
@@ -305,7 +305,7 @@ mod tests {
 
     #[test]
     fn wrong_version_is_malformed() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x65; // version 6
         buf[3] = HEADER_LEN as u8;
         assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
@@ -313,7 +313,7 @@ mod tests {
 
     #[test]
     fn options_are_unsupported() {
-        let mut buf = vec![0u8; 24];
+        let mut buf = [0u8; 24];
         buf[0] = 0x46; // IHL = 6 words
         buf[3] = 24;
         assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
@@ -322,7 +322,7 @@ mod tests {
     #[test]
     fn total_len_beyond_buffer_is_truncated() {
         let repr = sample_repr(100);
-        let mut buf = vec![0u8; HEADER_LEN + 100];
+        let mut buf = [0u8; HEADER_LEN + 100];
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         // Shrink the buffer below total_len.
@@ -335,7 +335,7 @@ mod tests {
     #[test]
     fn padding_is_excluded_from_payload() {
         let repr = sample_repr(4);
-        let mut buf = vec![0u8; HEADER_LEN + 60]; // oversized buffer = padding
+        let mut buf = [0u8; HEADER_LEN + 60]; // oversized buffer = padding
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         let packet = Packet::new_checked(&buf[..]).unwrap();

@@ -353,7 +353,7 @@ mod tests {
 
     #[test]
     fn options_are_unsupported() {
-        let mut buf = vec![0u8; 24];
+        let mut buf = [0u8; 24];
         buf[field::OFFSET] = 6 << 4;
         assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
     }

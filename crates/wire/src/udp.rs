@@ -223,7 +223,7 @@ mod tests {
 
     #[test]
     fn zero_checksum_is_accepted() {
-        let mut buf = vec![0u8; HEADER_LEN + 2];
+        let mut buf = [0u8; HEADER_LEN + 2];
         let mut dgram = Datagram::new_unchecked(&mut buf[..]);
         dgram.set_src_port(7);
         dgram.set_dst_port(8);
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn bad_length_field() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         {
             let mut dgram = Datagram::new_unchecked(&mut buf[..]);
             dgram.set_length(4); // below header size

@@ -39,18 +39,18 @@ fn main() {
     let mut sim = Simulator::new(1);
     let mut ids = Vec::new();
     for slot in 0..plan.len() {
-        let id = match plan.role(slot) {
-            Role::Host if slot < 3 => sim.add_node(Box::new(SenderHost::new(
+        let id = match (plan.role(slot), partitions.get(slot)) {
+            (Role::Host, Some(part)) => sim.add_node(Box::new(SenderHost::new(
                 &config,
                 dep.tree_id(0),
-                partitions[slot].clone(),
+                part.clone(),
                 dep.endpoints(slot, 0),
             ))),
-            Role::Host => sim.add_node(Box::new(ReducerHost::new(
+            (Role::Host, None) => sim.add_node(Box::new(ReducerHost::new(
                 AggFn::Sum,
                 dep.expected_ends(0, 3),
             ))),
-            Role::Switch => sim.add_node(Box::new(switches.remove(&slot).unwrap())),
+            (Role::Switch, _) => sim.add_node(Box::new(switches.remove(&slot).unwrap())),
         };
         ids.push(id);
     }

@@ -1,0 +1,55 @@
+//! Smoke-runs every compiled example target so example rot fails CI
+//! instead of users. `cargo test` builds the examples of this package
+//! before running integration tests, so the binaries are guaranteed to sit
+//! next to the test executable's profile directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+const EXAMPLES: &[(&str, &[&str])] = &[
+    ("quickstart", &["reducer complete: true"]),
+    ("wordcount_shuffle", &["correct=true"]),
+    ("ml_overlap", &["Fig 1(a)", "Fig 1(b)"]),
+    ("graph_analytics", &["PageRank", "SSSP", "WCC"]),
+    ("fault_injection", &["complete=true"]),
+];
+
+/// `target/<profile>/examples/<name>` relative to this test binary
+/// (which lives in `target/<profile>/deps/`).
+fn example_path(name: &str) -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // strip the test binary name -> deps/
+    dir.pop(); // strip deps/ -> the profile directory
+    dir.join("examples").join(name)
+}
+
+#[test]
+fn all_examples_run_and_print_their_markers() {
+    for (name, markers) in EXAMPLES {
+        let path = example_path(name);
+        assert!(
+            path.exists(),
+            "example binary missing at {} — was the examples target pruned from Cargo.toml?",
+            path.display()
+        );
+        let started = Instant::now();
+        let output = Command::new(&path)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example `{name}`: {e}"));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            output.status.success(),
+            "example `{name}` exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+            output.status.code()
+        );
+        for marker in *markers {
+            assert!(
+                stdout.contains(marker),
+                "example `{name}` output lost its marker {marker:?}\nstdout:\n{stdout}"
+            );
+        }
+        eprintln!("example `{name}` ok in {:.1}s", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`: a plain wall-clock timing harness with
+//! criterion's group/bench API shape. It reports the mean time per
+//! iteration (and throughput when configured) as text — enough to track
+//! baselines in CHANGES.md, without the statistics machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+/// Per-benchmark wall-clock budget; long simulation benches get a handful
+/// of iterations, short ones the full sample count.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, DEFAULT_SAMPLE_SIZE, None, f);
+        self
+    }
+}
+
+/// Throughput annotation for a group; folded into the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// A named parameter for `bench_with_input`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A group of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id);
+        run_one(&id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Hands the closure-under-test a timer.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F) {
+    // Warm-up & calibration: one iteration to estimate the per-iter cost.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let budgeted = (TIME_BUDGET.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+    let iters = budgeted.min(sample_size as u64);
+
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / mean, "elem")),
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  thrpt: {}/s", si(n as f64 / mean, "B"))
+        }
+        None => String::new(),
+    };
+    println!("{id:<60} time: {:>12} ({iters} iters){rate}", fmt_time(mean));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// Builds the group-runner function the way criterion's plain form does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Entry point running each group in sequence.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs >= 2, "calibration + measurement passes expected");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-6).ends_with("µs"));
+        assert!(fmt_time(2.5e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with('s'));
+    }
+}

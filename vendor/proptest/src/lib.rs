@@ -1,0 +1,415 @@
+//! Offline stand-in for `proptest`: the `proptest!` macro, a `Strategy`
+//! trait with the combinators this workspace uses (ranges, tuples, `any`,
+//! `prop::collection::vec`, `prop::sample::select`, `prop_map`), and a
+//! deterministic case runner.
+//!
+//! Differences from crates.io proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs verbatim.
+//! * **Deterministic.** Case `i` of every test derives its RNG from `i`
+//!   (plus the optional `PROPTEST_RNG_SEED` env var), so failures reproduce
+//!   exactly across runs and machines.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude;
+
+/// Per-case RNG handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    fn for_case(global_seed: u64, case: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            global_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, map: f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        (unit - 0.5) * 2f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Size bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    pub struct Select<T>(Vec<T>);
+
+    pub fn select<T: Clone + Debug>(values: &[T]) -> Select<T> {
+        assert!(!values.is_empty(), "select over an empty set");
+        Select(values.to_vec())
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.0.random_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// `prop::…` paths as used at call sites (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+fn global_seed() -> u64 {
+    std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDA1E_7000_0000_0001)
+}
+
+/// Drives `body` for `config.cases` cases. On panic, reports the case
+/// number and the generated inputs, then propagates the panic.
+pub fn run_cases<F>(config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng, &mut Vec<String>),
+{
+    let seed = global_seed();
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(seed, case as u64);
+        let mut inputs = Vec::new();
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng, &mut inputs)));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest case {case}/{} failed (PROPTEST_RNG_SEED={seed}) with inputs:",
+                config.cases
+            );
+            for line in &inputs {
+                eprintln!("    {line}");
+            }
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "prop_assert_ne failed: both sides equal\n value: {:?}",
+                l
+            );
+        }
+    }};
+}
+
+/// The `proptest!` block macro: an optional `#![proptest_config(..)]`
+/// followed by `#[test]` functions whose parameters are either
+/// `name in strategy` or `name: Type` (shorthand for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (@funcs ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_cases(&config, |__proptest_rng, __proptest_inputs| {
+                    $crate::proptest!(@bind __proptest_rng, __proptest_inputs, $($params)*);
+                    $body
+                });
+            }
+        )*
+    };
+    (@bind $rng:ident, $inputs:ident $(,)?) => {};
+    (@bind $rng:ident, $inputs:ident, $name:ident in $strat:expr) => {
+        $crate::proptest!(@one $rng, $inputs, $name, $strat);
+    };
+    (@bind $rng:ident, $inputs:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::proptest!(@one $rng, $inputs, $name, $strat);
+        $crate::proptest!(@bind $rng, $inputs, $($rest)*);
+    };
+    (@bind $rng:ident, $inputs:ident, $name:ident: $ty:ty) => {
+        $crate::proptest!(@one $rng, $inputs, $name, $crate::any::<$ty>());
+    };
+    (@bind $rng:ident, $inputs:ident, $name:ident: $ty:ty, $($rest:tt)*) => {
+        $crate::proptest!(@one $rng, $inputs, $name, $crate::any::<$ty>());
+        $crate::proptest!(@bind $rng, $inputs, $($rest)*);
+    };
+    (@one $rng:ident, $inputs:ident, $name:ident, $strat:expr) => {
+        let $name = $crate::Strategy::generate(&$strat, $rng);
+        $inputs.push(format!("{} = {:?}", stringify!($name), $name));
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn mapped_strategy_applies(x in evens()) {
+            prop_assert!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn mixed_params(a in 1u8..10, b: u32, flag: bool) {
+            prop_assert!((1..10).contains(&a));
+            let _ = (b, flag);
+        }
+
+        #[test]
+        fn vec_and_select(
+            v in prop::collection::vec(any::<u8>(), 0..=16),
+            pick in prop::sample::select(&[3u8, 5, 7][..]),
+        ) {
+            prop_assert!(v.len() <= 16);
+            prop_assert!([3, 5, 7].contains(&pick));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u8..4, 10u32..20).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(pair.0 >= 10 && pair.1 < 4);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_cases(&ProptestConfig::with_cases(8), |rng, _| {
+                out.push(<u64 as crate::Arbitrary>::arbitrary(rng));
+            });
+        }
+        assert_eq!(first, second);
+    }
+}

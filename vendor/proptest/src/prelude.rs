@@ -1,0 +1,4 @@
+//! The subset of `proptest::prelude` this workspace uses.
+
+pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
