@@ -15,7 +15,7 @@ use daiet::switch_agg::{DaietEngine, TreeStateConfig};
 use daiet::DaietConfig;
 use daiet_dataplane::parser::{parse, ParserConfig};
 use daiet_dataplane::pipeline::{PacketCtx, SwitchExtern};
-use daiet_netsim::PortId;
+use daiet_netsim::{Frame, FramePool, PortId};
 use daiet_wire::daiet::{Key, Pair, Repr};
 use daiet_wire::stack::{build_daiet, Endpoints};
 use std::hint::black_box;
@@ -23,6 +23,7 @@ use std::hint::black_box;
 /// Feeds `packets` 10-pair DATA packets with `distinct` distinct keys
 /// through an engine with the given config; returns emitted frame count.
 fn drive(config: DaietConfig, packets: usize, distinct: usize) -> u64 {
+    let pool = FramePool::new();
     let mut engine = DaietEngine::new(config);
     engine.install_tree(TreeStateConfig {
         tree_id: 1,
@@ -41,16 +42,16 @@ fn drive(config: DaietConfig, packets: usize, distinct: usize) -> u64 {
             })
             .collect();
         let frame =
-            bytes::Bytes::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::data(1, entries)));
+            Frame::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::data(1, entries)));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
         let mut pkt = PacketCtx::new(PortId(0), parsed);
-        engine.invoke(&mut pkt, 1);
+        engine.invoke(&mut pkt, 1, &pool);
     }
     // END triggers the flush; count everything that left the switch.
-    let end = bytes::Bytes::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::end(1)));
+    let end = Frame::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::end(1)));
     let parsed = parse(end, &ParserConfig::default()).unwrap();
     let mut pkt = PacketCtx::new(PortId(0), parsed);
-    engine.invoke(&mut pkt, 1);
+    engine.invoke(&mut pkt, 1, &pool);
     engine.stats().frames_out
 }
 

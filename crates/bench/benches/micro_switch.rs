@@ -7,13 +7,13 @@ use daiet::switch_agg::{DaietEngine, TreeStateConfig};
 use daiet::DaietConfig;
 use daiet_dataplane::parser::{parse, ParserConfig};
 use daiet_dataplane::pipeline::{PacketCtx, SwitchExtern};
-use daiet_netsim::PortId;
+use daiet_netsim::{Frame, FramePool, PortId};
 use daiet_wire::checksum::crc32;
 use daiet_wire::daiet::{Key, Pair, Repr};
 use daiet_wire::stack::{build_daiet, Endpoints};
 use std::hint::black_box;
 
-fn make_frames(n: usize) -> Vec<bytes::Bytes> {
+fn make_frames(n: usize) -> Vec<Frame> {
     (0..n)
         .map(|i| {
             let entries: Vec<Pair> = (0..10)
@@ -24,7 +24,7 @@ fn make_frames(n: usize) -> Vec<bytes::Bytes> {
                     )
                 })
                 .collect();
-            bytes::Bytes::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::data(1, entries)))
+            Frame::from(build_daiet(&Endpoints::from_ids(1, 2), 5, &Repr::data(1, entries)))
         })
         .collect()
 }
@@ -33,6 +33,7 @@ fn bench_algorithm1(c: &mut Criterion) {
     let frames = make_frames(1000);
     let mut group = c.benchmark_group("algorithm1");
     group.throughput(Throughput::Elements(frames.len() as u64));
+    let pool = FramePool::new();
     group.bench_function("aggregate_1000_packets_of_10_pairs", |b| {
         b.iter(|| {
             let mut engine = DaietEngine::new(DaietConfig::default());
@@ -46,7 +47,7 @@ fn bench_algorithm1(c: &mut Criterion) {
             for f in &frames {
                 let parsed = parse(f.clone(), &ParserConfig::default()).unwrap();
                 let mut pkt = PacketCtx::new(PortId(0), parsed);
-                black_box(engine.invoke(&mut pkt, 1));
+                black_box(engine.invoke(&mut pkt, 1, &pool));
             }
         })
     });

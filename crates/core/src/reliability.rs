@@ -22,8 +22,8 @@
 //! plain redundancy goes, and the integration tests exercise exactness
 //! under duplication faults and under loss with redundancy.
 
+use daiet_wire::fnv::FnvHashMap;
 use daiet_wire::Ipv4Address;
-use std::collections::HashMap;
 
 /// Size of each per-sender sequence window, in packets. Power of two so
 /// the bitmap math stays cheap.
@@ -101,7 +101,7 @@ impl FlowWindow {
 /// Duplicate suppression across all flows of one switch.
 #[derive(Debug, Default)]
 pub struct DedupWindow {
-    flows: HashMap<(u16, Ipv4Address), FlowWindow>,
+    flows: FnvHashMap<(u16, Ipv4Address), FlowWindow>,
     /// Packets suppressed as duplicates.
     pub duplicates: u64,
 }

@@ -6,8 +6,8 @@
 //! results to the next node, avoiding a costly scan of the arrays"), a
 //! one-packet *spillover bucket* absorbing hash collisions, and a
 //! `remaining_children` counter armed by the controller. The paper's
-//! pseudocode maps to [`DaietEngine::process_data`] and
-//! [`DaietEngine::process_end`] below, line for line:
+//! pseudocode maps to [`DaietEngine`]'s internal `process_data` and
+//! `process_end` methods, line for line:
 //!
 //! ```text
 //! 1  header ← parseHeader(P)                      (dataplane parser)
@@ -37,15 +37,14 @@
 
 use crate::agg::AggFn;
 use crate::config::DaietConfig;
-use bytes::Bytes;
 use daiet_dataplane::pipeline::{ExternOutput, PacketCtx, SwitchExtern};
 use daiet_dataplane::register::RegisterArray;
-use daiet_netsim::PortId;
+use daiet_netsim::{Frame, FramePool, PortId};
 use daiet_wire::checksum::crc32;
-use daiet_wire::daiet::{Key, PacketFlags, PacketType, Pair, Repr};
-use daiet_wire::stack::{build_daiet, Endpoints};
+use daiet_wire::daiet::{Header, Key, PacketFlags, PacketType, Pair};
+use daiet_wire::stack::{build_daiet_into, Endpoints};
+use daiet_wire::fnv::FnvHashMap;
 use daiet_wire::udp::DAIET_PORT;
-use std::collections::HashMap;
 
 /// Static, controller-installed configuration of one tree on one switch.
 #[derive(Debug, Clone)]
@@ -76,6 +75,9 @@ struct TreeState {
     index_stack: Vec<u32>,
     /// Collision victims awaiting forwarding.
     spillover: Vec<Pair>,
+    /// Reused staging buffer for register flushes (allocation-free after
+    /// the first flush).
+    flush_buf: Vec<Pair>,
     remaining_children: u32,
     /// Sequence counter for frames this switch originates.
     next_seq: u32,
@@ -89,6 +91,7 @@ impl TreeState {
             occupied: vec![0u64; cells.div_ceil(64)],
             index_stack: Vec::with_capacity(cells),
             spillover: Vec::new(),
+            flush_buf: Vec::new(),
             remaining_children: cfg.children,
             next_seq: 0,
             cfg,
@@ -146,7 +149,7 @@ pub struct EngineStats {
 /// The aggregation extern: all trees configured on one switch.
 pub struct DaietEngine {
     config: DaietConfig,
-    trees: HashMap<u16, TreeState>,
+    trees: FnvHashMap<u16, TreeState>,
     stats: EngineStats,
     /// Duplicate suppression (reliability extension; `None` when the
     /// prototype-faithful configuration is used).
@@ -157,7 +160,7 @@ impl DaietEngine {
     /// An engine with no trees configured.
     pub fn new(config: DaietConfig) -> DaietEngine {
         let dedup = config.reliability.then(crate::reliability::DedupWindow::new);
-        DaietEngine { trees: HashMap::new(), stats: EngineStats::default(), config, dedup }
+        DaietEngine { trees: FnvHashMap::default(), stats: EngineStats::default(), config, dedup }
     }
 
     /// Packets suppressed as duplicates (0 without the extension).
@@ -199,17 +202,23 @@ impl DaietEngine {
     }
 
     /// Algorithm 1, lines 2–15. Returns emissions (spillover flushes) and
-    /// the operation count.
-    fn process_data(&mut self, tree_id: u16, entries: &[Pair]) -> (Vec<(PortId, Bytes)>, usize) {
+    /// the operation count. Entries are decoded lazily from the packet's
+    /// frame bytes — the data path never materializes an entry list.
+    fn process_data(
+        &mut self,
+        tree_id: u16,
+        entries: impl Iterator<Item = Pair>,
+        pool: &FramePool,
+    ) -> (Vec<(PortId, Frame)>, usize) {
         let spill_cap = self.config.spillover_capacity();
         let pairs_per_packet = self.config.pairs_per_packet;
         let tree = self.trees.get_mut(&tree_id).expect("caller checked tree exists");
         let mut emissions = Vec::new();
         let mut ops = 1; // preamble inspection
         self.stats.data_packets_in += 1;
-        self.stats.pairs_in += entries.len() as u64;
 
         for pair in entries {
+            self.stats.pairs_in += 1;
             // Line 5: idx ← Hash(pair.key).
             let idx = (crc32(&pair.key.0) as usize) % tree.keys.len();
             ops += 1; // hash
@@ -230,18 +239,22 @@ impl DaietEngine {
                 self.stats.pairs_aggregated += 1;
             } else {
                 // Lines 12–15: collision → spillover bucket.
-                tree.spillover.push(*pair);
+                tree.spillover.push(pair);
                 ops += 1;
                 self.stats.collisions += 1;
                 if tree.spillover.len() >= spill_cap {
-                    let pairs: Vec<Pair> = tree.spillover.drain(..).collect();
-                    emissions.extend(Self::emit_pairs(
+                    let mut pairs = std::mem::take(&mut tree.spillover);
+                    Self::emit_pairs(
                         tree,
-                        pairs,
+                        &pairs,
                         pairs_per_packet,
                         PacketFlags::SPILLOVER | PacketFlags::FROM_SWITCH,
                         &mut self.stats,
-                    ));
+                        pool,
+                        &mut emissions,
+                    );
+                    pairs.clear();
+                    tree.spillover = pairs; // keep the capacity
                     self.stats.spill_flushes += 1;
                     ops += 2;
                 }
@@ -251,7 +264,7 @@ impl DaietEngine {
     }
 
     /// Algorithm 1, lines 16–19.
-    fn process_end(&mut self, tree_id: u16) -> (Vec<(PortId, Bytes)>, usize) {
+    fn process_end(&mut self, tree_id: u16, pool: &FramePool) -> (Vec<(PortId, Frame)>, usize) {
         let pairs_per_packet = self.config.pairs_per_packet;
         let tree = self.trees.get_mut(&tree_id).expect("caller checked tree exists");
         let mut emissions = Vec::new();
@@ -272,46 +285,49 @@ impl DaietEngine {
         // are more likely to be aggregated if the next node is a network
         // device and has spare memory" (§4).
         if !tree.spillover.is_empty() {
-            let pairs: Vec<Pair> = tree.spillover.drain(..).collect();
-            emissions.extend(Self::emit_pairs(
+            let mut pairs = std::mem::take(&mut tree.spillover);
+            Self::emit_pairs(
                 tree,
-                pairs,
+                &pairs,
                 pairs_per_packet,
                 PacketFlags::SPILLOVER | PacketFlags::FROM_SWITCH,
                 &mut self.stats,
-            ));
+                pool,
+                &mut emissions,
+            );
+            pairs.clear();
+            tree.spillover = pairs;
         }
 
-        // Walk the index stack instead of scanning the arrays.
-        let mut pairs = Vec::with_capacity(tree.index_stack.len());
+        // Walk the index stack instead of scanning the arrays. The
+        // staging buffer is per-tree and reused across rounds.
+        let mut pairs = std::mem::take(&mut tree.flush_buf);
+        pairs.clear();
+        pairs.reserve(tree.index_stack.len());
         while let Some(idx) = tree.index_stack.pop() {
             let idx = idx as usize;
             pairs.push(Pair { key: Key(tree.keys.read(idx)), value: tree.values.read(idx) });
             tree.clear_occupied(idx);
             ops += 2;
         }
-        emissions.extend(Self::emit_pairs(
+        Self::emit_pairs(
             tree,
-            pairs,
+            &pairs,
             pairs_per_packet,
             PacketFlags::FROM_SWITCH,
             &mut self.stats,
-        ));
+            pool,
+            &mut emissions,
+        );
+        tree.flush_buf = pairs;
 
         // Propagate the END and re-arm for the next round (iterative
         // workloads run one round per superstep/training step).
-        let end = Repr {
-            packet_type: PacketType::End,
-            tree_id: tree.cfg.tree_id,
-            flags: PacketFlags::FROM_SWITCH,
-            seq: tree.next_seq,
-            entries: Vec::new(),
-        };
+        let end = Header::end(tree.cfg.tree_id, PacketFlags::FROM_SWITCH, tree.next_seq);
         tree.next_seq += 1;
-        emissions.push((
-            tree.cfg.out_port,
-            Bytes::from(build_daiet(&tree.cfg.endpoints, DAIET_PORT, &end)),
-        ));
+        let mut buf = pool.buffer();
+        build_daiet_into(&mut buf, &tree.cfg.endpoints, DAIET_PORT, &end, &[]);
+        emissions.push((tree.cfg.out_port, pool.frame(buf)));
         self.stats.frames_out += 1;
         tree.remaining_children = tree.cfg.children;
         self.stats.flushes += 1;
@@ -320,38 +336,34 @@ impl DaietEngine {
         (emissions, ops)
     }
 
-    /// Serializes `pairs` into maximal DATA packets toward the parent.
+    /// Serializes `pairs` into maximal DATA packets toward the parent,
+    /// straight from the slice into pooled buffers (no per-packet entry
+    /// list, no staging copy).
+    #[allow(clippy::too_many_arguments)]
     fn emit_pairs(
         tree: &mut TreeState,
-        pairs: Vec<Pair>,
+        pairs: &[Pair],
         pairs_per_packet: usize,
         flags: PacketFlags,
         stats: &mut EngineStats,
-    ) -> Vec<(PortId, Bytes)> {
-        let mut out = Vec::with_capacity(pairs.len().div_ceil(pairs_per_packet.max(1)));
+        pool: &FramePool,
+        out: &mut Vec<(PortId, Frame)>,
+    ) {
         for chunk in pairs.chunks(pairs_per_packet.max(1)) {
-            let repr = Repr {
-                packet_type: PacketType::Data,
-                tree_id: tree.cfg.tree_id,
-                flags,
-                seq: tree.next_seq,
-                entries: chunk.to_vec(),
-            };
+            let hdr = Header::data(tree.cfg.tree_id, flags, tree.next_seq);
             tree.next_seq += 1;
             stats.frames_out += 1;
             stats.pairs_out += chunk.len() as u64;
-            out.push((
-                tree.cfg.out_port,
-                Bytes::from(build_daiet(&tree.cfg.endpoints, DAIET_PORT, &repr)),
-            ));
+            let mut buf = pool.buffer();
+            build_daiet_into(&mut buf, &tree.cfg.endpoints, DAIET_PORT, &hdr, chunk);
+            out.push((tree.cfg.out_port, pool.frame(buf)));
         }
-        out
     }
 }
 
 impl SwitchExtern for DaietEngine {
-    fn invoke(&mut self, pkt: &mut PacketCtx, arg: u32) -> ExternOutput {
-        let Some(daiet) = pkt.parsed.daiet.clone() else {
+    fn invoke(&mut self, pkt: &mut PacketCtx, arg: u32, pool: &FramePool) -> ExternOutput {
+        let Some(daiet) = pkt.parsed.daiet else {
             // Truncated or non-DAIET packet steered here by mistake: let
             // the later forwarding stages handle it untouched.
             return ExternOutput { emit: Vec::new(), consume: false, ops: 1 };
@@ -374,8 +386,10 @@ impl SwitchExtern for DaietEngine {
         }
 
         let (emit, ops) = match daiet.packet_type {
-            PacketType::Data => self.process_data(daiet.tree_id, &daiet.entries),
-            PacketType::End => self.process_end(daiet.tree_id),
+            PacketType::Data => {
+                self.process_data(daiet.tree_id, pkt.parsed.daiet_pairs(), pool)
+            }
+            PacketType::End => self.process_end(daiet.tree_id, pool),
             // NACKs (reliability extension) and unknown types pass through
             // toward the reducer/hosts.
             PacketType::Nack | PacketType::Unknown(_) => {
@@ -394,6 +408,8 @@ impl SwitchExtern for DaietEngine {
 mod tests {
     use super::*;
     use daiet_dataplane::parser::{parse, ParserConfig};
+    use daiet_wire::daiet::Repr;
+    use daiet_wire::stack::build_daiet;
 
     fn engine(cells: usize, children: u32) -> DaietEngine {
         let mut e = DaietEngine::new(DaietConfig {
@@ -416,10 +432,10 @@ mod tests {
 
     /// Runs a repr through the engine via the SwitchExtern interface.
     fn drive(e: &mut DaietEngine, repr: &Repr) -> ExternOutput {
-        let frame = Bytes::from(build_daiet(&Endpoints::from_ids(1, 200), 5, repr));
+        let frame = Frame::from(build_daiet(&Endpoints::from_ids(1, 200), 5, repr));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
         let mut pkt = PacketCtx::new(PortId(0), parsed);
-        e.invoke(&mut pkt, u32::from(repr.tree_id))
+        e.invoke(&mut pkt, u32::from(repr.tree_id), &FramePool::new())
     }
 
     /// Parses frames emitted by the engine back into reprs.
@@ -428,7 +444,7 @@ mod tests {
             .iter()
             .map(|(_, f)| {
                 let parsed = parse(f.clone(), &ParserConfig::default()).unwrap();
-                parsed.daiet.expect("engine emits DAIET frames")
+                parsed.daiet_repr().expect("engine emits DAIET frames")
             })
             .collect()
     }

@@ -12,11 +12,17 @@
 
 use crate::agg::AggFn;
 use crate::config::DaietConfig;
-use bytes::Bytes;
-use daiet_netsim::{Context, Node, PortId, SimDuration};
-use daiet_wire::daiet::{Key, PacketType, Pair, Repr};
-use daiet_wire::stack::{build_daiet, Endpoints, Parsed, Transport};
-use std::collections::HashMap;
+use daiet_dataplane::parser::{parse, ParsedPacket, ParserConfig};
+use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimDuration};
+use daiet_wire::daiet::{self, Header, Key, PacketFlags, PacketType, Pair, Repr};
+use daiet_wire::fnv::FnvHashMap;
+use daiet_wire::stack::{build_daiet_into, Endpoints};
+
+/// Parser settings for an end host NIC stack: checksums verified, but no
+/// parse-depth limit (hosts are CPUs, not line-rate parsers).
+fn host_parser_config() -> ParserConfig {
+    ParserConfig { max_parse_bytes: usize::MAX, verify_checksums: true }
+}
 
 /// Splits a partition of pairs into DAIET packets.
 #[derive(Debug, Clone)]
@@ -38,6 +44,27 @@ impl Packetizer {
         self.packets_from_seq(tree_id, pairs, 0).0
     }
 
+    /// The packetization policy, in one place: calls `f` once per packet
+    /// with its preamble and entry slice (empty for the trailing END),
+    /// numbering sequence from `start_seq`; returns the next free
+    /// sequence number. Both the owned-[`Repr`] and the pooled-frame
+    /// paths drive this, so they cannot drift apart.
+    fn each_packet(
+        &self,
+        tree_id: u16,
+        pairs: &[Pair],
+        start_seq: u32,
+        mut f: impl FnMut(&Header, &[Pair]),
+    ) -> u32 {
+        let mut seq = start_seq;
+        for chunk in pairs.chunks(self.pairs_per_packet) {
+            f(&Header::data(tree_id, PacketFlags::empty(), seq), chunk);
+            seq += 1;
+        }
+        f(&Header::end(tree_id, PacketFlags::empty(), seq), &[]);
+        seq + 1
+    }
+
     /// Like [`Packetizer::packets`] but numbering from `start_seq`,
     /// returning the next free sequence number. Iterative senders running
     /// under the reliability extension must keep sequence numbers
@@ -49,32 +76,37 @@ impl Packetizer {
         start_seq: u32,
     ) -> (Vec<Repr>, u32) {
         let mut out = Vec::with_capacity(pairs.len().div_ceil(self.pairs_per_packet) + 1);
-        let mut seq = start_seq;
-        for chunk in pairs.chunks(self.pairs_per_packet) {
-            let mut repr = Repr::data(tree_id, chunk.to_vec());
-            repr.seq = seq;
-            seq += 1;
-            out.push(repr);
-        }
-        let mut end = Repr::end(tree_id);
-        end.seq = seq;
-        seq += 1;
-        out.push(end);
-        (out, seq)
+        let next = self.each_packet(tree_id, pairs, start_seq, |hdr, chunk| {
+            out.push(Repr {
+                packet_type: hdr.packet_type,
+                tree_id: hdr.tree_id,
+                flags: hdr.flags,
+                seq: hdr.seq,
+                entries: chunk.to_vec(),
+            });
+        });
+        (out, next)
     }
 
-    /// Like [`Packetizer::packets`] but fully framed for the wire.
+    /// Like [`Packetizer::packets`] but fully framed for the wire, with
+    /// every frame serialized straight into a pooled buffer — the
+    /// zero-copy path senders use (no intermediate `Repr`s or entry
+    /// lists).
     pub fn frames(
         &self,
         tree_id: u16,
         pairs: &[Pair],
         endpoints: &Endpoints,
         src_port: u16,
-    ) -> Vec<Bytes> {
-        self.packets(tree_id, pairs)
-            .iter()
-            .map(|r| Bytes::from(build_daiet(endpoints, src_port, r)))
-            .collect()
+        pool: &FramePool,
+    ) -> Vec<Frame> {
+        let mut out = Vec::with_capacity(pairs.len().div_ceil(self.pairs_per_packet) + 1);
+        self.each_packet(tree_id, pairs, 0, |hdr, chunk| {
+            let mut buf = pool.buffer();
+            build_daiet_into(&mut buf, endpoints, src_port, hdr, chunk);
+            out.push(pool.frame(buf));
+        });
+        out
     }
 }
 
@@ -104,7 +136,7 @@ pub struct Collector {
     agg: AggFn,
     expected_ends: u32,
     ends_seen: u32,
-    pairs: HashMap<Key, u32>,
+    pairs: FnvHashMap<Key, u32>,
     stats: CollectorStats,
 }
 
@@ -117,7 +149,7 @@ impl Collector {
             agg,
             expected_ends,
             ends_seen: 0,
-            pairs: HashMap::new(),
+            pairs: FnvHashMap::default(),
             stats: CollectorStats::default(),
         }
     }
@@ -125,15 +157,22 @@ impl Collector {
     /// Feeds one DAIET packet; returns `true` when the partition is
     /// complete (all ENDs seen).
     pub fn on_packet(&mut self, repr: &Repr) -> bool {
-        self.stats.app_bytes += repr.buffer_len() as u64;
-        match repr.packet_type {
+        self.on_parts(&repr.header(), repr.entries.iter().copied())
+    }
+
+    /// Feeds one DAIET packet as preamble + entry iterator — the
+    /// allocation-free form [`ReducerHost`] drives straight from frame
+    /// bytes. Returns `true` when the partition is complete.
+    pub fn on_parts(&mut self, hdr: &Header, entries: impl Iterator<Item = Pair>) -> bool {
+        match hdr.packet_type {
             PacketType::Data => {
                 self.stats.data_packets += 1;
-                if repr.flags.contains(daiet_wire::daiet::PacketFlags::SPILLOVER) {
+                if hdr.flags.contains(PacketFlags::SPILLOVER) {
                     self.stats.spill_packets += 1;
                 }
-                self.stats.pairs_received += repr.entries.len() as u64;
-                for pair in &repr.entries {
+                let mut n = 0u64;
+                for pair in entries {
+                    n += 1;
                     match self.pairs.entry(pair.key) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
                             let merged = self.agg.apply(*e.get(), pair.value);
@@ -145,12 +184,17 @@ impl Collector {
                         }
                     }
                 }
+                self.stats.pairs_received += n;
+                self.stats.app_bytes += Header::wire_len(n as usize) as u64;
             }
             PacketType::End => {
+                self.stats.app_bytes += daiet::HEADER_LEN as u64;
                 self.stats.end_packets += 1;
                 self.ends_seen += 1;
             }
-            PacketType::Nack | PacketType::Unknown(_) => {}
+            PacketType::Nack | PacketType::Unknown(_) => {
+                self.stats.app_bytes += daiet::HEADER_LEN as u64;
+            }
         }
         self.is_complete()
     }
@@ -210,7 +254,7 @@ pub struct SenderHost {
     packetizer: Packetizer,
     /// Pace between frames (keeps egress queues shallow in examples).
     pub gap: SimDuration,
-    queue: Vec<Bytes>,
+    queue: Vec<Frame>,
     next: usize,
 }
 
@@ -236,12 +280,16 @@ impl SenderHost {
 }
 
 impl Node for SenderHost {
-    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {}
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
 
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.queue = self
-            .packetizer
-            .frames(self.tree_id, &self.pairs, &self.endpoints, daiet_wire::udp::DAIET_PORT);
+        self.queue = self.packetizer.frames(
+            self.tree_id,
+            &self.pairs,
+            &self.endpoints,
+            daiet_wire::udp::DAIET_PORT,
+            ctx.pool(),
+        );
         ctx.schedule(self.gap, 0);
     }
 
@@ -294,18 +342,20 @@ impl ReducerHost {
 }
 
 impl Node for ReducerHost {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Bytes) {
-        if let Ok(parsed) = Parsed::dissect(&frame) {
-            if let Transport::Daiet { daiet, .. } = parsed.transport {
-                if let Some(dedup) = self.dedup.as_mut() {
-                    if !dedup.accept(daiet.tree_id, parsed.ip.src_addr, daiet.seq) {
-                        return;
-                    }
-                }
-                if self.collector.on_packet(&daiet) && self.completed_at.is_none() {
-                    self.completed_at = Some(ctx.now());
-                }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        let Ok(parsed): Result<ParsedPacket, _> = parse(frame, &host_parser_config()) else {
+            return; // checksum failure or non-IP noise: a NIC would drop it
+        };
+        let (Some(hdr), Some(ip)) = (parsed.daiet, parsed.ip.as_ref()) else {
+            return; // not DAIET traffic
+        };
+        if let Some(dedup) = self.dedup.as_mut() {
+            if !dedup.accept(hdr.tree_id, ip.src_addr, hdr.seq) {
+                return;
             }
+        }
+        if self.collector.on_parts(&hdr, parsed.daiet_pairs()) && self.completed_at.is_none() {
+            self.completed_at = Some(ctx.now());
         }
     }
 
@@ -352,11 +402,14 @@ mod tests {
     fn frames_parse_back() {
         let p = Packetizer::new(&DaietConfig::default());
         let ep = Endpoints::from_ids(7, 8);
-        let frames = p.frames(2, &npairs(12), &ep, 777);
+        let pool = FramePool::new();
+        let frames = p.frames(2, &npairs(12), &ep, 777, &pool);
         assert_eq!(frames.len(), 3);
-        for f in frames {
-            let parsed = Parsed::dissect(&f).unwrap();
-            assert!(matches!(parsed.transport, Transport::Daiet { .. }));
+        // Frames match the Repr-based packetization exactly.
+        let reprs = p.packets(2, &npairs(12));
+        for (f, repr) in frames.iter().zip(&reprs) {
+            let parsed = parse(f.clone(), &host_parser_config()).unwrap();
+            assert_eq!(parsed.daiet_repr().as_ref(), Some(repr));
         }
     }
 

@@ -7,7 +7,8 @@
 //! declared entry list extends beyond the parse budget is flagged
 //! [`ParsedPacket::daiet_truncated`] and must travel unaggregated.
 
-use bytes::Bytes;
+use daiet_netsim::Frame;
+use daiet_wire::daiet::Pair;
 use daiet_wire::{daiet, ethernet, ipv4, tcpseg, udp, Error as WireError};
 
 /// Parser configuration.
@@ -50,11 +51,15 @@ impl From<WireError> for ParseError {
 }
 
 /// Headers extracted from one packet, up to the parse budget.
+///
+/// Parsing allocates nothing: the DAIET preamble is a `Copy`
+/// [`daiet::Header`], and entries are decoded on demand from the original
+/// frame bytes by [`ParsedPacket::daiet_pairs`].
 #[derive(Debug, Clone)]
 pub struct ParsedPacket {
     /// The original, unmodified frame (needed to forward without
     /// re-serialization).
-    pub frame: Bytes,
+    pub frame: Frame,
     /// Link-layer header.
     pub eth: ethernet::Repr,
     /// Network-layer header, if IPv4.
@@ -63,10 +68,16 @@ pub struct ParsedPacket {
     pub udp: Option<udp::Repr>,
     /// TCP header, if present.
     pub tcp: Option<tcpseg::Repr>,
-    /// DAIET preamble + entries, if the packet is DAIET traffic and the
-    /// preamble fits in the parse budget. Entries are parsed only as far
-    /// as the budget allows; see [`ParsedPacket::daiet_truncated`].
-    pub daiet: Option<daiet::Repr>,
+    /// DAIET preamble, if the packet is DAIET traffic and the preamble
+    /// fits in the parse budget. Entries are reachable through
+    /// [`ParsedPacket::daiet_pairs`] only as far as the budget allows;
+    /// see [`ParsedPacket::daiet_truncated`].
+    pub daiet: Option<daiet::Header>,
+    /// Number of entries the packet declares (0 unless `daiet` is set).
+    pub daiet_entries: usize,
+    /// Byte offset of the DAIET payload within `frame` (0 unless `daiet`
+    /// is set).
+    daiet_off: usize,
     /// True when the DAIET packet declares more entries than the parser
     /// could reach — the switch must treat it as opaque.
     pub daiet_truncated: bool,
@@ -79,12 +90,38 @@ impl ParsedPacket {
     pub fn daiet_tree(&self) -> Option<u16> {
         self.daiet.as_ref().map(|d| d.tree_id)
     }
+
+    /// Iterates the DAIET key-value entries, decoding them straight from
+    /// the frame bytes (no allocation). Empty unless [`Self::daiet`] is
+    /// set.
+    pub fn daiet_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
+        // Decode through the wire crate's packet view so the entry
+        // layout has a single source of truth.
+        let packet = daiet::Packet::new_unchecked(&self.frame[self.daiet_off..]);
+        (0..self.daiet_entries)
+            .map(move |i| packet.entry(i).expect("entry count checked at parse time"))
+    }
+
+    /// Materializes the DAIET packet as an owned [`daiet::Repr`]
+    /// (allocates; test and diagnostic convenience — hot paths use
+    /// [`Self::daiet`] + [`Self::daiet_pairs`]).
+    pub fn daiet_repr(&self) -> Option<daiet::Repr> {
+        let hdr = self.daiet?;
+        Some(daiet::Repr {
+            packet_type: hdr.packet_type,
+            tree_id: hdr.tree_id,
+            flags: hdr.flags,
+            seq: hdr.seq,
+            entries: self.daiet_pairs().collect(),
+        })
+    }
 }
 
 /// Parses `frame` under `cfg`. This is the switch ingress parser: errors
 /// mean the packet is dropped and counted, exactly like a malformed packet
-/// hitting a real pipeline.
-pub fn parse(frame: Bytes, cfg: &ParserConfig) -> Result<ParsedPacket, ParseError> {
+/// hitting a real pipeline. The frame is moved, not copied — the returned
+/// [`ParsedPacket`] shares its buffer.
+pub fn parse(frame: Frame, cfg: &ParserConfig) -> Result<ParsedPacket, ParseError> {
     let eth_frame = ethernet::Frame::new_checked(frame.as_ref())?;
     let eth = ethernet::Repr::parse(&eth_frame)?;
     let mut consumed = ethernet::HEADER_LEN;
@@ -112,14 +149,20 @@ pub fn parse(frame: Bytes, cfg: &ParserConfig) -> Result<ParsedPacket, ParseErro
         udp: None,
         tcp: None,
         daiet: None,
+        daiet_entries: 0,
+        daiet_off: 0,
         daiet_truncated: false,
         parsed_bytes: consumed,
-        frame: frame.clone(),
+        frame,
     };
 
+    // Transport headers must lie inside the IP packet's declared length —
+    // trailing link-layer padding (or crafted tails) beyond `total_len`
+    // is not parseable payload.
+    let ip_end = consumed + ip.payload_len;
     match ip.protocol {
         ipv4::Protocol::Udp => {
-            let dgram = udp::Datagram::new_checked(ip_packet.payload())?;
+            let dgram = udp::Datagram::new_checked(&parsed.frame[consumed..ip_end])?;
             if cfg.verify_checksums && !dgram.verify_checksum(ip.src_addr, ip.dst_addr) {
                 return Err(ParseError::Checksum);
             }
@@ -141,14 +184,16 @@ pub fn parse(frame: Bytes, cfg: &ParserConfig) -> Result<ParsedPacket, ParseErro
                         parsed.daiet_truncated = true;
                         consumed += daiet::HEADER_LEN + visible * daiet::ENTRY_LEN;
                     } else {
-                        parsed.daiet = Some(daiet::Repr::parse(&packet)?);
+                        parsed.daiet = Some(daiet::Header::parse(&packet));
+                        parsed.daiet_entries = declared;
+                        parsed.daiet_off = consumed;
                         consumed += daiet::HEADER_LEN + declared * daiet::ENTRY_LEN;
                     }
                 }
             }
         }
         ipv4::Protocol::Tcp => {
-            let seg = tcpseg::Segment::new_checked(ip_packet.payload())?;
+            let seg = tcpseg::Segment::new_checked(&parsed.frame[consumed..ip_end])?;
             // TCP checksum is verified at hosts; switches forward on the
             // 5-tuple without touching the payload.
             let tcp_repr = tcpseg::Repr::parse(&seg, None)?;
@@ -181,9 +226,10 @@ mod tests {
     #[test]
     fn parses_daiet_within_budget() {
         let repr = daiet::Repr::data(5, pairs(10));
-        let frame = Bytes::from(build_daiet(&ep(), 100, &repr));
+        let frame = Frame::from(build_daiet(&ep(), 100, &repr));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
-        assert_eq!(parsed.daiet.as_ref().unwrap().entries.len(), 10);
+        assert_eq!(parsed.daiet_entries, 10);
+        assert_eq!(parsed.daiet_pairs().count(), 10);
         assert!(!parsed.daiet_truncated);
         assert_eq!(parsed.daiet_tree(), Some(5));
         // 14 + 20 + 8 + 10 + 200 = 252 bytes consumed.
@@ -194,21 +240,22 @@ mod tests {
     fn oversized_entry_list_is_truncated() {
         // 12 entries push the frame to 292 bytes — beyond a 256 B budget.
         let repr = daiet::Repr::data(5, pairs(12));
-        let frame = Bytes::from(build_daiet(&ep(), 100, &repr));
+        let frame = Frame::from(build_daiet(&ep(), 100, &repr));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
         assert!(parsed.daiet_truncated);
         assert!(parsed.daiet.is_none());
         // A deeper parser accepts the same packet.
         let deep = ParserConfig { max_parse_bytes: 512, ..Default::default() };
-        let frame = Bytes::from(build_daiet(&ep(), 100, &daiet::Repr::data(5, pairs(12))));
+        let frame = Frame::from(build_daiet(&ep(), 100, &daiet::Repr::data(5, pairs(12))));
         let parsed = parse(frame, &deep).unwrap();
         assert!(!parsed.daiet_truncated);
-        assert_eq!(parsed.daiet.unwrap().entries.len(), 12);
+        assert_eq!(parsed.daiet_entries, 12);
+        assert_eq!(parsed.daiet_repr().unwrap().entries.len(), 12);
     }
 
     #[test]
     fn non_daiet_udp_is_plain_udp() {
-        let frame = Bytes::from(build_udp(&ep(), 5000, 6000, b"hello"));
+        let frame = Frame::from(build_udp(&ep(), 5000, 6000, b"hello"));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
         assert!(parsed.udp.is_some());
         assert!(parsed.daiet.is_none());
@@ -226,7 +273,7 @@ mod tests {
             window: 8192,
             payload_len: 3,
         };
-        let frame = Bytes::from(build_tcp(&ep(), &repr, b"abc"));
+        let frame = Frame::from(build_tcp(&ep(), &repr, b"abc"));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
         assert_eq!(parsed.tcp.unwrap().dst_port, 80);
         assert_eq!(parsed.parsed_bytes, 14 + 20 + 20);
@@ -237,7 +284,7 @@ mod tests {
         let mut bytes = build_udp(&ep(), 1, 2, b"x");
         bytes[22] ^= 0xff; // inside the IPv4 header
         assert_eq!(
-            parse(Bytes::from(bytes), &ParserConfig::default()).unwrap_err(),
+            parse(Frame::from(bytes), &ParserConfig::default()).unwrap_err(),
             ParseError::Checksum
         );
     }
@@ -248,7 +295,7 @@ mod tests {
         let mut bytes = build_daiet(&ep(), 1, &repr);
         let last = bytes.len() - 1;
         bytes[last] ^= 0x10;
-        let frame = Bytes::from(bytes);
+        let frame = Frame::from(bytes);
         assert_eq!(
             parse(frame.clone(), &ParserConfig::default()).unwrap_err(),
             ParseError::Checksum
@@ -260,8 +307,29 @@ mod tests {
     }
 
     #[test]
+    fn transport_beyond_ip_total_len_is_rejected() {
+        // A frame whose UDP length field claims bytes past the IP
+        // packet's declared total_len: the datagram must be bounded by
+        // the IP payload, not by the physical frame tail.
+        let mut bytes = build_udp(&ep(), 1000, 2000, b"xy");
+        // Append a trailing tail and enlarge the UDP length field to
+        // swallow it, zeroing the UDP checksum (0 = "not computed").
+        bytes.extend_from_slice(&[0xAA; 64]);
+        let udp_off = 14 + 20;
+        let claimed = (8 + 2 + 64u16).to_be_bytes();
+        bytes[udp_off + 4..udp_off + 6].copy_from_slice(&claimed);
+        bytes[udp_off + 6] = 0;
+        bytes[udp_off + 7] = 0;
+        let lax = ParserConfig { verify_checksums: false, ..Default::default() };
+        assert_eq!(
+            parse(Frame::from(bytes), &lax).unwrap_err(),
+            ParseError::Malformed
+        );
+    }
+
+    #[test]
     fn runt_frame_is_malformed() {
-        let frame = Bytes::from_static(&[0u8; 10]);
+        let frame = Frame::from_slice(&[0u8; 10]);
         assert_eq!(
             parse(frame, &ParserConfig::default()).unwrap_err(),
             ParseError::Malformed
@@ -274,7 +342,7 @@ mod tests {
         bytes[12] = 0x86;
         bytes[13] = 0xDD; // IPv6 ethertype
         assert_eq!(
-            parse(Bytes::from(bytes), &ParserConfig::default()).unwrap_err(),
+            parse(Frame::from(bytes), &ParserConfig::default()).unwrap_err(),
             ParseError::Unsupported
         );
     }

@@ -12,8 +12,7 @@
 use crate::parser::ParsedPacket;
 use crate::resources::{ResourceError, Resources, SramTracker};
 use crate::table::Table;
-use bytes::Bytes;
-use daiet_netsim::PortId;
+use daiet_netsim::{Frame, FramePool, PortId};
 
 /// Identifies a registered extern within one switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,7 +108,7 @@ pub enum ActionSpec {
 }
 
 /// Frames an extern wants to transmit, tagged with their egress port.
-pub type ExternEmission = (PortId, Bytes);
+pub type ExternEmission = (PortId, Frame);
 
 /// Result of one extern invocation.
 #[derive(Debug, Default)]
@@ -128,8 +127,10 @@ pub struct ExternOutput {
 /// aggregation engine implements this). The `Any` supertrait lets the
 /// control plane recover the concrete type for inspection after a run.
 pub trait SwitchExtern: std::any::Any {
-    /// Handles a packet directed to this extern by an [`ActionSpec::Invoke`].
-    fn invoke(&mut self, pkt: &mut PacketCtx, arg: u32) -> ExternOutput;
+    /// Handles a packet directed to this extern by an
+    /// [`ActionSpec::Invoke`]. Frames the extern emits should be built in
+    /// buffers taken from `pool` so their storage recycles.
+    fn invoke(&mut self, pkt: &mut PacketCtx, arg: u32, pool: &FramePool) -> ExternOutput;
 
     /// Diagnostic name.
     fn name(&self) -> String {
@@ -211,6 +212,7 @@ impl Pipeline {
         &mut self,
         pkt: &mut PacketCtx,
         externs: &mut [Box<dyn SwitchExtern>],
+        pool: &FramePool,
     ) -> PipelineVerdict {
         let mut emissions = Vec::new();
         let mut recirculate = false;
@@ -242,7 +244,7 @@ impl Pipeline {
                         let e = externs
                             .get_mut(ext.0)
                             .unwrap_or_else(|| panic!("extern {} not registered", ext.0));
-                        let out = e.invoke(pkt, arg);
+                        let out = e.invoke(pkt, arg, pool);
                         ops += out.ops;
                         emissions.extend(out.emit);
                         if out.consume {
@@ -273,7 +275,7 @@ mod tests {
     use daiet_wire::stack::{build_udp, Endpoints};
 
     fn udp_pkt(dst: u32, dport: u16) -> PacketCtx {
-        let frame = Bytes::from(build_udp(&Endpoints::from_ids(1, dst), 999, dport, b"pp"));
+        let frame = Frame::from(build_udp(&Endpoints::from_ids(1, dst), 999, dport, b"pp"));
         PacketCtx::new(PortId(0), parse(frame, &ParserConfig::default()).unwrap())
     }
 
@@ -293,11 +295,11 @@ mod tests {
     }
 
     impl SwitchExtern for CountingExtern {
-        fn invoke(&mut self, pkt: &mut PacketCtx, arg: u32) -> ExternOutput {
+        fn invoke(&mut self, pkt: &mut PacketCtx, arg: u32, pool: &FramePool) -> ExternOutput {
             self.invocations += 1;
             pkt.set_meta(0, arg);
             ExternOutput {
-                emit: vec![(PortId(5), Bytes::from_static(b"emitted"))],
+                emit: vec![(PortId(5), pool.copy_from_slice(b"emitted"))],
                 consume: self.consume,
                 ops: 3,
             }
@@ -315,7 +317,7 @@ mod tests {
             })
             .unwrap();
         let mut pkt = udp_pkt(2, 50);
-        let v = p.execute(&mut pkt, &mut []);
+        let v = p.execute(&mut pkt, &mut [], &FramePool::new());
         assert_eq!(v.egress, Egress::Port(PortId(4)));
         assert!(v.ops >= 2);
     }
@@ -325,7 +327,7 @@ mod tests {
         let mut p = Pipeline::new(Resources::tiny());
         p.add_table(0, l2_table(8)).unwrap();
         let mut pkt = udp_pkt(9, 50);
-        let v = p.execute(&mut pkt, &mut []);
+        let v = p.execute(&mut pkt, &mut [], &FramePool::new());
         assert_eq!(v.egress, Egress::Flood);
     }
 
@@ -347,7 +349,7 @@ mod tests {
             .unwrap();
         let h1 = p.add_table(1, l2_table(8)).unwrap();
         let mut pkt = udp_pkt(2, 666);
-        let v = p.execute(&mut pkt, &mut []);
+        let v = p.execute(&mut pkt, &mut [], &FramePool::new());
         assert_eq!(v.egress, Egress::Drop);
         // The stage-1 table never ran.
         assert_eq!(p.table_mut(h1).stats(), (0, 0));
@@ -372,7 +374,7 @@ mod tests {
         let mut externs: Vec<Box<dyn SwitchExtern>> =
             vec![Box::new(CountingExtern { invocations: 0, consume: true })];
         let mut pkt = udp_pkt(2, 42);
-        let v = p.execute(&mut pkt, &mut externs);
+        let v = p.execute(&mut pkt, &mut externs, &FramePool::new());
         assert_eq!(v.egress, Egress::Consumed);
         assert_eq!(v.emissions.len(), 1);
         assert_eq!(v.emissions[0].0, PortId(5));
@@ -406,7 +408,7 @@ mod tests {
             })
             .unwrap();
         let mut pkt = udp_pkt(2, 1);
-        let v = p.execute(&mut pkt, &mut []);
+        let v = p.execute(&mut pkt, &mut [], &FramePool::new());
         assert_eq!(v.egress, Egress::Port(PortId(1)));
     }
 
@@ -422,7 +424,7 @@ mod tests {
         )).unwrap();
         let _ = h;
         let mut pkt = udp_pkt(2, 5);
-        let v = p.execute(&mut pkt, &mut []);
+        let v = p.execute(&mut pkt, &mut [], &FramePool::new());
         assert!(v.recirculate);
         assert_eq!(v.egress, Egress::Unset);
     }
@@ -443,7 +445,7 @@ mod tests {
         p.add_table(0, l2_table(4)).unwrap();
         p.add_table(1, l2_table(4)).unwrap();
         let mut pkt = udp_pkt(2, 1);
-        p.execute(&mut pkt, &mut []);
+        p.execute(&mut pkt, &mut [], &FramePool::new());
         // Two lookups, two flood decisions (default action each stage).
         assert_eq!(pkt.ops, 4);
     }
@@ -461,6 +463,6 @@ mod tests {
         )).unwrap();
         let _ = h;
         let mut pkt = udp_pkt(2, 5);
-        p.execute(&mut pkt, &mut []);
+        p.execute(&mut pkt, &mut [], &FramePool::new());
     }
 }

@@ -3,8 +3,7 @@
 
 use crate::parser::{parse, ParseError, ParserConfig};
 use crate::pipeline::{Egress, ExternId, PacketCtx, Pipeline, SwitchExtern};
-use bytes::Bytes;
-use daiet_netsim::{Context, Node, PortId};
+use daiet_netsim::{Context, Frame, FramePool, Node, PortId};
 
 /// Counters a switch maintains about its own processing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +47,8 @@ pub struct Switch {
     /// Ports attached (filled lazily from the context at packet time;
     /// needed to expand floods).
     port_count: usize,
+    /// Reused output staging buffer for [`Node::on_packet`].
+    scratch: Vec<(PortId, Frame)>,
 }
 
 impl Switch {
@@ -64,6 +65,7 @@ impl Switch {
             externs: Vec::new(),
             stats: SwitchStats::default(),
             port_count: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -101,9 +103,31 @@ impl Switch {
     }
 
     /// Processes one frame, returning the frames to transmit as
-    /// `(port, frame)` pairs. Exposed for unit tests and the quickstart
-    /// example; [`Node::on_packet`] is a thin wrapper.
-    pub fn process(&mut self, in_port: PortId, frame: Bytes, port_count: usize) -> Vec<(PortId, Bytes)> {
+    /// `(port, frame)` pairs. Convenience wrapper over
+    /// [`Switch::process_into`] for unit tests and the quickstart example.
+    pub fn process(
+        &mut self,
+        in_port: PortId,
+        frame: Frame,
+        port_count: usize,
+        pool: &FramePool,
+    ) -> Vec<(PortId, Frame)> {
+        let mut outputs = Vec::new();
+        self.process_into(in_port, frame, port_count, pool, &mut outputs);
+        outputs
+    }
+
+    /// Processes one frame, appending the frames to transmit to `out` —
+    /// the allocation-free core [`Node::on_packet`] drives with a reused
+    /// staging buffer.
+    pub fn process_into(
+        &mut self,
+        in_port: PortId,
+        frame: Frame,
+        port_count: usize,
+        pool: &FramePool,
+        out: &mut Vec<(PortId, Frame)>,
+    ) {
         self.stats.packets_in += 1;
         self.port_count = port_count.max(self.port_count);
 
@@ -111,22 +135,21 @@ impl Switch {
             Ok(p) => p,
             Err(ParseError::Checksum) => {
                 self.stats.checksum_drops += 1;
-                return Vec::new();
+                return;
             }
             Err(_) => {
                 self.stats.parse_errors += 1;
-                return Vec::new();
+                return;
             }
         };
 
         let mut pkt = PacketCtx::new(in_port, parsed);
-        let mut outputs = Vec::new();
         let max_recirc = self.pipeline.resources().max_recirculations;
 
         loop {
-            let verdict = self.pipeline.execute(&mut pkt, &mut self.externs);
+            let verdict = self.pipeline.execute(&mut pkt, &mut self.externs, pool);
             self.stats.extern_emissions += verdict.emissions.len() as u64;
-            outputs.extend(verdict.emissions);
+            out.extend(verdict.emissions);
 
             if verdict.recirculate && pkt.recircs < max_recirc {
                 pkt.recircs += 1;
@@ -147,20 +170,19 @@ impl Switch {
         match pkt.egress {
             Egress::Port(port) => {
                 self.stats.forwarded += 1;
-                outputs.push((port, pkt.parsed.frame));
+                out.push((port, pkt.parsed.frame));
             }
             Egress::Flood => {
                 self.stats.forwarded += 1;
                 for p in 0..self.port_count {
                     if PortId(p) != in_port {
-                        outputs.push((PortId(p), pkt.parsed.frame.clone()));
+                        out.push((PortId(p), pkt.parsed.frame.clone()));
                     }
                 }
             }
             Egress::Consumed => self.stats.consumed += 1,
             Egress::Drop | Egress::Unset => self.stats.pipeline_drops += 1,
         }
-        outputs
     }
 }
 
@@ -175,11 +197,14 @@ impl core::fmt::Debug for Switch {
 }
 
 impl Node for Switch {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Bytes) {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
         let port_count = ctx.port_count();
-        for (out_port, out_frame) in self.process(port, frame, port_count) {
+        let mut out = std::mem::take(&mut self.scratch);
+        self.process_into(port, frame, port_count, ctx.pool(), &mut out);
+        for (out_port, out_frame) in out.drain(..) {
             ctx.send(out_port, out_frame);
         }
+        self.scratch = out;
     }
 
     fn name(&self) -> String {
@@ -221,14 +246,14 @@ mod tests {
         Switch::new("sw0", pipeline)
     }
 
-    fn frame(src: u32, dst: u32) -> Bytes {
-        Bytes::from(build_udp(&Endpoints::from_ids(src, dst), 1, 2, b"test"))
+    fn frame(src: u32, dst: u32) -> Frame {
+        Frame::from(build_udp(&Endpoints::from_ids(src, dst), 1, 2, b"test"))
     }
 
     #[test]
     fn known_destination_forwards_on_one_port() {
         let mut sw = l2_switch(&[(2, 1)]);
-        let out = sw.process(PortId(0), frame(1, 2), 4);
+        let out = sw.process(PortId(0), frame(1, 2), 4, &FramePool::new());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, PortId(1));
         assert_eq!(sw.stats().forwarded, 1);
@@ -237,7 +262,7 @@ mod tests {
     #[test]
     fn unknown_destination_floods_all_but_ingress() {
         let mut sw = l2_switch(&[]);
-        let out = sw.process(PortId(2), frame(1, 9), 4);
+        let out = sw.process(PortId(2), frame(1, 9), 4, &FramePool::new());
         let ports: Vec<usize> = out.iter().map(|(p, _)| p.0).collect();
         assert_eq!(ports, vec![0, 1, 3]);
     }
@@ -248,7 +273,7 @@ mod tests {
         let mut f = frame(1, 2).to_vec();
         let n = f.len() - 1;
         f[n] ^= 0xff;
-        let out = sw.process(PortId(0), Bytes::from(f), 4);
+        let out = sw.process(PortId(0), Frame::from(f), 4, &FramePool::new());
         assert!(out.is_empty());
         assert_eq!(sw.stats().checksum_drops, 1);
     }
@@ -256,7 +281,7 @@ mod tests {
     #[test]
     fn runt_frame_counts_parse_error() {
         let mut sw = l2_switch(&[]);
-        let out = sw.process(PortId(0), Bytes::from_static(&[1, 2, 3]), 4);
+        let out = sw.process(PortId(0), Frame::from_slice(&[1, 2, 3]), 4, &FramePool::new());
         assert!(out.is_empty());
         assert_eq!(sw.stats().parse_errors, 1);
     }
@@ -270,7 +295,7 @@ mod tests {
             sent: bool,
         }
         impl Node for Sender {
-            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Bytes) {}
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {}
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 if !self.sent {
                     self.sent = true;
@@ -283,7 +308,7 @@ mod tests {
             got: usize,
         }
         impl Node for Receiver {
-            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Bytes) {
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {
                 self.got += 1;
             }
         }
@@ -305,7 +330,7 @@ mod tests {
     #[test]
     fn ops_budget_tracks_maximum() {
         let mut sw = l2_switch(&[(2, 1)]);
-        sw.process(PortId(0), frame(1, 2), 4);
+        sw.process(PortId(0), frame(1, 2), 4, &FramePool::new());
         assert!(sw.stats().max_ops_seen >= 2);
         assert_eq!(sw.stats().ops_violations, 0);
     }

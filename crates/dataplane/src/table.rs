@@ -8,7 +8,7 @@
 //! like a full switch table would.
 
 use crate::pipeline::{ActionSpec, PacketCtx};
-use std::collections::HashMap;
+use daiet_wire::fnv::FnvHashMap;
 
 /// A packet field usable in a match key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,12 +118,20 @@ impl KeySpec {
     /// Builds the key for `pkt`; `None` when any field is absent.
     pub fn extract(&self, pkt: &PacketCtx) -> Option<Vec<u8>> {
         let mut key = Vec::with_capacity(self.width());
+        self.extract_into(pkt, &mut key).then_some(key)
+    }
+
+    /// Builds the key for `pkt` into `key` (cleared first); returns
+    /// `false` when any field is absent. The allocation-free form
+    /// [`Table::lookup`] drives with a per-table scratch buffer.
+    pub fn extract_into(&self, pkt: &PacketCtx, key: &mut Vec<u8>) -> bool {
+        key.clear();
         for f in &self.0 {
-            if !f.extract(pkt, &mut key) {
-                return None;
+            if !f.extract(pkt, key) {
+                return false;
             }
         }
-        Some(key)
+        true
     }
 }
 
@@ -197,11 +205,13 @@ pub struct Table {
     kind: TableKind,
     key: KeySpec,
     capacity: usize,
-    exact: HashMap<Vec<u8>, ActionSpec>,
+    exact: FnvHashMap<Vec<u8>, ActionSpec>,
     ordered: Vec<TableEntry>, // LPM (sorted by prefix_len desc) / ternary (by priority desc)
     default_action: ActionSpec,
     hits: u64,
     misses: u64,
+    /// Reused key-extraction buffer (lookups allocate nothing).
+    scratch: Vec<u8>,
 }
 
 impl Table {
@@ -219,11 +229,12 @@ impl Table {
             kind,
             key,
             capacity,
-            exact: HashMap::new(),
+            exact: FnvHashMap::default(),
             ordered: Vec::new(),
             default_action,
             hits: 0,
             misses: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -304,12 +315,14 @@ impl Table {
     /// Looks up `pkt`, returning the winning action (the default on miss
     /// or when the key is inapplicable).
     pub fn lookup(&mut self, pkt: &PacketCtx) -> ActionSpec {
-        let Some(key) = self.key.extract(pkt) else {
+        let mut key = std::mem::take(&mut self.scratch);
+        if !self.key.extract_into(pkt, &mut key) {
+            self.scratch = key;
             self.misses += 1;
             return self.default_action.clone();
-        };
+        }
         let action = match self.kind {
-            TableKind::Exact => self.exact.get(&key).cloned(),
+            TableKind::Exact => self.exact.get(key.as_slice()).cloned(),
             TableKind::Lpm => self
                 .ordered
                 .iter()
@@ -327,6 +340,7 @@ impl Table {
                 })
                 .map(|e| e.action.clone()),
         };
+        self.scratch = key;
         match action {
             Some(a) => {
                 self.hits += 1;
@@ -372,12 +386,12 @@ mod tests {
     use super::*;
     use crate::parser::{parse, ParserConfig};
     use crate::pipeline::PacketCtx;
-    use bytes::Bytes;
+    use daiet_netsim::Frame;
     use daiet_netsim::PortId;
     use daiet_wire::stack::{build_udp, Endpoints};
 
     fn pkt(src: u32, dst: u32, sport: u16, dport: u16) -> PacketCtx {
-        let frame = Bytes::from(build_udp(&Endpoints::from_ids(src, dst), sport, dport, b"x"));
+        let frame = Frame::from(build_udp(&Endpoints::from_ids(src, dst), sport, dport, b"x"));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
         PacketCtx::new(PortId(3), parsed)
     }

@@ -18,14 +18,15 @@
 use crate::metrics::{BoxStats, CostModel, ReducerMetrics};
 use crate::serialize;
 use crate::wordcount::Corpus;
-use bytes::Bytes;
 use daiet::agg::AggFn;
 use daiet::controller::{AggregationMode, Controller, JobPlacement};
 use daiet::worker::{Packetizer, ReducerHost};
 use daiet::DaietConfig;
 use daiet_dataplane::Resources;
 use daiet_netsim::topology::{Role, TopologyPlan};
-use daiet_netsim::{Context, LinkSpec, Node, NodeId, PortId, SimDuration, SimTime, Simulator};
+use daiet_netsim::{
+    Context, Frame, FramePool, LinkSpec, Node, NodeId, PortId, SimDuration, SimTime, Simulator,
+};
 use daiet_transport::tcp::{BulkSenderNode, SinkReceiverNode, TcpConfig};
 use daiet_wire::stack::Endpoints;
 use std::collections::HashMap;
@@ -48,7 +49,7 @@ const SHUFFLE_PORT: u16 = 9000;
 /// DAIET packets, round-robin across trees (per-tree order preserved, so
 /// each END trails its data), paced to keep queues shallow.
 struct UdpMapperNode {
-    frames: Vec<Bytes>,
+    frames: Vec<Frame>,
     next: usize,
     gap: SimDuration,
 }
@@ -59,13 +60,14 @@ impl UdpMapperNode {
         mapper_index: usize,
         partitions: Vec<(u16, Endpoints, Vec<daiet_wire::daiet::Pair>)>,
         gap: SimDuration,
+        pool: &FramePool,
     ) -> UdpMapperNode {
         let packetizer = Packetizer::new(config);
-        // Per-tree frame queues.
-        let mut queues: Vec<Vec<Bytes>> = partitions
+        // Per-tree frame queues, serialized into pooled buffers.
+        let mut queues: Vec<Vec<Frame>> = partitions
             .iter()
             .map(|(tree, ep, pairs)| {
-                packetizer.frames(*tree, pairs, ep, daiet_wire::udp::DAIET_PORT)
+                packetizer.frames(*tree, pairs, ep, daiet_wire::udp::DAIET_PORT, pool)
             })
             .collect();
         // Interleave round-robin, starting at a mapper-specific offset so
@@ -90,7 +92,7 @@ impl UdpMapperNode {
 }
 
 impl Node for UdpMapperNode {
-    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {}
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
 
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.schedule(self.gap, 0);
@@ -146,6 +148,10 @@ pub struct Runner {
     pub pacing: SimDuration,
     /// Simulation seed.
     pub seed: u64,
+    /// Recycle frame buffers through the simulator's [`FramePool`]
+    /// (default). Disable to force plain allocation — results must be
+    /// bit-identical either way, which `tests/` asserts.
+    pub pooling: bool,
 }
 
 impl Runner {
@@ -162,7 +168,16 @@ impl Runner {
             resources: Resources::tofino_like(),
             pacing: SimDuration::from_micros(2),
             seed: 42,
+            pooling: true,
         }
+    }
+
+    fn make_sim(&self) -> Simulator {
+        let mut sim = Simulator::new(self.seed);
+        if !self.pooling {
+            sim.set_frame_pool(FramePool::disabled());
+        }
+        sim
     }
 
     /// The star topology of the paper's testbed for this corpus.
@@ -206,7 +221,7 @@ impl Runner {
             .deploy(plan, &placement, self.resources, AggregationMode::PassThrough)
             .expect("deployment fits");
 
-        let mut sim = Simulator::new(self.seed);
+        let mut sim = self.make_sim();
         let mut ids: Vec<NodeId> = Vec::with_capacity(plan.len());
         let tcp_cfg = TcpConfig::default();
 
@@ -287,7 +302,8 @@ impl Runner {
             .deploy(plan, &placement, self.resources, agg)
             .expect("deployment fits");
 
-        let mut sim = Simulator::new(self.seed);
+        let mut sim = self.make_sim();
+        let pool = sim.pool().clone();
         let mut ids: Vec<NodeId> = Vec::with_capacity(plan.len());
         for slot in 0..plan.len() {
             let id = match plan.role(slot) {
@@ -307,6 +323,7 @@ impl Runner {
                             m,
                             partitions,
                             self.pacing,
+                            &pool,
                         )))
                     } else {
                         let r = placement

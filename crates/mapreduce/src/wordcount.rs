@@ -107,6 +107,10 @@ pub struct Corpus {
     pub partitions: Vec<Vec<Vec<Record>>>,
     /// Ground truth: final count per word.
     pub truth: HashMap<String, u32>,
+    /// Per-reducer sorted ground truth, precomputed once (the correctness
+    /// check runs after every simulated shuffle; recomputing it per run
+    /// used to dominate small benches).
+    expected: Vec<Vec<(String, u32)>>,
 }
 
 impl Corpus {
@@ -157,7 +161,15 @@ impl Corpus {
             truth.insert(w.clone(), total);
         }
 
-        Corpus { spec: *spec, partitions, truth }
+        let mut expected: Vec<Vec<(String, u32)>> = vec![Vec::new(); spec.n_reducers];
+        for (w, &c) in &truth {
+            expected[partition(w, spec.n_reducers)].push((w.clone(), c));
+        }
+        for e in &mut expected {
+            e.sort();
+        }
+
+        Corpus { spec: *spec, partitions, truth, expected }
     }
 
     /// Total shuffle records (pre-aggregation).
@@ -180,16 +192,9 @@ impl Corpus {
     }
 
     /// The reference result for reducer `r`, sorted by word — what a
-    /// correct shuffle+reduce must produce.
-    pub fn expected_reduction(&self, r: usize) -> Vec<(String, u32)> {
-        let mut v: Vec<(String, u32)> = self
-            .truth
-            .iter()
-            .filter(|(w, _)| partition(w, self.spec.n_reducers) == r)
-            .map(|(w, &c)| (w.clone(), c))
-            .collect();
-        v.sort();
-        v
+    /// correct shuffle+reduce must produce. Precomputed at generation.
+    pub fn expected_reduction(&self, r: usize) -> &[(String, u32)] {
+        &self.expected[r]
     }
 }
 

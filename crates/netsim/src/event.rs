@@ -1,11 +1,34 @@
-//! The event queue: a binary heap ordered by `(time, sequence)` so that
-//! simultaneous events fire in insertion order, keeping runs deterministic.
+//! The event queue: an index-based binary heap ordered by `(time,
+//! sequence)` so that simultaneous events fire in insertion order, keeping
+//! runs deterministic.
+//!
+//! # Layout
+//!
+//! Event payloads ([`EventKind`]) live in a slab (`Vec<Option<EventKind>>`
+//! with a free list) and never move after insertion; the heap itself holds
+//! only 24-byte `(time, seq, slot)` entries, so every sift-up/down moves a
+//! small POD instead of a payload carrying a [`Frame`]. Slab slots are
+//! recycled, so a steady-state simulation stops allocating entirely.
+//!
+//! # Same-tick batching
+//!
+//! Events scheduled *for the current instant* (zero-delay timers,
+//! cut-through deliveries) bypass the heap and land in a FIFO ready
+//! queue: `O(1)` push/pop instead of two `O(log n)` heap operations.
+//! This is safe for determinism because every heap entry at the current
+//! instant was necessarily pushed *earlier* (while `now` was still in the
+//! future for it) and therefore carries a smaller sequence number than
+//! any ready-queue entry; [`EventQueue::pop`] drains same-time heap
+//! entries first, then the FIFO, which is exactly global `(time, seq)`
+//! order. [`crate::Simulator::run_until`] additionally drains all events
+//! of one instant in an inner batch, checking its deadline once per
+//! instant rather than once per event.
 
+use crate::frame::Frame;
 use crate::node::{NodeId, PortId};
 use crate::time::SimTime;
-use bytes::Bytes;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// What happens when an event fires.
 #[derive(Debug, Clone)]
@@ -16,8 +39,8 @@ pub enum EventKind {
         node: NodeId,
         /// Ingress port on that node.
         port: PortId,
-        /// The frame bytes.
-        frame: Bytes,
+        /// The frame (shared, pooled — see [`crate::FramePool`]).
+        frame: Frame,
     },
     /// A node timer fires.
     Timer {
@@ -37,7 +60,7 @@ pub enum EventKind {
     },
 }
 
-/// A scheduled event.
+/// A scheduled event, as returned by [`EventQueue::pop`].
 #[derive(Debug, Clone)]
 pub struct Event {
     /// Firing time.
@@ -48,20 +71,21 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// A heap entry: ordering key plus the slab slot of its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
 }
-impl Eq for Event {}
 
-impl PartialOrd for Event {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Event {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
         (other.time, other.seq).cmp(&(self.time, self.seq))
@@ -71,7 +95,16 @@ impl Ord for Event {
 /// A deterministic priority queue of events.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Payload slab; `heap` and `ready` index into it.
+    slots: Vec<Option<EventKind>>,
+    /// Recycled slab indices.
+    free: Vec<u32>,
+    /// Same-tick FIFO: events pushed for the current instant.
+    ready: VecDeque<(u64, u32)>,
+    /// The instant of the most recently popped event — the queue's notion
+    /// of "now", used to route same-tick pushes to `ready`.
+    now: SimTime,
     next_seq: u64,
 }
 
@@ -81,31 +114,87 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedules `kind` at absolute time `time`.
+    fn store(&mut self, kind: EventKind) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                self.slots.push(Some(kind));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Schedules `kind` at absolute time `time`. A `time` at or before the
+    /// current instant fires at the current instant, after everything
+    /// already scheduled for it.
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let slot = self.store(kind);
+        if time <= self.now {
+            self.ready.push_back((seq, slot));
+        } else {
+            self.heap.push(HeapEntry { time, seq, slot });
+        }
     }
 
-    /// Pops the earliest event, if any.
+    fn take(&mut self, slot: u32) -> EventKind {
+        let kind = self.slots[slot as usize].take().expect("slot occupied");
+        self.free.push(slot);
+        kind
+    }
+
+    /// Pops the earliest event, if any, in strict `(time, seq)` order.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        // Heap entries at the current instant predate (seq-wise) anything
+        // in the ready FIFO, so they go first.
+        if let Some(&entry) = self.heap.peek() {
+            if entry.time <= self.now || self.ready.is_empty() {
+                self.heap.pop();
+                debug_assert!(entry.time >= self.now, "time went backwards");
+                self.now = entry.time;
+                let kind = self.take(entry.slot);
+                return Some(Event { time: entry.time, seq: entry.seq, kind });
+            }
+        }
+        if let Some((seq, slot)) = self.ready.pop_front() {
+            let kind = self.take(slot);
+            return Some(Event { time: self.now, seq, kind });
+        }
+        None
+    }
+
+    /// Pops the next event only if it fires exactly at `time` (the batch
+    /// primitive the simulator's inner per-instant loop uses).
+    pub fn pop_at(&mut self, time: SimTime) -> Option<Event> {
+        if self.peek_time() == Some(time) {
+            self.pop()
+        } else {
+            None
+        }
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match (self.ready.is_empty(), self.heap.peek()) {
+            (false, Some(entry)) => Some(entry.time.min(self.now)),
+            (false, None) => Some(self.now),
+            (true, Some(entry)) => Some(entry.time),
+            (true, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.ready.len()
     }
 
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.ready.is_empty()
     }
 }
 
@@ -117,18 +206,20 @@ mod tests {
         EventKind::Timer { node: NodeId(node), token }
     }
 
+    fn token_of(ev: Event) -> u64 {
+        match ev.kind {
+            EventKind::Timer { token, .. } => token,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.push(SimTime(30), timer(0, 3));
         q.push(SimTime(10), timer(0, 1));
         q.push(SimTime(20), timer(0, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -138,12 +229,7 @@ mod tests {
         for token in 0..100 {
             q.push(SimTime(42), timer(0, token));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
@@ -156,5 +242,57 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime(5)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_pushes_fire_after_pending_heap_entries() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), timer(0, 0));
+        q.push(SimTime(10), timer(0, 1));
+        // Pop the first event of t=10; the queue's "now" becomes 10.
+        assert_eq!(token_of(q.pop().unwrap()), 0);
+        // A zero-delay push lands in the ready FIFO…
+        q.push(SimTime(10), timer(0, 2));
+        // …but the remaining heap entry at t=10 has the smaller seq and
+        // must fire first.
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        assert_eq!(token_of(q.pop().unwrap()), 1);
+        assert_eq!(token_of(q.pop().unwrap()), 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ready_queue_preserves_fifo_and_interleaves_with_future() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), timer(0, 0));
+        assert_eq!(token_of(q.pop().unwrap()), 0); // now = 5
+        q.push(SimTime(5), timer(0, 1));
+        q.push(SimTime(7), timer(0, 2));
+        q.push(SimTime(5), timer(0, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn pop_at_only_pops_matching_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), timer(0, 0));
+        q.push(SimTime(20), timer(0, 1));
+        assert!(q.pop_at(SimTime(5)).is_none());
+        assert_eq!(token_of(q.pop_at(SimTime(10)).unwrap()), 0);
+        assert!(q.pop_at(SimTime(10)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for t in 0..100u64 {
+                q.push(SimTime(round * 1000 + t + 1), timer(0, t));
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(q.slots.len() <= 100, "slab grew past peak occupancy: {}", q.slots.len());
     }
 }

@@ -11,24 +11,31 @@
 //! and reproducible (the session guides make the same argument for choosing
 //! plain loops over Tokio for compute-bound work).
 //!
+//! Frames are pooled: the [`FramePool`] recycles every buffer that
+//! crosses the event loop, so the steady-state hot path performs no heap
+//! allocation (see the [`frame`] module and `ARCHITECTURE.md`).
+//!
 //! ```
-//! use daiet_netsim::{Simulator, Node, Context, PortId, LinkSpec};
-//! use bytes::Bytes;
+//! use daiet_netsim::{Simulator, Node, Context, Frame, PortId, LinkSpec};
 //!
 //! struct Echo;
 //! impl Node for Echo {
-//!     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Bytes) {
-//!         ctx.send(port, frame); // bounce it straight back
+//!     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+//!         ctx.send(port, frame); // bounce it straight back (no copy)
 //!     }
 //! }
 //!
 //! struct Counter(usize);
 //! impl Node for Counter {
-//!     fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {
+//!     fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
 //!         self.0 += 1;
 //!     }
 //!     fn on_start(&mut self, ctx: &mut Context<'_>) {
-//!         ctx.send(PortId(0), Bytes::from_static(&[0u8; 64]));
+//!         // Outgoing frames are built in pooled buffers.
+//!         let mut buf = ctx.pool().buffer();
+//!         buf.resize(64, 0);
+//!         let frame = ctx.pool().frame(buf);
+//!         ctx.send(PortId(0), frame);
 //!     }
 //! }
 //!
@@ -44,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod frame;
 pub mod link;
 pub mod node;
 pub mod sim;
@@ -51,6 +59,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use frame::{Frame, FramePool, PoolStats};
 pub use link::{FaultProfile, LinkSpec};
 pub use node::{Context, Node, NodeId, PortId};
 pub use sim::Simulator;

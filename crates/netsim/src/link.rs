@@ -9,13 +9,12 @@
 //! simulation RNG.
 
 use crate::event::{EventKind, EventQueue};
+use crate::frame::{Frame, FramePool};
 use crate::node::{NodeId, PortId};
 use crate::stats::StatsTable;
 use crate::time::{SimDuration, SimTime};
-use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Static parameters of a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,13 +112,15 @@ pub(crate) struct Link {
 }
 
 /// Maps `(node, port)` to its link and direction, and owns all links.
+///
+/// Node ids are dense (assigned 0.. by the simulator), so the lookup
+/// tables are plain vectors indexed by node — `transmit` runs on every
+/// frame and must not pay for hashing.
 #[derive(Debug, Default)]
 pub struct PortTable {
     links: Vec<Link>,
-    /// (node, port) → (link index, direction index)
-    endpoints: HashMap<(NodeId, PortId), (usize, usize)>,
-    /// node → number of attached ports
-    port_counts: HashMap<NodeId, usize>,
+    /// `endpoints[node][port]` → (link index, direction index)
+    endpoints: Vec<Vec<(u32, u32)>>,
 }
 
 impl PortTable {
@@ -131,9 +132,18 @@ impl PortTable {
         b: NodeId,
         spec: LinkSpec,
     ) -> (PortId, PortId) {
-        let pa = PortId(*self.port_counts.entry(a).and_modify(|c| *c += 1).or_insert(1) - 1);
-        let pb = PortId(*self.port_counts.entry(b).and_modify(|c| *c += 1).or_insert(1) - 1);
+        let max = a.0.max(b.0);
+        if self.endpoints.len() <= max {
+            self.endpoints.resize_with(max + 1, Vec::new);
+        }
         let idx = self.links.len();
+        // Register endpoint a before computing b's port so a (disallowed
+        // upstream, but defended here) self-loop still gets two distinct
+        // ports.
+        let pa = PortId(self.endpoints[a.0].len());
+        self.endpoints[a.0].push((idx as u32, 0));
+        let pb = PortId(self.endpoints[b.0].len());
+        self.endpoints[b.0].push((idx as u32, 1));
         self.links.push(Link {
             spec,
             dirs: [
@@ -151,19 +161,22 @@ impl PortTable {
                 },
             ],
         });
-        self.endpoints.insert((a, pa), (idx, 0));
-        self.endpoints.insert((b, pb), (idx, 1));
         (pa, pb)
     }
 
     /// Ports attached to `node`.
     pub(crate) fn port_count(&self, node: NodeId) -> usize {
-        self.port_counts.get(&node).copied().unwrap_or(0)
+        self.endpoints.get(node.0).map_or(0, Vec::len)
+    }
+
+    fn endpoint(&self, node: NodeId, port: PortId) -> Option<(usize, usize)> {
+        let &(idx, dir) = self.endpoints.get(node.0)?.get(port.0)?;
+        Some((idx as usize, dir as usize))
     }
 
     /// The `(peer node, peer port)` at the far end of `(node, port)`.
     pub(crate) fn peer(&self, node: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
-        let &(idx, dir) = self.endpoints.get(&(node, port))?;
+        let (idx, dir) = self.endpoint(node, port)?;
         let d = &self.links[idx].dirs[dir];
         Some((d.to_node, d.to_port))
     }
@@ -179,15 +192,15 @@ impl PortTable {
         &mut self,
         node: NodeId,
         port: PortId,
-        frame: Bytes,
+        frame: Frame,
         now: SimTime,
         queue: &mut EventQueue,
         rng: &mut SmallRng,
         stats: &mut StatsTable,
+        pool: &FramePool,
     ) {
-        let &(idx, dir_idx) = self
-            .endpoints
-            .get(&(node, port))
+        let (idx, dir_idx) = self
+            .endpoint(node, port)
             .unwrap_or_else(|| panic!("node {node:?} sent on unconnected port {port:?}"));
         let link = &mut self.links[idx];
         let spec = link.spec;
@@ -220,30 +233,39 @@ impl PortTable {
         dir.busy_until = departure;
 
         // Corruption: flip one byte; receiver-side checksums detect it.
+        // A frame still shared with its sender is copied through the pool
+        // first; an exclusively owned one is flipped in place.
         let mut deliver_frame = frame;
         if spec.faults.corrupt > 0.0 && rng.random::<f64>() < spec.faults.corrupt {
-            let mut owned = deliver_frame.to_vec();
+            if deliver_frame.try_mut().is_none() {
+                deliver_frame = pool.copy_from_slice(&deliver_frame);
+            }
+            let owned = deliver_frame.try_mut().expect("fresh pool copy is unshared");
             if !owned.is_empty() {
                 let pos = rng.random_range(0..owned.len());
                 owned[pos] ^= 1 << rng.random_range(0..8u8);
             }
             stats.link_corrupt(idx, dir_idx);
-            deliver_frame = Bytes::from(owned);
         }
 
         let arrival = departure + spec.latency;
         stats.link_tx(idx, dir_idx, len);
+
+        // Duplication: deliver a second copy one nanosecond later (the
+        // copy shares the buffer — one refcount bump, no allocation).
+        let duplicate = spec.faults.duplicate > 0.0 && rng.random::<f64>() < spec.faults.duplicate;
+        if duplicate {
+            stats.link_duplicate(idx, dir_idx);
+        }
+        let dup_frame = duplicate.then(|| deliver_frame.clone());
         queue.push(
             arrival,
-            EventKind::Deliver { node: dir.to_node, port: dir.to_port, frame: deliver_frame.clone() },
+            EventKind::Deliver { node: dir.to_node, port: dir.to_port, frame: deliver_frame },
         );
-
-        // Duplication: deliver a second copy one nanosecond later.
-        if spec.faults.duplicate > 0.0 && rng.random::<f64>() < spec.faults.duplicate {
-            stats.link_duplicate(idx, dir_idx);
+        if let Some(frame) = dup_frame {
             queue.push(
                 arrival + SimDuration::from_nanos(1),
-                EventKind::Deliver { node: dir.to_node, port: dir.to_port, frame: deliver_frame },
+                EventKind::Deliver { node: dir.to_node, port: dir.to_port, frame },
             );
         }
     }
@@ -260,12 +282,13 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn fixture() -> (PortTable, EventQueue, SmallRng, StatsTable) {
+    fn fixture() -> (PortTable, EventQueue, SmallRng, StatsTable, FramePool) {
         (
             PortTable::default(),
             EventQueue::new(),
             SmallRng::seed_from_u64(7),
             StatsTable::default(),
+            FramePool::new(),
         )
     }
 
@@ -285,7 +308,7 @@ mod tests {
 
     #[test]
     fn transmission_serializes_back_to_back_frames() {
-        let (mut ports, mut queue, mut rng, mut stats) = fixture();
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
         let spec = LinkSpec {
             bandwidth_bps: 8_000_000_000, // 1 byte per ns
             latency: SimDuration::from_nanos(100),
@@ -293,9 +316,9 @@ mod tests {
             faults: FaultProfile::NONE,
         };
         ports.connect(NodeId(0), NodeId(1), spec);
-        let frame = Bytes::from(vec![0u8; 1000]);
-        ports.transmit(NodeId(0), PortId(0), frame.clone(), SimTime::ZERO, &mut queue, &mut rng, &mut stats);
-        ports.transmit(NodeId(0), PortId(0), frame, SimTime::ZERO, &mut queue, &mut rng, &mut stats);
+        let frame = Frame::from(vec![0u8; 1000]);
+        ports.transmit(NodeId(0), PortId(0), frame.clone(), SimTime::ZERO, &mut queue, &mut rng, &mut stats, &pool);
+        ports.transmit(NodeId(0), PortId(0), frame, SimTime::ZERO, &mut queue, &mut rng, &mut stats, &pool);
 
         // Collect delivery times.
         let mut deliveries = vec![];
@@ -310,7 +333,7 @@ mod tests {
 
     #[test]
     fn queue_overflow_drops() {
-        let (mut ports, mut queue, mut rng, mut stats) = fixture();
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
         let spec = LinkSpec {
             bandwidth_bps: 8_000, // 1 byte per ms: transmitter stays busy
             latency: SimDuration::ZERO,
@@ -318,11 +341,11 @@ mod tests {
             faults: FaultProfile::NONE,
         };
         ports.connect(NodeId(0), NodeId(1), spec);
-        let frame = Bytes::from(vec![0u8; 1000]);
+        let frame = Frame::from(vec![0u8; 1000]);
         // First frame starts serializing (not queued); the second occupies
         // 1000 of 1500 queue bytes; the third does not fit.
         for _ in 0..3 {
-            ports.transmit(NodeId(0), PortId(0), frame.clone(), SimTime::ZERO, &mut queue, &mut rng, &mut stats);
+            ports.transmit(NodeId(0), PortId(0), frame.clone(), SimTime::ZERO, &mut queue, &mut rng, &mut stats, &pool);
         }
         let link_stats = stats.link(0);
         assert_eq!(link_stats.dirs[0].drops_overflow, 1);
@@ -331,7 +354,7 @@ mod tests {
 
     #[test]
     fn tx_done_frees_queue_space() {
-        let (mut ports, mut queue, mut rng, mut stats) = fixture();
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
         let spec = LinkSpec {
             bandwidth_bps: 8_000_000,
             latency: SimDuration::ZERO,
@@ -339,28 +362,28 @@ mod tests {
             faults: FaultProfile::NONE,
         };
         ports.connect(NodeId(0), NodeId(1), spec);
-        let frame = Bytes::from(vec![0u8; 800]);
+        let frame = Frame::from(vec![0u8; 800]);
         let t0 = SimTime::ZERO;
-        ports.transmit(NodeId(0), PortId(0), frame.clone(), t0, &mut queue, &mut rng, &mut stats);
-        ports.transmit(NodeId(0), PortId(0), frame.clone(), t0, &mut queue, &mut rng, &mut stats);
+        ports.transmit(NodeId(0), PortId(0), frame.clone(), t0, &mut queue, &mut rng, &mut stats, &pool);
+        ports.transmit(NodeId(0), PortId(0), frame.clone(), t0, &mut queue, &mut rng, &mut stats, &pool);
         // Queue holds 800 bytes; a third 800-byte frame would overflow now...
-        ports.transmit(NodeId(0), PortId(0), frame.clone(), t0, &mut queue, &mut rng, &mut stats);
+        ports.transmit(NodeId(0), PortId(0), frame.clone(), t0, &mut queue, &mut rng, &mut stats, &pool);
         assert_eq!(stats.link(0).dirs[0].drops_overflow, 1);
         // ...but after the first TxDone the space is reclaimed.
         ports.tx_done(0, 0, 800);
         let later = SimTime(1);
-        ports.transmit(NodeId(0), PortId(0), frame, later, &mut queue, &mut rng, &mut stats);
+        ports.transmit(NodeId(0), PortId(0), frame, later, &mut queue, &mut rng, &mut stats, &pool);
         assert_eq!(stats.link(0).dirs[0].drops_overflow, 1); // no new drop
     }
 
     #[test]
     fn loss_fault_drops_statistically() {
-        let (mut ports, mut queue, mut rng, mut stats) = fixture();
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
         let spec = LinkSpec::fast().with_faults(FaultProfile::loss(0.5));
         ports.connect(NodeId(0), NodeId(1), spec);
-        let frame = Bytes::from(vec![0u8; 64]);
+        let frame = Frame::from(vec![0u8; 64]);
         for i in 0..1000 {
-            ports.transmit(NodeId(0), PortId(0), frame.clone(), SimTime(i * 1_000_000), &mut queue, &mut rng, &mut stats);
+            ports.transmit(NodeId(0), PortId(0), frame.clone(), SimTime(i * 1_000_000), &mut queue, &mut rng, &mut stats, &pool);
         }
         let dropped = stats.link(0).dirs[0].drops_fault;
         assert!((300..700).contains(&dropped), "dropped {dropped} of 1000 at p=0.5");
@@ -368,11 +391,11 @@ mod tests {
 
     #[test]
     fn corruption_changes_exactly_one_bit() {
-        let (mut ports, mut queue, mut rng, mut stats) = fixture();
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
         let spec = LinkSpec::fast().with_faults(FaultProfile { corrupt: 1.0, ..FaultProfile::NONE });
         ports.connect(NodeId(0), NodeId(1), spec);
         let original = vec![0xAAu8; 128];
-        ports.transmit(NodeId(0), PortId(0), Bytes::from(original.clone()), SimTime::ZERO, &mut queue, &mut rng, &mut stats);
+        ports.transmit(NodeId(0), PortId(0), Frame::from(original.clone()), SimTime::ZERO, &mut queue, &mut rng, &mut stats, &pool);
         let delivered = loop {
             match queue.pop().expect("delivery scheduled").kind {
                 EventKind::Deliver { frame, .. } => break frame,
@@ -390,10 +413,10 @@ mod tests {
 
     #[test]
     fn duplication_delivers_twice() {
-        let (mut ports, mut queue, mut rng, mut stats) = fixture();
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
         let spec = LinkSpec::fast().with_faults(FaultProfile { duplicate: 1.0, ..FaultProfile::NONE });
         ports.connect(NodeId(0), NodeId(1), spec);
-        ports.transmit(NodeId(0), PortId(0), Bytes::from_static(b"abc"), SimTime::ZERO, &mut queue, &mut rng, &mut stats);
+        ports.transmit(NodeId(0), PortId(0), Frame::from_slice(b"abc"), SimTime::ZERO, &mut queue, &mut rng, &mut stats, &pool);
         let deliveries = std::iter::from_fn(|| queue.pop())
             .filter(|e| matches!(e.kind, EventKind::Deliver { .. }))
             .count();
@@ -403,7 +426,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unconnected port")]
     fn sending_on_unconnected_port_panics() {
-        let (mut ports, mut queue, mut rng, mut stats) = fixture();
-        ports.transmit(NodeId(0), PortId(0), Bytes::new(), SimTime::ZERO, &mut queue, &mut rng, &mut stats);
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
+        ports.transmit(NodeId(0), PortId(0), Frame::new(), SimTime::ZERO, &mut queue, &mut rng, &mut stats, &pool);
     }
 }

@@ -2,10 +2,10 @@
 //! stack, switch, middlebox) and the [`Context`] handed to its callbacks.
 
 use crate::event::EventKind;
+use crate::frame::{Frame, FramePool};
 use crate::link::PortTable;
 use crate::stats::StatsTable;
 use crate::time::{SimDuration, SimTime};
-use bytes::Bytes;
 use rand::rngs::SmallRng;
 use std::any::Any;
 
@@ -26,7 +26,7 @@ pub struct PortId(pub usize);
 /// via [`crate::Simulator::node_ref`].
 pub trait Node: Any {
     /// A frame arrived on `port`.
-    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Bytes);
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame);
 
     /// A timer armed via [`Context::schedule`] fired.
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
@@ -53,6 +53,7 @@ pub struct Context<'a> {
     pub(crate) ports: &'a mut PortTable,
     pub(crate) stats: &'a mut StatsTable,
     pub(crate) rng: &'a mut SmallRng,
+    pub(crate) pool: &'a FramePool,
 }
 
 impl Context<'_> {
@@ -72,10 +73,18 @@ impl Context<'_> {
     ///
     /// Sending on an unconnected port is a programming error and panics:
     /// the topology is static, so a bad port can never be data-dependent.
-    pub fn send(&mut self, port: PortId, frame: Bytes) {
+    pub fn send(&mut self, port: PortId, frame: Frame) {
         self.stats.node_sent(self.node, frame.len());
-        self.ports
-            .transmit(self.node, port, frame, self.now, self.queue, self.rng, self.stats);
+        self.ports.transmit(
+            self.node, port, frame, self.now, self.queue, self.rng, self.stats, self.pool,
+        );
+    }
+
+    /// The simulation's [`FramePool`]: build outgoing frames from
+    /// [`FramePool::buffer`]s so their storage recycles instead of
+    /// churning the allocator.
+    pub fn pool(&self) -> &FramePool {
+        self.pool
     }
 
     /// Arms a one-shot timer `delay` from now; `token` is returned to

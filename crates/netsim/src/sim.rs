@@ -2,11 +2,11 @@
 //! runs the event loop to completion.
 
 use crate::event::{EventKind, EventQueue};
+use crate::frame::{Frame, FramePool};
 use crate::link::{LinkSpec, PortTable};
 use crate::node::{Context, Node, NodeId, PortId};
 use crate::stats::{LinkStats, NodeStats, StatsTable};
 use crate::time::SimTime;
-use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -17,12 +17,36 @@ use std::any::Any;
 /// devices, [`connect`](Self::connect) them, [`run`](Self::run), then read
 /// results back out of the nodes with [`node_ref`](Self::node_ref) and out
 /// of [`node_stats`](Self::node_stats)/[`link_stats`](Self::link_stats).
+///
+/// ```
+/// use daiet_netsim::{Context, Frame, LinkSpec, Node, PortId, SimTime, Simulator};
+///
+/// /// Counts every frame it receives.
+/// #[derive(Default)]
+/// struct Sink(usize);
+/// impl Node for Sink {
+///     fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let mut sim = Simulator::new(42);
+/// let sink = sim.add_node(Box::new(Sink::default()));
+/// // Frames can be injected without links (unit-test style)…
+/// sim.inject(SimTime(10), sink, PortId(0), Frame::from_slice(b"hello"));
+/// sim.inject(SimTime(20), sink, PortId(0), Frame::from_slice(b"world"));
+/// let end = sim.run();
+/// assert_eq!(end, SimTime(20));
+/// assert_eq!(sim.node_ref::<Sink>(sink).unwrap().0, 2);
+/// assert_eq!(sim.node_stats(sink).frames_in, 2);
+/// ```
 pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
     queue: EventQueue,
     ports: PortTable,
     stats: StatsTable,
     rng: SmallRng,
+    pool: FramePool,
     now: SimTime,
     started: bool,
     events_processed: u64,
@@ -39,6 +63,7 @@ impl Simulator {
             ports: PortTable::default(),
             stats: StatsTable::default(),
             rng: SmallRng::seed_from_u64(seed),
+            pool: FramePool::new(),
             now: SimTime::ZERO,
             started: false,
             events_processed: 0,
@@ -69,6 +94,19 @@ impl Simulator {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The simulation's frame pool. Clone the handle to build pooled
+    /// frames outside node callbacks (e.g. preloading sender queues).
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// Replaces the frame pool — pass [`FramePool::disabled`] to force
+    /// every frame onto the global allocator (used by the determinism
+    /// cross-check tests).
+    pub fn set_frame_pool(&mut self, pool: FramePool) {
+        self.pool = pool;
     }
 
     /// Number of events processed so far.
@@ -105,7 +143,7 @@ impl Simulator {
 
     /// Injects a frame delivery from outside the topology (useful in unit
     /// tests that exercise a single node without links).
-    pub fn inject(&mut self, at: SimTime, node: NodeId, port: PortId, frame: Bytes) {
+    pub fn inject(&mut self, at: SimTime, node: NodeId, port: PortId, frame: Frame) {
         self.queue.push(at, EventKind::Deliver { node, port, frame });
     }
 
@@ -127,6 +165,7 @@ impl Simulator {
                 ports: &mut self.ports,
                 stats: &mut self.stats,
                 rng: &mut self.rng,
+                pool: &self.pool,
             };
             f(node.as_mut(), &mut ctx);
         }
@@ -150,31 +189,36 @@ impl Simulator {
 
     /// Runs until the queue drains or the next event lies beyond
     /// `deadline`; returns the time reached.
+    ///
+    /// Events sharing one instant are drained as a batch: the deadline is
+    /// checked once per instant, and zero-delay events scheduled while the
+    /// batch runs join it through the queue's same-tick fast path.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.start_nodes();
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event exists");
-            debug_assert!(ev.time >= self.now, "time went backwards");
-            self.now = ev.time;
-            self.events_processed += 1;
-            assert!(
-                self.events_processed <= self.max_events,
-                "simulation exceeded {} events — runaway?",
-                self.max_events
-            );
-            match ev.kind {
-                EventKind::Deliver { node, port, frame } => {
-                    self.stats.node_received(node, frame.len());
-                    self.dispatch(node, |n, ctx| n.on_packet(ctx, port, frame));
-                }
-                EventKind::Timer { node, token } => {
-                    self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
-                }
-                EventKind::TxDone { link, dir, bytes } => {
-                    self.ports.tx_done(link, dir, bytes);
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            while let Some(ev) = self.queue.pop_at(t) {
+                self.events_processed += 1;
+                assert!(
+                    self.events_processed <= self.max_events,
+                    "simulation exceeded {} events — runaway?",
+                    self.max_events
+                );
+                match ev.kind {
+                    EventKind::Deliver { node, port, frame } => {
+                        self.stats.node_received(node, frame.len());
+                        self.dispatch(node, |n, ctx| n.on_packet(ctx, port, frame));
+                    }
+                    EventKind::Timer { node, token } => {
+                        self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+                    }
+                    EventKind::TxDone { link, dir, bytes } => {
+                        self.ports.tx_done(link, dir, bytes);
+                    }
                 }
             }
         }
@@ -195,13 +239,16 @@ mod tests {
     }
 
     impl Node for Blaster {
-        fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {}
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
         fn on_start(&mut self, ctx: &mut Context<'_>) {
             ctx.schedule(SimDuration::from_nanos(1), 0);
         }
         fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
             if self.sent < self.count {
-                ctx.send(PortId(0), Bytes::from(vec![0u8; self.frame_len]));
+                let mut buf = ctx.pool().buffer();
+                buf.resize(self.frame_len, 0);
+                let frame = ctx.pool().frame(buf);
+                ctx.send(PortId(0), frame);
                 self.sent += 1;
                 ctx.schedule(SimDuration::from_micros(1), 0);
             }
@@ -215,7 +262,7 @@ mod tests {
     }
 
     impl Node for Sink {
-        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Bytes) {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
             self.arrivals.push(ctx.now());
         }
     }
@@ -272,7 +319,7 @@ mod tests {
     fn inject_delivers_without_links() {
         let mut sim = Simulator::new(0);
         let dst = sim.add_node(Box::new(Sink::default()));
-        sim.inject(SimTime(500), dst, PortId(0), Bytes::from_static(b"hi"));
+        sim.inject(SimTime(500), dst, PortId(0), Frame::from_slice(b"hi"));
         sim.run();
         assert_eq!(sim.node_ref::<Sink>(dst).unwrap().arrivals, vec![SimTime(500)]);
     }

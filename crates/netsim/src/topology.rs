@@ -1,5 +1,5 @@
 //! Topology plans: pure graph descriptions of clusters that can be wired
-//! into a [`Simulator`](crate::Simulator) once the caller has instantiated
+//! into a [`Simulator`] once the caller has instantiated
 //! the node objects (hosts and switches live in higher-level crates, so the
 //! plan cannot construct them itself).
 //!
@@ -370,12 +370,12 @@ mod tests {
 
     #[test]
     fn wire_matches_simulator_ports() {
+        use crate::frame::Frame;
         use crate::node::{Context, Node, PortId};
-        use bytes::Bytes;
 
         struct Dummy;
         impl Node for Dummy {
-            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Bytes) {}
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {}
         }
 
         let plan = TopologyPlan::leaf_spine(2, 2, 1, spec());

@@ -9,10 +9,10 @@
 //! SACK, window scaling, timestamps, RST handling beyond teardown,
 //! simultaneous open.
 
-use bytes::Bytes;
-use daiet_netsim::{Context, Node, PortId, SimDuration, SimTime};
-use daiet_wire::stack::{build_tcp, Endpoints, Parsed, Transport};
+use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimDuration, SimTime};
+use daiet_wire::stack::{build_tcp_into, Endpoints, Parsed, Transport};
 use daiet_wire::tcpseg::{Flags, Repr};
+use daiet_wire::fnv::FnvHashMap;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Transport parameters.
@@ -172,13 +172,17 @@ pub struct TcpStats {
 pub struct TcpStack {
     host: u32,
     cfg: TcpConfig,
-    conns: HashMap<ConnKey, Connection>,
+    conns: FnvHashMap<ConnKey, Connection>,
     listeners: Vec<u16>,
     events: VecDeque<SocketEvent>,
     /// Frames ready to transmit.
-    out: VecDeque<Bytes>,
+    out: VecDeque<Frame>,
     stats: TcpStats,
     next_ephemeral: u16,
+    /// Buffer pool for outgoing frames (each stack recycles its own).
+    pool: FramePool,
+    /// Reused payload staging buffer for segment transmission.
+    seg_buf: Vec<u8>,
 }
 
 impl TcpStack {
@@ -187,18 +191,28 @@ impl TcpStack {
         TcpStack {
             host,
             cfg,
-            conns: HashMap::new(),
+            conns: FnvHashMap::default(),
             listeners: Vec::new(),
             events: VecDeque::new(),
             out: VecDeque::new(),
             stats: TcpStats::default(),
             next_ephemeral: 40_000,
+            pool: FramePool::new(),
+            seg_buf: Vec::new(),
         }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> TcpStats {
         self.stats
+    }
+
+    /// Replaces the stack's frame pool. The node adapters call this with
+    /// the simulator's pool at start-up so a pool-disabled simulation
+    /// (the pooled-vs-unpooled determinism cross-check) covers TCP
+    /// frames too.
+    pub fn set_pool(&mut self, pool: FramePool) {
+        self.pool = pool;
     }
 
     /// Starts listening on `port`.
@@ -257,7 +271,7 @@ impl TcpStack {
     }
 
     /// Drains frames ready for the wire.
-    pub fn poll_transmit(&mut self) -> Vec<Bytes> {
+    pub fn poll_transmit(&mut self) -> Vec<Frame> {
         self.out.drain(..).collect()
     }
 
@@ -287,7 +301,9 @@ impl TcpStack {
             payload_len: payload.len(),
         };
         let ep = Endpoints::from_ids(self.host, key.remote_host);
-        self.out.push_back(Bytes::from(build_tcp(&ep, &repr, payload)));
+        let mut buf = self.pool.buffer();
+        build_tcp_into(&mut buf, &ep, &repr, payload);
+        self.out.push_back(self.pool.frame(buf));
         if payload.is_empty() {
             self.stats.control_segments_out += 1;
         } else {
@@ -301,17 +317,22 @@ impl TcpStack {
     fn pump_connection(&mut self, key: ConnKey, now: SimTime) {
         let Some(mut conn) = self.conns.remove(&key) else { return };
         if matches!(conn.state, State::Established | State::CloseWait | State::FinWait | State::LastAck) {
-            // Data segments.
+            // Data segments. The payload is staged in a reusable scratch
+            // buffer (`VecDeque` storage may wrap, so a contiguous copy is
+            // needed for checksumming either way).
             while conn.unsent_bytes() > 0 && conn.bytes_in_flight() < self.cfg.window {
                 let offset = conn.snd_nxt.wrapping_sub(conn.buf_base) as usize;
                 let len = conn
                     .unsent_bytes()
                     .min(self.cfg.mss)
                     .min(self.cfg.window - conn.bytes_in_flight());
-                let payload: Vec<u8> = conn.send_buf.iter().skip(offset).take(len).copied().collect();
+                let mut payload = std::mem::take(&mut self.seg_buf);
+                payload.clear();
+                payload.extend(conn.send_buf.iter().skip(offset).take(len));
                 let seq = conn.snd_nxt;
                 let ack = conn.rcv_nxt;
                 self.emit(&key, &mut conn, Flags::ACK | Flags::PSH, seq, ack, &payload);
+                self.seg_buf = payload;
                 conn.snd_nxt = conn.snd_nxt.wrapping_add(len as u32);
                 if conn.rto_deadline.is_none() {
                     conn.rto_deadline = Some(now + conn.rto_current);
@@ -440,7 +461,7 @@ impl TcpStack {
         if !payload.is_empty() {
             let seg_seq = tcp.seq;
             if seg_seq == conn.rcv_nxt {
-                conn.recv_buf.extend(payload.iter());
+                conn.recv_buf.extend(payload.iter().copied());
                 conn.rcv_nxt = conn.rcv_nxt.wrapping_add(payload.len() as u32);
                 self.stats.bytes_delivered += payload.len() as u64;
                 advanced = true;
@@ -459,7 +480,8 @@ impl TcpStack {
                     conn.recv_buf.extend(data);
                 }
             } else if seg_seq.wrapping_sub(conn.rcv_nxt) as i32 > 0 {
-                conn.ooo.entry(seg_seq).or_insert(payload);
+                // Out-of-order: copy out of the frame (rare path).
+                conn.ooo.entry(seg_seq).or_insert_with(|| payload.to_vec());
                 need_ack = true; // duplicate ACK hints the gap
             } else {
                 need_ack = true; // old segment: re-ACK
@@ -608,6 +630,7 @@ impl Node for BulkSenderNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         if !self.started {
             self.started = true;
+            self.stack.set_pool(ctx.pool().clone());
             for (peer, port, data) in std::mem::take(&mut self.jobs) {
                 let key = self.stack.connect(ctx.now(), peer, port);
                 self.stack.send(key, &data);
@@ -617,7 +640,7 @@ impl Node for BulkSenderNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Bytes) {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
         self.stack.on_frame(ctx.now(), &frame);
         self.flush(ctx);
     }
@@ -691,7 +714,11 @@ impl SinkReceiverNode {
 }
 
 impl Node for SinkReceiverNode {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Bytes) {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.stack.set_pool(ctx.pool().clone());
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
         self.stack.on_frame(ctx.now(), &frame);
         self.drain(ctx);
     }

@@ -2,12 +2,12 @@
 //! identified by their numeric ids (the DAIET protocol itself builds its
 //! frames directly; this helper serves examples and tests).
 
-use bytes::Bytes;
+use daiet_netsim::Frame;
 use daiet_wire::stack::{build_udp, Endpoints, Parsed, Transport};
 
 /// Builds a ready-to-send UDP frame between two host ids.
-pub fn datagram(src_host: u32, dst_host: u32, src_port: u16, dst_port: u16, payload: &[u8]) -> Bytes {
-    Bytes::from(build_udp(
+pub fn datagram(src_host: u32, dst_host: u32, src_port: u16, dst_port: u16, payload: &[u8]) -> Frame {
+    Frame::from(build_udp(
         &Endpoints::from_ids(src_host, dst_host),
         src_port,
         dst_port,
@@ -19,7 +19,7 @@ pub fn datagram(src_host: u32, dst_host: u32, src_port: u16, dst_port: u16, payl
 /// UDP datagram addressed to anyone (checksum verified).
 pub fn open(frame: &[u8]) -> Option<(u16, u16, Vec<u8>)> {
     match Parsed::dissect(frame).ok()?.transport {
-        Transport::Udp { udp, payload } => Some((udp.src_port, udp.dst_port, payload)),
+        Transport::Udp { udp, payload } => Some((udp.src_port, udp.dst_port, payload.to_vec())),
         _ => None,
     }
 }

@@ -322,6 +322,103 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     }
 }
 
+/// The parsed DAIET preamble alone — a fixed-size, `Copy` view of
+/// everything except the entries.
+///
+/// The hot path (switch parser, aggregation engine, reducer collector)
+/// works with a `Header` plus an entry iterator over the original frame
+/// bytes, so parsing a DATA packet allocates nothing; [`Repr`] remains
+/// the owned representation for code that wants to hold entries.
+///
+/// ```
+/// use daiet_wire::daiet::{Header, Packet, PacketFlags, PacketType, Pair, Key};
+///
+/// // Build a 2-entry DATA packet into a reusable buffer.
+/// let hdr = Header {
+///     packet_type: PacketType::Data,
+///     tree_id: 7,
+///     flags: PacketFlags::FROM_SWITCH,
+///     seq: 41,
+/// };
+/// let pairs = [
+///     Pair::new(Key::from_str_key("dog").unwrap(), 2),
+///     Pair::new(Key::from_str_key("cat").unwrap(), 5),
+/// ];
+/// let mut buf = vec![0u8; Header::wire_len(pairs.len())];
+/// hdr.emit_with_pairs(&mut buf, &pairs).unwrap();
+///
+/// // Parse it back without allocating.
+/// let packet = Packet::new_checked(&buf[..]).unwrap();
+/// let parsed = Header::parse(&packet);
+/// assert_eq!(parsed, hdr);
+/// assert_eq!(packet.entries().count(), 2);
+/// assert_eq!(packet.entry(1).unwrap().value, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Packet type.
+    pub packet_type: PacketType,
+    /// Aggregation tree identifier.
+    pub tree_id: u16,
+    /// Flag bits.
+    pub flags: PacketFlags,
+    /// Sequence number.
+    pub seq: u32,
+}
+
+impl Header {
+    /// A DATA preamble for `tree_id` with sequence `seq`.
+    pub fn data(tree_id: u16, flags: PacketFlags, seq: u32) -> Header {
+        Header { packet_type: PacketType::Data, tree_id, flags, seq }
+    }
+
+    /// An END preamble for `tree_id` with sequence `seq`.
+    pub fn end(tree_id: u16, flags: PacketFlags, seq: u32) -> Header {
+        Header { packet_type: PacketType::End, tree_id, flags, seq }
+    }
+
+    /// Reads the preamble fields from a (length-checked) packet view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Header {
+        Header {
+            packet_type: packet.packet_type(),
+            tree_id: packet.tree_id(),
+            flags: packet.flags(),
+            seq: packet.seq(),
+        }
+    }
+
+    /// Bytes a packet with `n_pairs` entries occupies on the wire.
+    pub const fn wire_len(n_pairs: usize) -> usize {
+        HEADER_LEN + n_pairs * ENTRY_LEN
+    }
+
+    /// Serializes this preamble followed by `pairs` into `buf`, which
+    /// must be exactly [`Header::wire_len`]`(pairs.len())` bytes.
+    ///
+    /// Returns [`Error::Malformed`] when more than 255 pairs are given
+    /// (the count must fit the `u8` field) and [`Error::Truncated`] when
+    /// `buf` has the wrong size.
+    pub fn emit_with_pairs(&self, buf: &mut [u8], pairs: &[Pair]) -> Result<()> {
+        if pairs.len() > u8::MAX as usize {
+            return Err(Error::Malformed);
+        }
+        if buf.len() != Self::wire_len(pairs.len()) {
+            return Err(Error::Truncated);
+        }
+        let mut packet = Packet::new_unchecked(buf);
+        packet.set_version();
+        packet.set_packet_type(self.packet_type);
+        packet.set_tree_id(self.tree_id);
+        packet.set_num_entries(pairs.len() as u8);
+        packet.set_flags(self.flags);
+        packet.set_seq(self.seq);
+        for (i, pair) in pairs.iter().enumerate() {
+            packet.set_entry(i, *pair);
+        }
+        Ok(())
+    }
+}
+
 /// Parsed representation of a DAIET packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Repr {
@@ -338,6 +435,16 @@ pub struct Repr {
 }
 
 impl Repr {
+    /// The preamble of this packet.
+    pub fn header(&self) -> Header {
+        Header {
+            packet_type: self.packet_type,
+            tree_id: self.tree_id,
+            flags: self.flags,
+            seq: self.seq,
+        }
+    }
+
     /// A DATA packet carrying `entries`.
     pub fn data(tree_id: u16, entries: Vec<Pair>) -> Repr {
         Repr {

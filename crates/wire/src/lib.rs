@@ -32,6 +32,7 @@
 pub mod checksum;
 pub mod daiet;
 pub mod ethernet;
+pub mod fnv;
 pub mod ipv4;
 pub mod stack;
 pub mod tcpseg;

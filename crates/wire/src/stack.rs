@@ -47,9 +47,19 @@ impl Endpoints {
     }
 }
 
-/// Builds a complete Ethernet/IPv4/UDP frame around an opaque payload.
-pub fn build_udp(ep: &Endpoints, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
-    let udp_len = udp::HEADER_LEN + payload.len();
+/// Builds an Ethernet/IPv4/UDP frame into `buf` (cleared and resized in
+/// place, so a recycled buffer is reused without reallocation). The UDP
+/// payload region — `payload_len` bytes — is zeroed and handed to `fill`
+/// to write; length fields and checksums are computed afterwards.
+pub fn build_udp_into(
+    buf: &mut Vec<u8>,
+    ep: &Endpoints,
+    src_port: u16,
+    dst_port: u16,
+    payload_len: usize,
+    fill: impl FnOnce(&mut [u8]),
+) {
+    let udp_len = udp::HEADER_LEN + payload_len;
     let ip_repr = ipv4::Repr {
         src_addr: ep.src_ip,
         dst_addr: ep.dst_ip,
@@ -58,7 +68,8 @@ pub fn build_udp(ep: &Endpoints, src_port: u16, dst_port: u16, payload: &[u8]) -
         ttl: ipv4::Repr::DEFAULT_TTL,
     };
     let total = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp_len;
-    let mut buf = vec![0u8; total];
+    buf.clear();
+    buf.resize(total, 0);
 
     let mut eth = ethernet::Frame::new_unchecked(&mut buf[..]);
     ethernet::Repr {
@@ -72,26 +83,59 @@ pub fn build_udp(ep: &Endpoints, src_port: u16, dst_port: u16, payload: &[u8]) -
     ip_repr.emit(&mut ip);
 
     let mut dgram = udp::Datagram::new_unchecked(ip.payload_mut());
-    dgram.payload_mut()[..payload.len()].copy_from_slice(payload);
+    fill(&mut dgram.payload_mut()[..payload_len]);
     udp::Repr {
         src_port,
         dst_port,
-        payload_len: payload.len(),
+        payload_len,
     }
     .emit(&mut dgram, ep.src_ip, ep.dst_ip);
+}
 
+/// Builds a complete Ethernet/IPv4/UDP frame around an opaque payload.
+pub fn build_udp(ep: &Endpoints, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    build_udp_into(&mut buf, ep, src_port, dst_port, payload.len(), |dst| {
+        dst.copy_from_slice(payload)
+    });
     buf
 }
 
-/// Builds a complete Ethernet/IPv4/UDP/DAIET frame from a DAIET repr.
-/// The UDP destination port is [`udp::DAIET_PORT`] so switches recognize
-/// aggregation traffic; the source port identifies the sending worker.
-pub fn build_daiet(ep: &Endpoints, src_port: u16, repr: &daiet::Repr) -> Vec<u8> {
-    build_udp(ep, src_port, udp::DAIET_PORT, &repr.to_bytes())
+/// Builds an Ethernet/IPv4/UDP/DAIET frame carrying `pairs` directly into
+/// `buf` — the zero-copy serialization path: no intermediate
+/// [`daiet::Repr`], no payload staging buffer. The UDP destination port
+/// is [`udp::DAIET_PORT`] so switches recognize aggregation traffic; the
+/// source port identifies the sending worker.
+pub fn build_daiet_into(
+    buf: &mut Vec<u8>,
+    ep: &Endpoints,
+    src_port: u16,
+    hdr: &daiet::Header,
+    pairs: &[daiet::Pair],
+) {
+    build_udp_into(
+        buf,
+        ep,
+        src_port,
+        udp::DAIET_PORT,
+        daiet::Header::wire_len(pairs.len()),
+        |payload| {
+            hdr.emit_with_pairs(payload, pairs)
+                .expect("payload region sized by wire_len");
+        },
+    );
 }
 
-/// Builds a complete Ethernet/IPv4/TCP frame.
-pub fn build_tcp(ep: &Endpoints, repr: &tcpseg::Repr, payload: &[u8]) -> Vec<u8> {
+/// Builds a complete Ethernet/IPv4/UDP/DAIET frame from a DAIET repr.
+pub fn build_daiet(ep: &Endpoints, src_port: u16, repr: &daiet::Repr) -> Vec<u8> {
+    let mut buf = Vec::new();
+    build_daiet_into(&mut buf, ep, src_port, &repr.header(), &repr.entries);
+    buf
+}
+
+/// Builds an Ethernet/IPv4/TCP frame into `buf` (cleared and resized in
+/// place; see [`build_udp_into`]).
+pub fn build_tcp_into(buf: &mut Vec<u8>, ep: &Endpoints, repr: &tcpseg::Repr, payload: &[u8]) {
     debug_assert_eq!(repr.payload_len, payload.len());
     let tcp_len = tcpseg::HEADER_LEN + payload.len();
     let ip_repr = ipv4::Repr {
@@ -102,7 +146,8 @@ pub fn build_tcp(ep: &Endpoints, repr: &tcpseg::Repr, payload: &[u8]) -> Vec<u8>
         ttl: ipv4::Repr::DEFAULT_TTL,
     };
     let total = ethernet::HEADER_LEN + ipv4::HEADER_LEN + tcp_len;
-    let mut buf = vec![0u8; total];
+    buf.clear();
+    buf.resize(total, 0);
 
     let mut eth = ethernet::Frame::new_unchecked(&mut buf[..]);
     ethernet::Repr {
@@ -118,13 +163,21 @@ pub fn build_tcp(ep: &Endpoints, repr: &tcpseg::Repr, payload: &[u8]) -> Vec<u8>
     let mut seg = tcpseg::Segment::new_unchecked(&mut ip.payload_mut()[..tcp_len]);
     seg.payload_mut().copy_from_slice(payload);
     repr.emit(&mut seg, ep.src_ip, ep.dst_ip);
+}
 
+/// Builds a complete Ethernet/IPv4/TCP frame.
+pub fn build_tcp(ep: &Endpoints, repr: &tcpseg::Repr, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    build_tcp_into(&mut buf, ep, repr, payload);
     buf
 }
 
-/// The transport content of a dissected frame.
+/// The transport content of a dissected frame. Payloads are borrowed
+/// slices of the original frame — dissection itself allocates only for
+/// DAIET entry lists (and hot-path consumers use the dataplane parser's
+/// entry iterator instead, which allocates nothing).
 #[derive(Debug, Clone, PartialEq)]
-pub enum Transport {
+pub enum Transport<'a> {
     /// A UDP datagram carrying a DAIET packet (destination port matched
     /// [`udp::DAIET_PORT`] and the payload parsed).
     Daiet {
@@ -133,19 +186,19 @@ pub enum Transport {
         /// The parsed DAIET packet.
         daiet: daiet::Repr,
     },
-    /// Any other UDP datagram; payload bytes are copied out.
+    /// Any other UDP datagram.
     Udp {
         /// The UDP header.
         udp: udp::Repr,
-        /// The datagram payload.
-        payload: Vec<u8>,
+        /// The datagram payload (borrowed from the frame).
+        payload: &'a [u8],
     },
-    /// A TCP segment; payload bytes are copied out.
+    /// A TCP segment.
     Tcp {
         /// The TCP header.
         tcp: tcpseg::Repr,
-        /// The segment payload.
-        payload: Vec<u8>,
+        /// The segment payload (borrowed from the frame).
+        payload: &'a [u8],
     },
     /// An IPv4 protocol this stack does not interpret.
     OtherIp {
@@ -154,22 +207,22 @@ pub enum Transport {
     },
 }
 
-/// A fully dissected frame.
+/// A fully dissected frame, borrowing payload bytes from it.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Parsed {
+pub struct Parsed<'a> {
     /// Link-layer header.
     pub eth: ethernet::Repr,
     /// Network-layer header.
     pub ip: ipv4::Repr,
     /// Transport-layer content.
-    pub transport: Transport,
+    pub transport: Transport<'a>,
 }
 
-impl Parsed {
+impl<'a> Parsed<'a> {
     /// Dissects a complete Ethernet frame. Checksums are verified at every
     /// layer; failures surface as [`Error::Checksum`] so fault-injection
     /// corruption is detected exactly as a real stack would.
-    pub fn dissect(frame: &[u8]) -> Result<Parsed> {
+    pub fn dissect(frame: &'a [u8]) -> Result<Parsed<'a>> {
         let eth_frame = ethernet::Frame::new_checked(frame)?;
         let eth = ethernet::Repr::parse(&eth_frame)?;
         if eth.ethertype != ethernet::EtherType::Ipv4 {
@@ -177,7 +230,12 @@ impl Parsed {
         }
         let ip_packet = ipv4::Packet::new_checked(eth_frame.payload())?;
         let ip = ipv4::Repr::parse(&ip_packet)?;
-        let ip_payload = ip_packet.payload();
+        // Re-slice the payload from `frame` itself so it carries the
+        // frame's lifetime (the header views above borrow locally). This
+        // stack emits fixed 20-byte IPv4 headers, which `Repr::parse`
+        // verified.
+        let ip_payload: &'a [u8] =
+            &frame[ethernet::HEADER_LEN + ipv4::HEADER_LEN..][..ip.payload_len];
         let transport = match ip.protocol {
             ipv4::Protocol::Udp => {
                 let dgram = udp::Datagram::new_checked(ip_payload)?;
@@ -191,7 +249,7 @@ impl Parsed {
                 } else {
                     Transport::Udp {
                         udp: udp_repr,
-                        payload: dgram.payload().to_vec(),
+                        payload: &ip_payload[udp::HEADER_LEN..udp_repr.payload_len + udp::HEADER_LEN],
                     }
                 }
             }
@@ -200,7 +258,7 @@ impl Parsed {
                 let tcp_repr = tcpseg::Repr::parse(&seg, Some((ip.src_addr, ip.dst_addr)))?;
                 Transport::Tcp {
                     tcp: tcp_repr,
-                    payload: seg.payload().to_vec(),
+                    payload: &ip_payload[tcpseg::HEADER_LEN..tcpseg::HEADER_LEN + tcp_repr.payload_len],
                 }
             }
             ipv4::Protocol::Unknown(p) => Transport::OtherIp { protocol: p },

@@ -25,7 +25,7 @@ fn small_corpus(seed: u64) -> Corpus {
 fn all_three_modes_compute_identical_results() {
     let corpus = small_corpus(1);
     let truth: Vec<Vec<(String, u32)>> =
-        (0..4).map(|r| corpus.expected_reduction(r)).collect();
+        (0..4).map(|r| corpus.expected_reduction(r).to_vec()).collect();
     let mut runner = Runner::new(corpus);
     runner.daiet_config.register_cells = 512;
 

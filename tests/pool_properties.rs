@@ -1,0 +1,100 @@
+//! Properties of the pooled frame-buffer system (PR 2's zero-allocation
+//! hot path): recycling must never let a reused buffer alias a live
+//! frame, and pooling must be invisible to simulation results.
+
+use daiet_mapreduce::runner::{Runner, ShuffleMode};
+use daiet_mapreduce::wordcount::{Corpus, CorpusSpec};
+use daiet_netsim::{Frame, FramePool};
+use proptest::prelude::*;
+
+/// Interpreter for a random op sequence against one pool. Every live
+/// frame remembers the exact bytes it was built with; after each step,
+/// every live frame must still read back those bytes — if the pool ever
+/// handed a live frame's buffer to a new allocation, the fill pattern
+/// would clobber it and this check fails.
+fn run_ops(ops: Vec<(u8, u8)>) {
+    let pool = FramePool::with_max_free(4); // tiny free list: maximum reuse pressure
+    let mut live: Vec<(Frame, Vec<u8>)> = Vec::new();
+    let mut counter: u8 = 0;
+
+    for (op, arg) in ops {
+        match op % 4 {
+            // Allocate a new frame filled with a unique pattern.
+            0 | 1 => {
+                counter = counter.wrapping_add(1);
+                let len = 1 + (arg as usize % 64);
+                let mut buf = pool.buffer();
+                assert!(buf.is_empty(), "pool handed out a dirty buffer");
+                buf.resize(len, counter);
+                let expect = buf.clone();
+                live.push((pool.frame(buf), expect));
+            }
+            // Clone an existing live frame (shares the buffer).
+            2 => {
+                if !live.is_empty() {
+                    let i = arg as usize % live.len();
+                    let cloned = (live[i].0.clone(), live[i].1.clone());
+                    live.push(cloned);
+                }
+            }
+            // Drop a live frame (its buffer may return to the pool).
+            _ => {
+                if !live.is_empty() {
+                    let i = arg as usize % live.len();
+                    live.swap_remove(i);
+                }
+            }
+        }
+        // Invariant: recycling never aliases a live buffer.
+        for (frame, expect) in &live {
+            prop_assert_eq!(&frame[..], expect.as_slice(), "live frame was clobbered");
+        }
+    }
+    // Everything dropped at the end returns home; the free list respects
+    // its cap.
+    drop(live);
+    prop_assert!(pool.free_buffers() <= 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recycled_buffers_never_alias_live_frames(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>()), 1..200),
+    ) {
+        run_ops(ops);
+    }
+}
+
+/// Pooling is a pure allocation strategy: running the fig3 shuffle with
+/// buffer recycling on and off must produce bit-identical outcomes for a
+/// pinned seed.
+#[test]
+fn pooled_and_unpooled_fig3_runs_are_identical() {
+    let corpus = Corpus::generate(&CorpusSpec {
+        n_mappers: 6,
+        n_reducers: 3,
+        register_cells: 256,
+        ..CorpusSpec::paper_scaled(3 * 64, 7)
+    });
+    let mut pooled = Runner::new(corpus.clone());
+    pooled.daiet_config.register_cells = 256;
+    let mut unpooled = Runner::new(corpus);
+    unpooled.daiet_config.register_cells = 256;
+    unpooled.pooling = false;
+
+    for mode in [ShuffleMode::TcpBaseline, ShuffleMode::UdpNoAgg, ShuffleMode::DaietAgg] {
+        let a = pooled.run(mode);
+        let b = unpooled.run(mode);
+        assert!(a.all_correct(), "{mode:?} pooled run incorrect");
+        assert!(b.all_correct(), "{mode:?} unpooled run incorrect");
+        assert_eq!(a.finished_at, b.finished_at, "{mode:?} timing diverged");
+        assert_eq!(a.frames_dropped, b.frames_dropped);
+        assert_eq!(
+            format!("{:?}", a.reducers),
+            format!("{:?}", b.reducers),
+            "{mode:?} reducer metrics diverged"
+        );
+    }
+}

@@ -1,7 +1,11 @@
-//! Offline stand-in for `criterion`: a plain wall-clock timing harness with
-//! criterion's group/bench API shape. It reports the mean time per
-//! iteration (and throughput when configured) as text — enough to track
-//! baselines in CHANGES.md, without the statistics machinery.
+//! Offline stand-in for `criterion`: a wall-clock timing harness with
+//! criterion's group/bench API shape. Each benchmark runs a dedicated
+//! warm-up phase (caches, branch predictors, frame pools and the
+//! allocator all reach steady state before anything is recorded), then a
+//! series of timed samples; the report shows the mean per-iteration time
+//! with the standard deviation and min/max across samples, so a reader
+//! can judge whether a delta clears the run-to-run noise. Not the real
+//! statistics suite — but enough to trust the baselines in CHANGES.md.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -9,9 +13,15 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 const DEFAULT_SAMPLE_SIZE: usize = 100;
-/// Per-benchmark wall-clock budget; long simulation benches get a handful
-/// of iterations, short ones the full sample count.
-const TIME_BUDGET: Duration = Duration::from_millis(500);
+/// Wall-clock spent warming up before any sample is recorded.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+/// Per-benchmark wall-clock budget for the measured samples; long
+/// simulation benches get a handful of samples, short ones the full
+/// sample count.
+const TIME_BUDGET: Duration = Duration::from_millis(1000);
+/// Samples collected per benchmark (each sample times a batch of
+/// iterations); the spread across samples is the reported variance.
+const SAMPLES: usize = 10;
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -122,16 +132,35 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F) {
-    // Warm-up & calibration: one iteration to estimate the per-iter cost.
+    // Calibration: one iteration to estimate the per-iter cost.
     let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
     f(&mut bencher);
     let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
-    let budgeted = (TIME_BUDGET.as_nanos() / per_iter.as_nanos()).max(1) as u64;
-    let iters = budgeted.min(sample_size as u64);
 
-    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    // Warm-up: run (unrecorded) until the warm-up budget is spent, so the
+    // first sample does not pay cold-cache/cold-pool costs.
+    let warm_iters = (WARMUP_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+    let mut bencher = Bencher { iters: warm_iters, elapsed: Duration::ZERO };
     f(&mut bencher);
-    let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+    let per_iter = (bencher.elapsed / warm_iters as u32).max(Duration::from_nanos(1));
+
+    // Measurement: SAMPLES batches of `iters_per_sample` iterations; the
+    // spread across batch means is the reported noise.
+    let budgeted = (TIME_BUDGET.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+    let total_iters = budgeted.min(sample_size as u64).max(SAMPLES as u64);
+    let iters_per_sample = (total_iters / SAMPLES as u64).max(1);
+    let mut sample_means: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let mut bencher = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        sample_means.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    let n = sample_means.len() as f64;
+    let mean = sample_means.iter().sum::<f64>() / n;
+    let var = sample_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
+    let sd = var.sqrt();
+    let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = sample_means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
     let rate = match throughput {
         Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / mean, "elem")),
@@ -140,7 +169,13 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, throughput: Opt
         }
         None => String::new(),
     };
-    println!("{id:<60} time: {:>12} ({iters} iters){rate}", fmt_time(mean));
+    println!(
+        "{id:<60} time: {:>12} ± {:<10} [{} .. {}] ({SAMPLES}x{iters_per_sample} iters){rate}",
+        fmt_time(mean),
+        fmt_time(sd),
+        fmt_time(min),
+        fmt_time(max),
+    );
 }
 
 fn fmt_time(secs: f64) -> String {

@@ -1,18 +1,22 @@
 //! Offline stand-in for `proptest`: the `proptest!` macro, a `Strategy`
 //! trait with the combinators this workspace uses (ranges, tuples, `any`,
 //! `prop::collection::vec`, `prop::sample::select`, `prop_map`), and a
-//! deterministic case runner.
+//! deterministic case runner with basic shrinking.
 //!
 //! Differences from crates.io proptest, by design:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs verbatim.
+//! * **Basic shrinking only.** On failure the runner greedily applies
+//!   halving / shrink-to-zero candidates (integers halve toward their
+//!   lower bound, vectors halve their length, tuples shrink one component
+//!   at a time) and reports both the original and the minimized inputs.
+//!   `prop_map`ped and `select`ed strategies do not shrink (no inverse).
 //! * **Deterministic.** Case `i` of every test derives its RNG from `i`
 //!   (plus the optional `PROPTEST_RNG_SEED` env var), so failures reproduce
 //!   exactly across runs and machines.
 
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -54,12 +58,20 @@ impl Default for ProptestConfig {
 
 /// A generator of values of `Self::Value`.
 pub trait Strategy {
-    type Value: Debug;
+    type Value: Debug + Clone;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Shrink candidates for a failing `value`, most aggressive first.
+    /// An empty list means the value is fully minimized (or the strategy
+    /// cannot shrink). Candidates must be *smaller* by some measure that
+    /// reaches a fixpoint, or the runner's shrink budget cuts the search.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
-    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    fn prop_map<O: Debug + Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
     {
@@ -67,13 +79,14 @@ pub trait Strategy {
     }
 }
 
-/// Strategy produced by [`Strategy::prop_map`].
+/// Strategy produced by [`Strategy::prop_map`]. Does not shrink (the
+/// mapping cannot be inverted).
 pub struct Map<S, F> {
     source: S,
     map: F,
 }
 
-impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+impl<S: Strategy, O: Debug + Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.map)(self.source.generate(rng))
@@ -81,8 +94,13 @@ impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 }
 
 /// Types with a canonical "any value" strategy.
-pub trait Arbitrary: Debug + Sized {
+pub trait Arbitrary: Debug + Clone + Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Shrink candidates (see [`Strategy::shrink`]).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -90,6 +108,17 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let half = *self / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -100,6 +129,9 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(&self) -> Vec<Self> {
+        if *self { vec![false] } else { Vec::new() }
+    }
 }
 
 impl Arbitrary for f64 {
@@ -109,11 +141,17 @@ impl Arbitrary for f64 {
         let exp = (rng.next_u64() % 61) as i32 - 30;
         (unit - 0.5) * 2f64.powi(exp)
     }
+    fn shrink(&self) -> Vec<Self> {
+        if *self != 0.0 { vec![0.0] } else { Vec::new() }
+    }
 }
 
 impl Arbitrary for f32 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         f64::arbitrary(rng) as f32
+    }
+    fn shrink(&self) -> Vec<Self> {
+        if *self != 0.0 { vec![0.0] } else { Vec::new() }
     }
 }
 
@@ -130,9 +168,54 @@ impl<A: Arbitrary> Strategy for Any<A> {
     fn generate(&self, rng: &mut TestRng) -> A {
         A::arbitrary(rng)
     }
+    fn shrink(&self, value: &A) -> Vec<A> {
+        value.shrink()
+    }
+}
+
+/// Halving shrink toward the range's lower bound: try the bound itself,
+/// then the midpoint between bound and value. Arithmetic runs in `i128`
+/// so signed ranges spanning zero cannot overflow.
+macro_rules! int_range_shrink {
+    ($t:ty, $lo:expr, $value:expr) => {{
+        let (lo, v) = ($lo, $value);
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            let mid = ((lo as i128) + ((v as i128 - lo as i128) / 2)) as $t;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_range_shrink!($t, self.start, *value)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_range_shrink!($t, *self.start(), *value)
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_range {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -148,7 +231,7 @@ macro_rules! impl_strategy_for_int_range {
         }
     )*};
 }
-impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_strategy_for_float_range!(f32, f64);
 
 macro_rules! impl_strategy_for_tuple {
     ($($name:ident : $idx:tt),+) => {
@@ -157,6 +240,17 @@ macro_rules! impl_strategy_for_tuple {
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
         }
     };
 }
@@ -164,6 +258,8 @@ impl_strategy_for_tuple!(A: 0);
 impl_strategy_for_tuple!(A: 0, B: 1);
 impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
 impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5);
 
 /// Size bound for collection strategies.
 #[derive(Debug, Clone, Copy)]
@@ -208,13 +304,31 @@ pub mod collection {
             let len = rng.0.random_range(self.size.lo..=self.size.hi_inclusive);
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+        /// Length shrinking: empty (or the minimum length), half, one
+        /// less — never below the strategy's lower size bound.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let len = value.len();
+            if len > self.size.lo {
+                out.push(value[..self.size.lo].to_vec());
+                let half = self.size.lo + (len - self.size.lo) / 2;
+                if half != self.size.lo && half != len {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 != self.size.lo && len - 1 != half {
+                    out.push(value[..len - 1].to_vec());
+                }
+            }
+            out
+        }
     }
 }
 
 pub mod sample {
     use super::*;
 
-    /// Strategy drawing uniformly from a fixed set of values.
+    /// Strategy drawing uniformly from a fixed set of values. Does not
+    /// shrink (no order is assumed among the samples).
     pub struct Select<T>(Vec<T>);
 
     pub fn select<T: Clone + Debug>(values: &[T]) -> Select<T> {
@@ -243,27 +357,62 @@ fn global_seed() -> u64 {
         .unwrap_or(0xDA1E_7000_0000_0001)
 }
 
-/// Drives `body` for `config.cases` cases. On panic, reports the case
-/// number and the generated inputs, then propagates the panic.
-pub fn run_cases<F>(config: &ProptestConfig, mut body: F)
-where
-    F: FnMut(&mut TestRng, &mut Vec<String>),
-{
+/// Cap on property re-executions spent minimizing one failure.
+const SHRINK_BUDGET: usize = 512;
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Drives `body` for `config.cases` cases over values drawn from
+/// `strategy`. On failure the input is greedily minimized with
+/// [`Strategy::shrink`] and the run panics with both the original and the
+/// minimized counterexample.
+pub fn run_cases<S: Strategy>(config: &ProptestConfig, strategy: &S, body: impl Fn(S::Value)) {
     let seed = global_seed();
     for case in 0..config.cases {
         let mut rng = TestRng::for_case(seed, case as u64);
-        let mut inputs = Vec::new();
-        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng, &mut inputs)));
-        if let Err(panic) = result {
-            eprintln!(
-                "proptest case {case}/{} failed (PROPTEST_RNG_SEED={seed}) with inputs:",
-                config.cases
-            );
-            for line in &inputs {
-                eprintln!("    {line}");
+        let value = strategy.generate(&mut rng);
+        let fails = |v: &S::Value| {
+            catch_unwind(AssertUnwindSafe(|| body(v.clone()))).err()
+        };
+        let Some(first_panic) = fails(&value) else { continue };
+
+        // Greedy shrink: adopt the first failing candidate, repeat until
+        // no candidate fails (or the budget runs out).
+        let original = format!("{value:?}");
+        let mut current = value;
+        let mut last_panic = first_panic;
+        let mut runs = 0usize;
+        'shrinking: loop {
+            for candidate in strategy.shrink(&current) {
+                runs += 1;
+                if runs > SHRINK_BUDGET {
+                    break 'shrinking;
+                }
+                if let Some(panic) = fails(&candidate) {
+                    current = candidate;
+                    last_panic = panic;
+                    continue 'shrinking;
+                }
             }
-            resume_unwind(panic);
+            break;
         }
+
+        eprintln!(
+            "proptest case {case}/{} failed (PROPTEST_RNG_SEED={seed})\n  original:  {original}\n  minimized: {current:?}",
+            config.cases,
+        );
+        panic!(
+            "proptest case {case} failed; minimized input: {current:?} (original: {original}); panic: {}",
+            panic_text(last_panic.as_ref()),
+        );
     }
 }
 
@@ -319,6 +468,8 @@ macro_rules! prop_assert_ne {
 /// The `proptest!` block macro: an optional `#![proptest_config(..)]`
 /// followed by `#[test]` functions whose parameters are either
 /// `name in strategy` or `name: Type` (shorthand for `any::<Type>()`).
+/// All parameter strategies are packed into one tuple strategy so the
+/// runner can shrink failing inputs component-wise.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -332,31 +483,26 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config = $config;
-                $crate::run_cases(&config, |__proptest_rng, __proptest_inputs| {
-                    $crate::proptest!(@bind __proptest_rng, __proptest_inputs, $($params)*);
-                    $body
-                });
+                $crate::proptest!(@acc config, [] [] ($($params)*) $body);
             }
         )*
     };
-    (@bind $rng:ident, $inputs:ident $(,)?) => {};
-    (@bind $rng:ident, $inputs:ident, $name:ident in $strat:expr) => {
-        $crate::proptest!(@one $rng, $inputs, $name, $strat);
+    // Accumulate `name in strategy` / `name: Type` parameters into a
+    // name list and a parenthesized-strategy list, then run.
+    (@acc $config:ident, [$($n:ident)*] [$(($s:expr))*] ($name:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@acc $config, [$($n)* $name] [$(($s))* ($strat)] ($($rest)*) $body)
     };
-    (@bind $rng:ident, $inputs:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
-        $crate::proptest!(@one $rng, $inputs, $name, $strat);
-        $crate::proptest!(@bind $rng, $inputs, $($rest)*);
+    (@acc $config:ident, [$($n:ident)*] [$(($s:expr))*] ($name:ident in $strat:expr) $body:block) => {
+        $crate::proptest!(@acc $config, [$($n)* $name] [$(($s))* ($strat)] () $body)
     };
-    (@bind $rng:ident, $inputs:ident, $name:ident: $ty:ty) => {
-        $crate::proptest!(@one $rng, $inputs, $name, $crate::any::<$ty>());
+    (@acc $config:ident, [$($n:ident)*] [$(($s:expr))*] ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@acc $config, [$($n)* $name] [$(($s))* ($crate::any::<$ty>())] ($($rest)*) $body)
     };
-    (@bind $rng:ident, $inputs:ident, $name:ident: $ty:ty, $($rest:tt)*) => {
-        $crate::proptest!(@one $rng, $inputs, $name, $crate::any::<$ty>());
-        $crate::proptest!(@bind $rng, $inputs, $($rest)*);
+    (@acc $config:ident, [$($n:ident)*] [$(($s:expr))*] ($name:ident : $ty:ty) $body:block) => {
+        $crate::proptest!(@acc $config, [$($n)* $name] [$(($s))* ($crate::any::<$ty>())] () $body)
     };
-    (@one $rng:ident, $inputs:ident, $name:ident, $strat:expr) => {
-        let $name = $crate::Strategy::generate(&$strat, $rng);
-        $inputs.push(format!("{} = {:?}", stringify!($name), $name));
+    (@acc $config:ident, [$($n:ident)+] [$(($s:expr))+] () $body:block) => {
+        $crate::run_cases(&$config, &($($s,)+), move |($($n,)+)| $body)
     };
     ($($rest:tt)*) => {
         $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
@@ -406,10 +552,55 @@ mod tests {
         let mut first = Vec::new();
         let mut second = Vec::new();
         for out in [&mut first, &mut second] {
-            crate::run_cases(&ProptestConfig::with_cases(8), |rng, _| {
-                out.push(<u64 as crate::Arbitrary>::arbitrary(rng));
+            let collected = std::cell::RefCell::new(Vec::new());
+            crate::run_cases(&ProptestConfig::with_cases(8), &(crate::any::<u64>(),), |(v,)| {
+                collected.borrow_mut().push(v);
             });
+            out.extend(collected.into_inner());
         }
         assert_eq!(first, second);
+    }
+
+    /// The ROADMAP-requested demonstration: a failing property is
+    /// re-reported with a *minimized* counterexample. `x < 1` fails for
+    /// every x ≥ 1 and halving converges on exactly 1.
+    #[test]
+    fn shrinking_minimizes_counterexample() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(&ProptestConfig::with_cases(4), &(0u32..10_000,), |(x,)| {
+                assert!(x < 1, "x must be zero, got {x}");
+            });
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("runner panics with a String");
+        assert!(
+            msg.contains("minimized input: (1,)"),
+            "halving should minimize to exactly 1: {msg}"
+        );
+        assert!(msg.contains("original:"), "original input must be reported: {msg}");
+    }
+
+    /// Vector inputs shrink by length toward the strategy's minimum.
+    #[test]
+    fn vectors_shrink_by_length() {
+        let strat = (prop::collection::vec(any::<u8>(), 2..40),);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(&ProptestConfig::with_cases(8), &strat, |(v,)| {
+                assert!(v.len() < 3, "too long: {}", v.len());
+            });
+        });
+        let payload = result.expect_err("property must fail for some generated vec");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap();
+        // Minimized to a 3-element vector (the smallest failing length).
+        let minimized = msg
+            .split("minimized input: ")
+            .nth(1)
+            .and_then(|rest| rest.split(" (original").next())
+            .unwrap();
+        let elems = minimized.trim_start_matches("([").chars().filter(|&c| c == ',').count();
+        assert_eq!(elems, 3, "vector should have shrunk to 3 elements: {msg}");
     }
 }
