@@ -1,0 +1,43 @@
+//! Criterion bench for the SQL GROUP BY workload: one full simulated
+//! multi-aggregate query per execution mode (TCP shuffle baseline, UDP
+//! without aggregation, DAIET in-network aggregation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daiet_querysim::prelude::*;
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    // 8 workers × 2 K rows over 256 skewed groups; the query exercises
+    // every aggregate kind and the AVG lane decomposition (5 lanes).
+    let table = Table::generate(&TableSpec {
+        n_workers: 8,
+        rows_per_worker: 2048,
+        n_groups: 256,
+        n_columns: 3,
+        zipf_s: 1.05,
+        max_value: 100_000,
+        seed: 42,
+    });
+    let query = Query::new(vec![
+        Aggregate::Count,
+        Aggregate::Sum(0),
+        Aggregate::Min(1),
+        Aggregate::Max(1),
+        Aggregate::Avg(2),
+    ]);
+    let runner = QueryRunner::new(table, query);
+
+    let mut group = c.benchmark_group("fig_query");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("tcp_baseline", QueryMode::TcpBaseline),
+        ("udp_no_agg", QueryMode::UdpNoAgg),
+        ("daiet_agg", QueryMode::DaietAgg),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(runner.run(mode))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -23,6 +23,13 @@ pub struct DaietConfig {
     /// paper's prototype runs without it ("we do not address the issue of
     /// packet losses, which we leave as future work").
     pub reliability: bool,
+    /// Maximum `(tree, sender)` flows each switch's duplicate-suppression
+    /// table may track when [`reliability`](Self::reliability) is on. The
+    /// table is switch SRAM like any register array: the controller
+    /// reserves its worst-case footprint ([`Self::sram_for_dedup`]) at
+    /// deployment, and packets from flows beyond the cap are refused
+    /// deterministically.
+    pub dedup_flows: usize,
 }
 
 impl Default for DaietConfig {
@@ -32,6 +39,9 @@ impl Default for DaietConfig {
             register_cells: 16 * 1024,
             spillover_pairs: None,
             reliability: false,
+            // 1024 flows × 132 B ≈ 132 KiB: room for dozens of trees ×
+            // dozens of senders within a tenth of one Tofino stage.
+            dedup_flows: 1024,
         }
     }
 }
@@ -60,6 +70,17 @@ impl DaietConfig {
         keys + values + occupancy + index_stack + spill + counter
     }
 
+    /// SRAM bytes the switch duplicate-suppression table occupies at its
+    /// flow cap (0 when the reliability extension is off — the table is
+    /// not instantiated at all).
+    pub fn sram_for_dedup(&self) -> usize {
+        if self.reliability {
+            crate::reliability::DedupWindow::sram_capacity_for(self.dedup_flows)
+        } else {
+            0
+        }
+    }
+
     /// Byte length of a full DATA packet's DAIET payload.
     pub fn max_daiet_payload(&self) -> usize {
         daiet_wire::daiet::HEADER_LEN + self.pairs_per_packet * ENTRY_LEN
@@ -83,6 +104,10 @@ impl DaietConfig {
                  switch parser is limited to {max_parse_bytes}; reduce pairs_per_packet"
             ));
         }
+        // Note: `reliability` with `dedup_flows == 0` is not rejected
+        // here — whether the dedup table is ever consulted depends on the
+        // deployment mode, so the controller's deploy-time flow-demand
+        // check (InNetwork only) owns that rejection.
         Ok(())
     }
 }
@@ -98,6 +123,27 @@ mod tests {
         assert_eq!(c.register_cells, 16_384);
         assert_eq!(c.spillover_capacity(), 10);
         assert!(!c.reliability);
+        assert_eq!(c.dedup_flows, 1024);
+        // Off by default → no SRAM charged for the dedup table.
+        assert_eq!(c.sram_for_dedup(), 0);
+    }
+
+    #[test]
+    fn dedup_sram_is_charged_only_with_reliability_on() {
+        let c = DaietConfig { reliability: true, ..Default::default() };
+        let per_flow = crate::reliability::FlowWindow::sram_bytes();
+        assert_eq!(c.sram_for_dedup(), 1024 * per_flow);
+        let small = DaietConfig { reliability: true, dedup_flows: 3, ..Default::default() };
+        assert_eq!(small.sram_for_dedup(), 3 * per_flow);
+    }
+
+    #[test]
+    fn zero_dedup_flows_passes_validation() {
+        // Mode-independent validation must not reject it: PassThrough
+        // never consults the table, and the controller's InNetwork
+        // flow-demand check rejects it exactly when it would matter.
+        let c = DaietConfig { reliability: true, dedup_flows: 0, ..Default::default() };
+        c.validate(256).unwrap();
     }
 
     #[test]

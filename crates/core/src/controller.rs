@@ -97,6 +97,10 @@ pub struct Deployment {
     pub mode: AggregationMode,
     /// The DAIET configuration in force.
     pub config: DaietConfig,
+    /// The [`DaietEngine`] extern id on each switch, keyed by plan slot —
+    /// how callers reach engine stats after a run without assuming
+    /// extern registration order.
+    pub engine_externs: BTreeMap<usize, daiet_dataplane::ExternId>,
 }
 
 impl Deployment {
@@ -127,14 +131,33 @@ impl Deployment {
 pub struct Controller {
     /// DAIET parameters applied to every switch.
     pub config: DaietConfig,
-    /// Aggregation function for all trees of this job.
+    /// Aggregation function for all trees of this job (the default when
+    /// no per-tree override is installed).
     pub agg: AggFn,
+    /// Per-tree overrides for multi-lane jobs: `per_tree_agg[i]` applies
+    /// to the tree of `placement.reducers[i]`. Empty means "every tree
+    /// uses [`Controller::agg`]".
+    per_tree_agg: Vec<AggFn>,
 }
 
 impl Controller {
     /// A controller for `config` aggregating with `agg`.
     pub fn new(config: DaietConfig, agg: AggFn) -> Controller {
-        Controller { config, agg }
+        Controller { config, agg, per_tree_agg: Vec::new() }
+    }
+
+    /// A controller whose trees each aggregate with their own function —
+    /// the multi-lane form SQL-style queries need, where one job deploys
+    /// a SUM tree, a MIN tree and a COUNT tree side by side. `aggs[i]`
+    /// applies to the tree of `placement.reducers[i]`; a placement with
+    /// more reducers than `aggs` falls back to `default` for the rest.
+    pub fn with_per_tree_agg(config: DaietConfig, default: AggFn, aggs: Vec<AggFn>) -> Controller {
+        Controller { config, agg: default, per_tree_agg: aggs }
+    }
+
+    /// The aggregation function tree `tree_id` uses.
+    pub fn agg_for(&self, tree_id: usize) -> AggFn {
+        self.per_tree_agg.get(tree_id).copied().unwrap_or(self.agg)
     }
 
     /// Computes trees and builds fully configured switches for every
@@ -166,6 +189,7 @@ impl Controller {
         // 2. Per-switch configuration.
         let hosts = plan.hosts();
         let mut switches = BTreeMap::new();
+        let mut engine_externs = BTreeMap::new();
         for sw_slot in plan.switches() {
             let mut pipeline = Pipeline::new(resources);
 
@@ -199,8 +223,12 @@ impl Controller {
             // Aggregation state for every tree crossing this switch.
             let mut engine = DaietEngine::new(self.config);
             let mut participating = Vec::new();
+            // Dedup flow demand of this switch: every tree child (mapper
+            // or downstream switch) is one `(tree, sender)` flow.
+            let mut flow_demand: u64 = 0;
             for tree in &trees {
                 if let Some(&children) = tree.switch_children.get(&sw_slot) {
+                    flow_demand += u64::from(children);
                     let upstream = tree
                         .upstream(sw_slot)
                         .expect("participating switch has a parent edge");
@@ -218,13 +246,45 @@ impl Controller {
                         tree_id: tree.tree_id,
                         out_port: upstream.port,
                         endpoints: Endpoints::from_ids(sw_slot as u32, tree.reducer as u32),
-                        agg: self.agg,
+                        agg: self.agg_for(tree.tree_id as usize),
                         children,
                     });
                     participating.push(tree.tree_id);
                 }
             }
+            // The reliability extension's duplicate-suppression table is
+            // switch state too. Where the switch actually aggregates
+            // (InNetwork and on ≥1 tree — PassThrough installs no
+            // steering rules and an off-path switch sees no tree
+            // traffic, so their tables are never consulted):
+            //
+            // * reserve the table's worst-case (flow-cap) SRAM exactly
+            //   like the register arrays, so an over-provisioned dedup
+            //   configuration fails at deployment, not silently at run
+            //   time;
+            // * reject a flow cap below the switch's demand — at run
+            //   time the excess senders' packets would be refused
+            //   deterministically (consumed DATA/ENDs → trees that
+            //   never complete), and the demand is known exactly here.
+            if mode == AggregationMode::InNetwork && flow_demand > 0 {
+                if self.config.reliability && flow_demand > self.config.dedup_flows as u64 {
+                    return Err(DeployError::Config(format!(
+                        "switch {sw_slot} needs {flow_demand} dedup flows (tree children) \
+                         but dedup_flows is {}; raise DaietConfig::dedup_flows",
+                        self.config.dedup_flows
+                    )));
+                }
+                let dedup_sram = self.config.sram_for_dedup();
+                if dedup_sram > 0 {
+                    switch.pipeline_mut().tracker_mut().allocate_first_fit(
+                        &format!("daiet.dedup@{sw_slot}"),
+                        2,
+                        dedup_sram,
+                    )?;
+                }
+            }
             let ext = switch.register_extern(Box::new(engine));
+            engine_externs.insert(sw_slot, ext);
 
             if mode == AggregationMode::InNetwork {
                 for tree_id in participating {
@@ -259,7 +319,7 @@ impl Controller {
             switches.insert(sw_slot, switch);
         }
 
-        Ok((Deployment { trees, mode, config: self.config }, switches))
+        Ok((Deployment { trees, mode, config: self.config, engine_externs }, switches))
     }
 }
 
@@ -321,6 +381,112 @@ mod tests {
         let per_tree = DaietConfig::default().sram_per_tree();
         let used = sw.pipeline().tracker().total_used();
         assert!(used >= 2 * per_tree, "expected ≥ {} B for two trees, used {}", 2 * per_tree, used);
+    }
+
+    #[test]
+    fn reliability_reserves_dedup_sram() {
+        let plan = TopologyPlan::star(4, LinkSpec::fast());
+        let config = DaietConfig { reliability: true, ..DaietConfig::default() };
+        let controller = Controller::new(config, AggFn::Sum);
+        let placement = JobPlacement { mappers: vec![0, 1, 2], reducers: vec![3] };
+        let (_dep, switches) = controller
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap();
+        let sw = switches.get(&4).unwrap();
+        let dedup_alloc = sw
+            .pipeline()
+            .tracker()
+            .allocations()
+            .iter()
+            .find(|a| a.name.starts_with("daiet.dedup"))
+            .expect("dedup table must be SRAM-accounted");
+        assert_eq!(dedup_alloc.bytes, config.sram_for_dedup());
+        assert!(
+            sw.pipeline().tracker().total_used()
+                >= config.sram_per_tree() + config.sram_for_dedup()
+        );
+        // Without the extension, no dedup allocation exists.
+        let (_d, switches) = Controller::new(DaietConfig::default(), AggFn::Sum)
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap();
+        assert!(switches[&4]
+            .pipeline()
+            .tracker()
+            .allocations()
+            .iter()
+            .all(|a| !a.name.starts_with("daiet.dedup")));
+        // PassThrough never steers packets into the table: nothing is
+        // charged (and an undersized cap must not fail such a baseline).
+        let tight = DaietConfig { reliability: true, dedup_flows: 1, ..DaietConfig::default() };
+        let (_d, switches) = Controller::new(tight, AggFn::Sum)
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::PassThrough)
+            .unwrap();
+        assert!(switches[&4]
+            .pipeline()
+            .tracker()
+            .allocations()
+            .iter()
+            .all(|a| !a.name.starts_with("daiet.dedup")));
+    }
+
+    /// Regression: the dedup table used to be invisible to the SRAM
+    /// tracker — an over-provisioned flow cap was silently absorbed.
+    /// Exceeding the budget must now be a reported deployment failure.
+    #[test]
+    fn oversized_dedup_budget_is_reported_not_absorbed() {
+        let plan = TopologyPlan::star(4, LinkSpec::fast());
+        let config = DaietConfig {
+            reliability: true,
+            // ~132 B per flow × 10M flows ≈ 1.3 GB — vastly over any chip.
+            dedup_flows: 10_000_000,
+            register_cells: 64,
+            ..DaietConfig::default()
+        };
+        let controller = Controller::new(config, AggFn::Sum);
+        let placement = JobPlacement { mappers: vec![0, 1, 2], reducers: vec![3] };
+        let err = controller
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap_err();
+        assert!(
+            matches!(err, DeployError::Resources(_)),
+            "expected an SRAM rejection, got {err}"
+        );
+    }
+
+    /// An undersized dedup flow cap must fail at deployment — at run time
+    /// it would deterministically consume the excess flows' packets and
+    /// stall their trees forever.
+    #[test]
+    fn undersized_dedup_flow_cap_is_rejected_at_deploy() {
+        let plan = TopologyPlan::star(4, LinkSpec::fast());
+        let placement = JobPlacement { mappers: vec![0, 1, 2], reducers: vec![3] };
+        // 3 mappers × 1 tree = 3 flows at the switch; cap of 2 is short.
+        let short = DaietConfig { reliability: true, dedup_flows: 2, ..DaietConfig::default() };
+        let err = Controller::new(short, AggFn::Sum)
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap_err();
+        assert!(
+            matches!(&err, DeployError::Config(msg) if msg.contains("dedup flows")),
+            "expected a flow-cap rejection, got {err}"
+        );
+        // An exact-fit cap deploys.
+        let exact = DaietConfig { reliability: true, dedup_flows: 3, ..DaietConfig::default() };
+        Controller::new(exact, AggFn::Sum)
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap();
+    }
+
+    #[test]
+    fn per_tree_agg_overrides_apply_in_tree_order() {
+        let controller = Controller::with_per_tree_agg(
+            DaietConfig::default(),
+            AggFn::Sum,
+            vec![AggFn::Min, AggFn::Max],
+        );
+        assert_eq!(controller.agg_for(0), AggFn::Min);
+        assert_eq!(controller.agg_for(1), AggFn::Max);
+        // Past the override list: the default.
+        assert_eq!(controller.agg_for(2), AggFn::Sum);
     }
 
     #[test]

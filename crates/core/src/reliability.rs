@@ -36,9 +36,16 @@ pub const WINDOW: u32 = 1024;
 /// replays), which is safe because senders emit sequence numbers densely
 /// in order, so a genuine packet can never be that old on first delivery
 /// unless more than a full window was reordered in flight.
+///
+/// Sequence numbers live in a **wrapping** 32-bit space: long-lived
+/// senders (iterative workloads emit one seq per frame per tree,
+/// indefinitely) roll past `u32::MAX`, so "newer" is decided by RFC
+/// 1982-style serial-number comparison — `seq` is ahead of `max` iff the
+/// wrapping forward distance is in `(0, 2^31)` — never by raw `<`/`>`.
 #[derive(Debug, Clone)]
 pub struct FlowWindow {
-    /// Highest sequence number accepted so far (`None` until the first).
+    /// Most recent sequence number accepted so far in serial-number order
+    /// (`None` until the first).
     max_seen: Option<u32>,
     bits: [u64; (WINDOW as usize) / 64],
 }
@@ -52,6 +59,9 @@ impl Default for FlowWindow {
 impl FlowWindow {
     #[inline]
     fn slot(seq: u32) -> (usize, u64) {
+        // WINDOW is a power of two dividing 2^32, so consecutive wrapping
+        // sequence numbers keep mapping to consecutive slots across the
+        // u32::MAX → 0 boundary.
         let bit = seq % WINDOW;
         ((bit / 64) as usize, 1u64 << (bit % 64))
     }
@@ -66,9 +76,15 @@ impl FlowWindow {
                 true
             }
             Some(max) => {
-                if seq > max {
+                // RFC 1982 serial comparison: `seq` is newer than `max`
+                // iff the wrapping forward distance is in (0, 2^31). A
+                // distance of exactly 2^31 is undefined by the RFC; we
+                // refuse it as stale, the safe direction for a duplicate
+                // filter.
+                let ahead = seq.wrapping_sub(max);
+                if ahead != 0 && ahead < 1 << 31 {
                     // Slide forward, clearing every slot the window passed.
-                    let advance = (seq - max).min(WINDOW);
+                    let advance = ahead.min(WINDOW);
                     for step in 1..=advance {
                         let (w, m) = Self::slot(max.wrapping_add(step));
                         self.bits[w] &= !m;
@@ -77,7 +93,7 @@ impl FlowWindow {
                     self.bits[w] |= m;
                     self.max_seen = Some(seq);
                     true
-                } else if max - seq >= WINDOW {
+                } else if max.wrapping_sub(seq) >= WINDOW {
                     false // too old: treat as duplicate
                 } else {
                     let (w, m) = Self::slot(seq);
@@ -99,22 +115,78 @@ impl FlowWindow {
 }
 
 /// Duplicate suppression across all flows of one switch.
-#[derive(Debug, Default)]
+///
+/// On a switch the flow table is SRAM like any register array, so it is
+/// **bounded**: construct with [`DedupWindow::with_capacity`], have the
+/// controller reserve [`DedupWindow::sram_capacity_bytes`] through the
+/// dataplane's `SramTracker`, and packets from flows beyond the cap are
+/// deterministically refused (counted in
+/// [`flows_rejected`](Self::flows_rejected)) rather than silently tracked
+/// past the budget. Host-side use ([`DedupWindow::new`]) is unbounded —
+/// reducers run on CPUs with DRAM.
+#[derive(Debug)]
 pub struct DedupWindow {
     flows: FnvHashMap<(u16, Ipv4Address), FlowWindow>,
+    /// Maximum flows the table may track (`usize::MAX` when unbounded).
+    max_flows: usize,
     /// Packets suppressed as duplicates.
     pub duplicates: u64,
+    /// Packets refused because their flow would exceed the flow cap.
+    pub flows_rejected: u64,
+    /// Flow entries evicted by [`DedupWindow::clear_tree`] (tree
+    /// teardown/reinstallation).
+    pub flows_evicted: u64,
+}
+
+impl Default for DedupWindow {
+    fn default() -> Self {
+        DedupWindow {
+            flows: FnvHashMap::default(),
+            max_flows: usize::MAX,
+            duplicates: 0,
+            flows_rejected: 0,
+            flows_evicted: 0,
+        }
+    }
 }
 
 impl DedupWindow {
-    /// An empty table.
+    /// An empty, **unbounded** table (host-side use only).
     pub fn new() -> DedupWindow {
         DedupWindow::default()
     }
 
-    /// Returns `true` when `(tree, sender, seq)` is fresh.
+    /// An empty table tracking at most `max_flows` `(tree, sender)` flows
+    /// — the switch-side form, whose worst-case SRAM footprint
+    /// ([`sram_capacity_bytes`](Self::sram_capacity_bytes)) is reserved
+    /// against the chip budget at deployment.
+    pub fn with_capacity(max_flows: usize) -> DedupWindow {
+        DedupWindow { max_flows, ..DedupWindow::default() }
+    }
+
+    /// The flow cap (`usize::MAX` when unbounded).
+    pub fn max_flows(&self) -> usize {
+        self.max_flows
+    }
+
+    /// Returns `true` when `(tree, sender, seq)` is fresh. A packet from a
+    /// new flow while the table is at capacity is refused (`false`) and
+    /// counted in [`flows_rejected`](Self::flows_rejected): suppressing it
+    /// is the only answer that keeps aggregation exact, because an
+    /// untracked flow could replay forever undetected.
     pub fn accept(&mut self, tree: u16, sender: Ipv4Address, seq: u32) -> bool {
-        let fresh = self.flows.entry((tree, sender)).or_default().accept(seq);
+        use std::collections::hash_map::Entry;
+        let len = self.flows.len();
+        let fresh = match self.flows.entry((tree, sender)) {
+            Entry::Occupied(mut e) => e.get_mut().accept(seq),
+            Entry::Vacant(e) => {
+                if len >= self.max_flows {
+                    self.flows_rejected += 1;
+                    return false;
+                }
+                e.insert(FlowWindow::default()).accept(seq)
+            }
+        };
         if !fresh {
             self.duplicates += 1;
         }
@@ -129,6 +201,28 @@ impl DedupWindow {
     /// SRAM bytes the table currently occupies.
     pub fn sram_bytes(&self) -> usize {
         self.flows.len() * FlowWindow::sram_bytes()
+    }
+
+    /// Worst-case SRAM bytes a table capped at `max_flows` occupies —
+    /// the **single definition** of the dedup footprint;
+    /// `DaietConfig::sram_for_dedup` (what the controller reserves
+    /// through the `SramTracker`) delegates here. Saturates for
+    /// unbounded tables (which must never be deployed to a switch).
+    pub fn sram_capacity_for(max_flows: usize) -> usize {
+        max_flows.saturating_mul(FlowWindow::sram_bytes())
+    }
+
+    /// [`Self::sram_capacity_for`] at this table's own flow cap.
+    pub fn sram_capacity_bytes(&self) -> usize {
+        Self::sram_capacity_for(self.max_flows)
+    }
+
+    /// Evicts every flow belonging to `tree` (tree teardown or
+    /// reinstallation), counting the evictions.
+    pub fn clear_tree(&mut self, tree: u16) {
+        let before = self.flows.len();
+        self.flows.retain(|(t, _), _| *t != tree);
+        self.flows_evicted += (before - self.flows.len()) as u64;
     }
 
     /// Drops all flow state (between jobs).
@@ -227,6 +321,56 @@ mod tests {
         assert!(w.accept(5 * WINDOW - 10));
     }
 
+    /// Regression: raw `u32` comparison rejected every post-wrap sequence
+    /// number forever (`0 > u32::MAX` is false and the "age" `u32::MAX - 0`
+    /// dwarfs the window). Serial-number comparison must carry the flow
+    /// straight across the boundary.
+    #[test]
+    fn sequence_space_wraps_cleanly() {
+        let mut w = FlowWindow::default();
+        assert!(w.accept(u32::MAX - 2));
+        assert!(w.accept(u32::MAX - 1));
+        assert!(w.accept(u32::MAX));
+        // Post-wrap packets are fresh, not "stale duplicates".
+        assert!(w.accept(0), "first post-wrap seq must be accepted");
+        assert!(w.accept(1));
+        assert!(w.accept(2));
+        // ...and stay exactly-once.
+        assert!(!w.accept(0));
+        assert!(!w.accept(u32::MAX));
+        // In-window reordering across the boundary still works.
+        let mut w = FlowWindow::default();
+        assert!(w.accept(2)); // sender wrapped before we saw anything else
+        assert!(w.accept(u32::MAX), "3 behind, within the window");
+        assert!(!w.accept(u32::MAX));
+        assert!(w.accept(0));
+        assert!(w.accept(1));
+        assert!(!w.accept(0));
+    }
+
+    #[test]
+    fn wrap_jump_clears_stale_bits_and_ages_out_old_seqs() {
+        let mut w = FlowWindow::default();
+        assert!(w.accept(u32::MAX - WINDOW / 2));
+        // Jump across the boundary by several windows.
+        assert!(w.accept(2 * WINDOW));
+        // The pre-wrap seq is now more than a window behind: refused.
+        assert!(!w.accept(u32::MAX - WINDOW / 2));
+        // Slots recycled by the slide accept fresh nearby seqs.
+        assert!(w.accept(2 * WINDOW - (WINDOW - 1)));
+    }
+
+    #[test]
+    fn half_space_jump_is_refused_as_stale() {
+        // Forward distance of exactly 2^31 is undefined under RFC 1982;
+        // the filter must refuse rather than risk replays.
+        let mut w = FlowWindow::default();
+        assert!(w.accept(0));
+        assert!(!w.accept(1 << 31));
+        // Just under the half-space is still "newer".
+        assert!(w.accept((1 << 31) - 1));
+    }
+
     #[test]
     fn dedup_tracks_flows_independently() {
         let mut d = DedupWindow::new();
@@ -239,6 +383,44 @@ mod tests {
         assert_eq!(d.sram_bytes(), 3 * FlowWindow::sram_bytes());
         d.clear();
         assert_eq!(d.flow_count(), 0);
+    }
+
+    #[test]
+    fn flow_cap_rejects_deterministically() {
+        let mut d = DedupWindow::with_capacity(2);
+        assert_eq!(d.max_flows(), 2);
+        assert!(d.accept(1, ip(1), 0));
+        assert!(d.accept(1, ip(2), 0));
+        // Third flow: at capacity → refused, counted, not tracked.
+        assert!(!d.accept(1, ip(3), 0));
+        assert!(!d.accept(2, ip(1), 0));
+        assert_eq!(d.flows_rejected, 2);
+        assert_eq!(d.flow_count(), 2);
+        // Rejections are not duplicates.
+        assert_eq!(d.duplicates, 0);
+        // Existing flows keep working at capacity.
+        assert!(d.accept(1, ip(1), 1));
+        assert!(!d.accept(1, ip(1), 1));
+        assert_eq!(d.duplicates, 1);
+        // The worst-case footprint is what the tracker must reserve.
+        assert_eq!(d.sram_capacity_bytes(), 2 * FlowWindow::sram_bytes());
+        assert!(d.sram_bytes() <= d.sram_capacity_bytes());
+    }
+
+    #[test]
+    fn clear_tree_evicts_and_frees_capacity() {
+        let mut d = DedupWindow::with_capacity(2);
+        assert!(d.accept(1, ip(1), 0));
+        assert!(d.accept(2, ip(1), 0));
+        d.clear_tree(1);
+        assert_eq!(d.flows_evicted, 1);
+        assert_eq!(d.flow_count(), 1);
+        // The freed slot is reusable.
+        assert!(d.accept(3, ip(1), 0));
+        // Eviction forgot tree 1's history: its seq 0 reads as fresh
+        // again — callers only evict on tree teardown, where that is safe.
+        d.clear_tree(3);
+        assert_eq!(d.flows_evicted, 2);
     }
 
     #[test]
@@ -288,6 +470,19 @@ mod proptests {
             let mut w = FlowWindow::default();
             for s in 0..n {
                 prop_assert!(w.accept(s));
+            }
+        }
+
+        /// In-order delivery is accepted in full from ANY starting offset,
+        /// including streams that cross the u32 wrap boundary (regression
+        /// for the raw-comparison bug).
+        #[test]
+        fn in_order_accepted_across_wrap(start: u32, n in 1u32..2000) {
+            let mut w = FlowWindow::default();
+            for i in 0..n {
+                let s = start.wrapping_add(i);
+                prop_assert!(w.accept(s), "seq {} (offset {}) refused", s, i);
+                prop_assert!(!w.accept(s), "seq {} accepted twice", s);
             }
         }
     }

@@ -159,7 +159,12 @@ pub struct DaietEngine {
 impl DaietEngine {
     /// An engine with no trees configured.
     pub fn new(config: DaietConfig) -> DaietEngine {
-        let dedup = config.reliability.then(crate::reliability::DedupWindow::new);
+        // Switch-side dedup state is SRAM, so it is bounded by the
+        // configured flow cap; the controller reserves
+        // [`DaietConfig::sram_for_dedup`] alongside the register arrays.
+        let dedup = config
+            .reliability
+            .then(|| crate::reliability::DedupWindow::with_capacity(config.dedup_flows));
         DaietEngine { trees: FnvHashMap::default(), stats: EngineStats::default(), config, dedup }
     }
 
@@ -168,10 +173,20 @@ impl DaietEngine {
         self.dedup.as_ref().map_or(0, |d| d.duplicates)
     }
 
+    /// The duplicate-suppression table, when the reliability extension is
+    /// enabled (flow cap, rejection/eviction counters).
+    pub fn dedup_window(&self) -> Option<&crate::reliability::DedupWindow> {
+        self.dedup.as_ref()
+    }
+
     /// Installs (or replaces) a tree's state. SRAM for
     /// [`DaietConfig::sram_per_tree`] must have been reserved by the
-    /// controller beforehand.
+    /// controller beforehand. Reinstallation evicts the tree's stale
+    /// dedup flows so the cap is not consumed by dead senders.
     pub fn install_tree(&mut self, cfg: TreeStateConfig) {
+        if let Some(dedup) = self.dedup.as_mut() {
+            dedup.clear_tree(cfg.tree_id);
+        }
         let cells = self.config.register_cells;
         self.trees.insert(cfg.tree_id, TreeState::new(cfg, cells));
     }
@@ -322,9 +337,10 @@ impl DaietEngine {
         tree.flush_buf = pairs;
 
         // Propagate the END and re-arm for the next round (iterative
-        // workloads run one round per superstep/training step).
+        // workloads run one round per superstep/training step). Sequence
+        // numbers wrap — dedup windows compare RFC 1982-style.
         let end = Header::end(tree.cfg.tree_id, PacketFlags::FROM_SWITCH, tree.next_seq);
-        tree.next_seq += 1;
+        tree.next_seq = tree.next_seq.wrapping_add(1);
         let mut buf = pool.buffer();
         build_daiet_into(&mut buf, &tree.cfg.endpoints, DAIET_PORT, &end, &[]);
         emissions.push((tree.cfg.out_port, pool.frame(buf)));
@@ -351,7 +367,7 @@ impl DaietEngine {
     ) {
         for chunk in pairs.chunks(pairs_per_packet.max(1)) {
             let hdr = Header::data(tree.cfg.tree_id, flags, tree.next_seq);
-            tree.next_seq += 1;
+            tree.next_seq = tree.next_seq.wrapping_add(1);
             stats.frames_out += 1;
             stats.pairs_out += chunk.len() as u64;
             let mut buf = pool.buffer();

@@ -19,9 +19,54 @@ use daiet_wire::fnv::FnvHashMap;
 use daiet_wire::stack::{build_daiet_into, Endpoints};
 
 /// Parser settings for an end host NIC stack: checksums verified, but no
-/// parse-depth limit (hosts are CPUs, not line-rate parsers).
-fn host_parser_config() -> ParserConfig {
+/// parse-depth limit (hosts are CPUs, not line-rate parsers). Shared by
+/// every host-side receiver ([`ReducerHost`] here, the querysim
+/// coordinator, …) so host parsing semantics cannot diverge.
+pub fn host_parser_config() -> ParserConfig {
     ParserConfig { max_parse_bytes: usize::MAX, verify_checksums: true }
+}
+
+/// The host receive prologue shared by every DAIET receiver
+/// ([`ReducerHost`], the querysim coordinator): parse with host settings
+/// (checksum failures and non-DAIET noise dropped, as a NIC would) and
+/// extract the preamble plus the sender address. `None` means "ignore
+/// this frame"; otherwise the caller applies its own admission (dedup
+/// windows, tree demux — *in its own order*: a coordinator discards
+/// foreign tree ids before charging dedup state) and consumes the
+/// entries via
+/// [`ParsedPacket::daiet_pairs`](daiet_dataplane::parser::ParsedPacket::daiet_pairs).
+pub fn receive_daiet(frame: Frame) -> Option<(Header, daiet_wire::Ipv4Address, ParsedPacket)> {
+    let parsed = parse(frame, &host_parser_config()).ok()?;
+    let hdr = parsed.daiet?;
+    let src = parsed.ip.as_ref()?.src_addr;
+    Some((hdr, src, parsed))
+}
+
+/// Builds the standard multi-tree UDP sender: packetize each partition
+/// (`(tree, endpoints, pairs)`), interleave round-robin at a
+/// sender-specific offset, expand `k`-redundantly (`redundancy = 1` for
+/// none), and replay paced — the one construction behind every bulk
+/// sender (the MapReduce mappers, the querysim workers).
+pub fn multi_tree_sender(
+    config: &DaietConfig,
+    sender_index: usize,
+    partitions: &[(u16, Endpoints, Vec<Pair>)],
+    redundancy: u32,
+    gap: SimDuration,
+    pool: &FramePool,
+    label: &'static str,
+) -> PacedSenderNode {
+    let packetizer = Packetizer::new(config);
+    let queues: Vec<Vec<Frame>> = partitions
+        .iter()
+        .map(|(tree, ep, pairs)| {
+            packetizer.frames(*tree, pairs, ep, daiet_wire::udp::DAIET_PORT, pool)
+        })
+        .collect();
+    let interleaved = interleave_round_robin(queues, sender_index);
+    let frames =
+        crate::reliability::RedundantSender::new(redundancy.max(1)).schedule(&interleaved);
+    PacedSenderNode::new(frames, gap, label)
 }
 
 /// Splits a partition of pairs into DAIET packets.
@@ -48,7 +93,9 @@ impl Packetizer {
     /// with its preamble and entry slice (empty for the trailing END),
     /// numbering sequence from `start_seq`; returns the next free
     /// sequence number. Both the owned-[`Repr`] and the pooled-frame
-    /// paths drive this, so they cannot drift apart.
+    /// paths drive this, so they cannot drift apart. Sequence numbers
+    /// live in a wrapping 32-bit space (long-lived iterative senders
+    /// cross `u32::MAX`; the dedup windows compare RFC 1982-style).
     fn each_packet(
         &self,
         tree_id: u16,
@@ -59,10 +106,10 @@ impl Packetizer {
         let mut seq = start_seq;
         for chunk in pairs.chunks(self.pairs_per_packet) {
             f(&Header::data(tree_id, PacketFlags::empty(), seq), chunk);
-            seq += 1;
+            seq = seq.wrapping_add(1);
         }
         f(&Header::end(tree_id, PacketFlags::empty(), seq), &[]);
-        seq + 1
+        seq.wrapping_add(1)
     }
 
     /// Like [`Packetizer::packets`] but numbering from `start_seq`,
@@ -107,6 +154,72 @@ impl Packetizer {
             out.push(pool.frame(buf));
         });
         out
+    }
+}
+
+/// Interleaves per-tree frame queues round-robin starting at queue
+/// `offset` (each queue's internal order is preserved, so every END still
+/// trails its tree's data) — the shared transmit-scheduling policy of
+/// every multi-tree sender. Starting different senders at different
+/// offsets spreads the fan-in to any one reducer over time.
+pub fn interleave_round_robin(mut queues: Vec<Vec<Frame>>, offset: usize) -> Vec<Frame> {
+    let mut out = Vec::new();
+    if queues.is_empty() {
+        return out;
+    }
+    let n = queues.len();
+    let mut cursors = vec![0usize; n];
+    let mut remaining: usize = queues.iter().map(Vec::len).sum();
+    out.reserve(remaining);
+    let mut t = offset % n;
+    while remaining > 0 {
+        if cursors[t] < queues[t].len() {
+            out.push(std::mem::take(&mut queues[t][cursors[t]]));
+            cursors[t] += 1;
+            remaining -= 1;
+        }
+        t = (t + 1) % n;
+    }
+    out
+}
+
+/// A host that replays a prebuilt frame schedule at a fixed pace: one
+/// frame per `gap` tick, starting at simulation start. The transmit half
+/// shared by every bulk UDP sender (the MapReduce mappers, the querysim
+/// workers) — build the schedule up front (packetize, interleave,
+/// optionally expand redundantly), then hand it here.
+pub struct PacedSenderNode {
+    frames: Vec<Frame>,
+    next: usize,
+    gap: SimDuration,
+    label: &'static str,
+}
+
+impl PacedSenderNode {
+    /// A sender that transmits `frames` in order, one every `gap`;
+    /// `label` names the node in traces.
+    pub fn new(frames: Vec<Frame>, gap: SimDuration, label: &'static str) -> PacedSenderNode {
+        PacedSenderNode { frames, next: 0, gap, label }
+    }
+}
+
+impl Node for PacedSenderNode {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.schedule(self.gap, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.next < self.frames.len() {
+            ctx.send(PortId(0), self.frames[self.next].clone());
+            self.next += 1;
+            ctx.schedule(self.gap, 0);
+        }
+    }
+
+    fn name(&self) -> String {
+        self.label.into()
     }
 }
 
@@ -343,14 +456,11 @@ impl ReducerHost {
 
 impl Node for ReducerHost {
     fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
-        let Ok(parsed): Result<ParsedPacket, _> = parse(frame, &host_parser_config()) else {
-            return; // checksum failure or non-IP noise: a NIC would drop it
-        };
-        let (Some(hdr), Some(ip)) = (parsed.daiet, parsed.ip.as_ref()) else {
-            return; // not DAIET traffic
+        let Some((hdr, src, parsed)) = receive_daiet(frame) else {
+            return;
         };
         if let Some(dedup) = self.dedup.as_mut() {
-            if !dedup.accept(hdr.tree_id, ip.src_addr, hdr.seq) {
+            if !dedup.accept(hdr.tree_id, src, hdr.seq) {
                 return;
             }
         }
@@ -388,6 +498,19 @@ mod tests {
         // Sequence numbers are consecutive.
         let seqs: Vec<u32> = packets.iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    /// Regression: sequence numbering crossing `u32::MAX` must wrap, not
+    /// overflow-panic — the sender half of the RFC 1982 story the dedup
+    /// windows implement on the receive side.
+    #[test]
+    fn sequence_numbering_wraps_past_u32_max() {
+        let p = Packetizer::new(&DaietConfig::default());
+        let (packets, next) = p.packets_from_seq(1, &npairs(15), u32::MAX);
+        // 10 + 5 pairs → 2 DATA + END, numbered MAX, 0, 1; next free: 2.
+        let seqs: Vec<u32> = packets.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![u32::MAX, 0, 1]);
+        assert_eq!(next, 2);
     }
 
     #[test]

@@ -20,15 +20,14 @@ use crate::serialize;
 use crate::wordcount::Corpus;
 use daiet::agg::AggFn;
 use daiet::controller::{AggregationMode, Controller, JobPlacement};
-use daiet::worker::{Packetizer, ReducerHost};
+use daiet::worker::ReducerHost;
 use daiet::DaietConfig;
 use daiet_dataplane::Resources;
 use daiet_netsim::topology::{Role, TopologyPlan};
 use daiet_netsim::{
-    Context, Frame, FramePool, LinkSpec, Node, NodeId, PortId, SimDuration, SimTime, Simulator,
+    FramePool, LinkSpec, NodeId, SimDuration, SimTime, Simulator,
 };
 use daiet_transport::tcp::{BulkSenderNode, SinkReceiverNode, TcpConfig};
-use daiet_wire::stack::Endpoints;
 use std::collections::HashMap;
 
 /// The shuffle transport under test.
@@ -45,71 +44,6 @@ pub enum ShuffleMode {
 /// TCP port reducers listen on in the baseline.
 const SHUFFLE_PORT: u16 = 9000;
 
-/// A mapper host for the UDP modes: sends every reducer partition as
-/// DAIET packets, round-robin across trees (per-tree order preserved, so
-/// each END trails its data), paced to keep queues shallow.
-struct UdpMapperNode {
-    frames: Vec<Frame>,
-    next: usize,
-    gap: SimDuration,
-}
-
-impl UdpMapperNode {
-    fn new(
-        config: &DaietConfig,
-        mapper_index: usize,
-        partitions: Vec<(u16, Endpoints, Vec<daiet_wire::daiet::Pair>)>,
-        gap: SimDuration,
-        pool: &FramePool,
-    ) -> UdpMapperNode {
-        let packetizer = Packetizer::new(config);
-        // Per-tree frame queues, serialized into pooled buffers.
-        let mut queues: Vec<Vec<Frame>> = partitions
-            .iter()
-            .map(|(tree, ep, pairs)| {
-                packetizer.frames(*tree, pairs, ep, daiet_wire::udp::DAIET_PORT, pool)
-            })
-            .collect();
-        // Interleave round-robin, starting at a mapper-specific offset so
-        // the fan-in to any one reducer is spread over time.
-        let mut frames = Vec::new();
-        if !queues.is_empty() {
-            let n = queues.len();
-            let mut cursors = vec![0usize; n];
-            let mut remaining: usize = queues.iter().map(Vec::len).sum();
-            let mut t = mapper_index % n;
-            while remaining > 0 {
-                if cursors[t] < queues[t].len() {
-                    frames.push(std::mem::take(&mut queues[t][cursors[t]]));
-                    cursors[t] += 1;
-                    remaining -= 1;
-                }
-                t = (t + 1) % n;
-            }
-        }
-        UdpMapperNode { frames, next: 0, gap }
-    }
-}
-
-impl Node for UdpMapperNode {
-    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
-
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
-        ctx.schedule(self.gap, 0);
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
-        if self.next < self.frames.len() {
-            ctx.send(PortId(0), self.frames[self.next].clone());
-            self.next += 1;
-            ctx.schedule(self.gap, 0);
-        }
-    }
-
-    fn name(&self) -> String {
-        "udp-mapper".into()
-    }
-}
 
 /// One complete run's results.
 #[derive(Debug, Clone)]
@@ -318,12 +252,14 @@ impl Runner {
                                 )
                             })
                             .collect();
-                        sim.add_node(Box::new(UdpMapperNode::new(
+                        sim.add_node(Box::new(daiet::worker::multi_tree_sender(
                             &self.daiet_config,
                             m,
-                            partitions,
+                            &partitions,
+                            1,
                             self.pacing,
                             &pool,
+                            "udp-mapper",
                         )))
                     } else {
                         let r = placement

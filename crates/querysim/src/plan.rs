@@ -1,0 +1,300 @@
+//! The query planner: aggregates → value lanes → DAIET trees.
+//!
+//! The switch aggregates 32-bit lanes with **one** function per tree, so a
+//! multi-aggregate query deploys one aggregation tree per distinct
+//! `(function, source)` *lane*:
+//!
+//! * `COUNT(*)`  → a Sum tree fed the constant 1 per row;
+//! * `SUM(c)`    → a Sum tree fed column `c`;
+//! * `MIN/MAX(c)` → a Min/Max tree fed column `c`;
+//! * `AVG(c)`    → **two** lanes, `SUM(c)` + `COUNT(*)`, recombined at the
+//!   coordinator (AVG itself is not associative; its decomposition is).
+//!
+//! Lanes are deduplicated: `SELECT COUNT(*), AVG(c0), SUM(c0)` plans just
+//! two lanes (the count lane and the `c0` sum lane), not four. Lane index
+//! = tree id = reducer index in the job placement, which is how the
+//! controller knows to configure tree `i` with `lanes[i].agg`
+//! ([`daiet::controller::Controller::with_per_tree_agg`]).
+
+use crate::query::{AggOut, Aggregate, GroupRow, Query, QueryResult};
+use crate::table::{group_key, Row};
+use daiet::agg::AggFn;
+use daiet_wire::daiet::Pair;
+use std::collections::BTreeMap;
+
+/// What feeds a lane's 32-bit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneSource {
+    /// The constant 1 per row (COUNT).
+    CountOne,
+    /// A value column.
+    Column(usize),
+}
+
+/// One value lane: an aggregation function over a row-value source,
+/// riding its own DAIET tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// The switch-side aggregation function of this lane's tree.
+    pub agg: AggFn,
+    /// What each row contributes to the lane.
+    pub source: LaneSource,
+}
+
+impl Lane {
+    /// The value a row feeds into this lane.
+    #[inline]
+    pub fn value_of(&self, row: &Row) -> u32 {
+        match self.source {
+            LaneSource::CountOne => 1,
+            LaneSource::Column(c) => row.cols[c],
+        }
+    }
+}
+
+/// How one select-list aggregate is reassembled from lane results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputSpec {
+    /// The aggregate is a single lane's value verbatim.
+    Lane(usize),
+    /// AVG: the exact ratio of a sum lane over a count lane.
+    SumCount {
+        /// Lane index of the SUM half.
+        sum: usize,
+        /// Lane index of the COUNT half.
+        count: usize,
+    },
+}
+
+/// A planned query: the deduplicated lanes and, per select-list
+/// aggregate, how to reassemble its final value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Value lanes; index = DAIET tree id.
+    pub lanes: Vec<Lane>,
+    /// Reassembly spec, parallel to `query.aggregates`.
+    pub outputs: Vec<OutputSpec>,
+}
+
+impl QueryPlan {
+    /// Plans `query`, deduplicating identical lanes.
+    pub fn of(query: &Query) -> QueryPlan {
+        let mut lanes: Vec<Lane> = Vec::new();
+        let mut outputs = Vec::with_capacity(query.aggregates.len());
+        let lane_for = |lanes: &mut Vec<Lane>, agg: AggFn, source: LaneSource| -> usize {
+            let lane = Lane { agg, source };
+            if let Some(i) = lanes.iter().position(|l| *l == lane) {
+                i
+            } else {
+                lanes.push(lane);
+                lanes.len() - 1
+            }
+        };
+        for a in &query.aggregates {
+            let spec = match *a {
+                Aggregate::Count => {
+                    OutputSpec::Lane(lane_for(&mut lanes, AggFn::Sum, LaneSource::CountOne))
+                }
+                Aggregate::Sum(c) => {
+                    OutputSpec::Lane(lane_for(&mut lanes, AggFn::Sum, LaneSource::Column(c)))
+                }
+                Aggregate::Min(c) => {
+                    OutputSpec::Lane(lane_for(&mut lanes, AggFn::Min, LaneSource::Column(c)))
+                }
+                Aggregate::Max(c) => {
+                    OutputSpec::Lane(lane_for(&mut lanes, AggFn::Max, LaneSource::Column(c)))
+                }
+                Aggregate::Avg(c) => OutputSpec::SumCount {
+                    sum: lane_for(&mut lanes, AggFn::Sum, LaneSource::Column(c)),
+                    count: lane_for(&mut lanes, AggFn::Sum, LaneSource::CountOne),
+                },
+            };
+            outputs.push(spec);
+        }
+        QueryPlan { lanes, outputs }
+    }
+
+    /// Number of lanes (= aggregation trees to deploy).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Per-tree aggregation functions in tree-id order (what the
+    /// controller is configured with).
+    pub fn lane_aggs(&self) -> Vec<AggFn> {
+        self.lanes.iter().map(|l| l.agg).collect()
+    }
+
+    /// Folds one `(lane, group, value)` record into a lane's group map
+    /// with the lane's function — the single definition of the
+    /// lane-merge algebra, shared by the worker combiner, the TCP
+    /// baseline decoder and the cross-check tests.
+    pub fn merge_record(
+        &self,
+        per_lane: &mut [BTreeMap<u32, u32>],
+        lane: usize,
+        group: u32,
+        value: u32,
+    ) {
+        let agg = self.lanes[lane].agg;
+        per_lane[lane]
+            .entry(group)
+            .and_modify(|acc| *acc = agg.apply(*acc, value))
+            .or_insert(value);
+    }
+
+    /// Empty per-lane group maps sized to the plan (for use with
+    /// [`QueryPlan::merge_record`] / [`QueryPlan::assemble`]).
+    pub fn empty_lane_maps(&self) -> Vec<BTreeMap<u32, u32>> {
+        vec![BTreeMap::new(); self.lanes.len()]
+    }
+
+    /// The worker-side combiner: folds one shard into per-lane, per-group
+    /// partial aggregates — the only thing that travels. Pairs are sorted
+    /// by group id so packetization is deterministic.
+    pub fn worker_partials(&self, shard: &[Row]) -> Vec<Vec<Pair>> {
+        let mut per_lane = self.empty_lane_maps();
+        for row in shard {
+            for (l, lane) in self.lanes.iter().enumerate() {
+                self.merge_record(&mut per_lane, l, row.group, lane.value_of(row));
+            }
+        }
+        per_lane
+            .into_iter()
+            .map(|partial| {
+                partial
+                    .into_iter()
+                    .map(|(g, v)| Pair::new(group_key(g), v))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Recombines fully-merged per-lane group maps into the final result,
+    /// in select-list order. Every lane sees every row's group, so under
+    /// lossless delivery all maps share one group set; a group a lane
+    /// lost (possible only under unrecovered packet loss) falls back to
+    /// the lane's identity value, which the correctness check against the
+    /// reference result then flags.
+    pub fn assemble(&self, per_lane: &[BTreeMap<u32, u32>]) -> QueryResult {
+        assert_eq!(per_lane.len(), self.lanes.len(), "one map per lane");
+        let mut groups: Vec<u32> = Vec::new();
+        for m in per_lane {
+            for &g in m.keys() {
+                groups.push(g);
+            }
+        }
+        groups.sort_unstable();
+        groups.dedup();
+        let lane_value = |lane: usize, g: u32| -> u32 {
+            per_lane[lane]
+                .get(&g)
+                .copied()
+                .unwrap_or_else(|| self.lanes[lane].agg.identity())
+        };
+        QueryResult {
+            rows: groups
+                .into_iter()
+                .map(|g| GroupRow {
+                    group: g,
+                    values: self
+                        .outputs
+                        .iter()
+                        .map(|o| match *o {
+                            OutputSpec::Lane(l) => AggOut::Int(lane_value(l, g)),
+                            OutputSpec::SumCount { sum, count } => AggOut::Ratio {
+                                sum: lane_value(sum, g),
+                                count: lane_value(count, g),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Table, TableSpec};
+
+    #[test]
+    fn avg_decomposes_into_sum_and_count_lanes() {
+        let q = Query::new(vec![Aggregate::Avg(1)]);
+        let p = QueryPlan::of(&q);
+        assert_eq!(p.lane_count(), 2);
+        assert_eq!(p.lanes[0], Lane { agg: AggFn::Sum, source: LaneSource::Column(1) });
+        assert_eq!(p.lanes[1], Lane { agg: AggFn::Sum, source: LaneSource::CountOne });
+        assert_eq!(p.outputs, vec![OutputSpec::SumCount { sum: 0, count: 1 }]);
+    }
+
+    #[test]
+    fn lanes_are_deduplicated_across_aggregates() {
+        // COUNT, AVG(c0) and SUM(c0) share lanes: count + sum(c0) only.
+        let q = Query::new(vec![Aggregate::Count, Aggregate::Avg(0), Aggregate::Sum(0)]);
+        let p = QueryPlan::of(&q);
+        assert_eq!(p.lane_count(), 2);
+        assert_eq!(
+            p.outputs,
+            vec![
+                OutputSpec::Lane(0),
+                OutputSpec::SumCount { sum: 1, count: 0 },
+                OutputSpec::Lane(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn min_and_max_of_same_column_are_distinct_lanes() {
+        let q = Query::new(vec![Aggregate::Min(0), Aggregate::Max(0)]);
+        let p = QueryPlan::of(&q);
+        assert_eq!(p.lane_count(), 2);
+        assert_eq!(p.lane_aggs(), vec![AggFn::Min, AggFn::Max]);
+    }
+
+    #[test]
+    fn combine_partials_equals_reference() {
+        // Folding every worker's partials with the lane function must give
+        // exactly the reference result — the algebraic identity in-network
+        // aggregation relies on.
+        let table = Table::generate(&TableSpec::tiny(11));
+        let q = Query::new(vec![
+            Aggregate::Count,
+            Aggregate::Sum(0),
+            Aggregate::Min(1),
+            Aggregate::Max(2),
+            Aggregate::Avg(1),
+        ]);
+        let p = QueryPlan::of(&q);
+        let mut per_lane = p.empty_lane_maps();
+        for shard in &table.shards {
+            for (l, pairs) in p.worker_partials(shard).into_iter().enumerate() {
+                for pair in pairs {
+                    let g = crate::table::group_of_key(&pair.key).unwrap();
+                    p.merge_record(&mut per_lane, l, g, pair.value);
+                }
+            }
+        }
+        assert_eq!(p.assemble(&per_lane), q.reference(&table));
+    }
+
+    #[test]
+    fn worker_partials_are_sorted_and_combined() {
+        let table = Table::generate(&TableSpec::tiny(12));
+        let p = QueryPlan::of(&Query::new(vec![Aggregate::Count]));
+        let partials = p.worker_partials(&table.shards[0]);
+        assert_eq!(partials.len(), 1);
+        let groups: Vec<u32> = partials[0]
+            .iter()
+            .map(|pr| crate::table::group_of_key(&pr.key).unwrap())
+            .collect();
+        let mut sorted = groups.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(groups, sorted, "one pair per group, ascending");
+        // Counts over the shard sum to the shard size.
+        let total: u32 = partials[0].iter().map(|pr| pr.value).sum();
+        assert_eq!(total as usize, table.shards[0].len());
+    }
+}

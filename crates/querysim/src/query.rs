@@ -1,0 +1,328 @@
+//! Query model and the in-memory reference executor.
+//!
+//! A query is `SELECT group, agg₀, agg₁, … FROM t GROUP BY group` where
+//! every aggregate is one of the commutative/associative functions the
+//! paper names as offloadable (§1 explicitly lists SQL aggregation
+//! operators next to MapReduce as partition/aggregate workloads). `AVG`
+//! is *not* itself associative — it decomposes into a SUM lane and a
+//! COUNT lane, recombined at the coordinator (see
+//! [`crate::plan::QueryPlan`]).
+//!
+//! All value arithmetic is on wrapping `u32` lanes — the same semantics
+//! [`daiet::agg::AggFn`] applies in the switch — so the reference
+//! executor, the TCP baseline and the in-network path are bit-comparable.
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// One aggregate expression over a value column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)` — rows per group.
+    Count,
+    /// `SUM(cᵢ)` (wrapping 32-bit sum).
+    Sum(usize),
+    /// `MIN(cᵢ)` (unsigned).
+    Min(usize),
+    /// `MAX(cᵢ)` (unsigned).
+    Max(usize),
+    /// `AVG(cᵢ)` — decomposed into SUM + COUNT lanes; the final value is
+    /// the exact rational [`AggOut::Ratio`].
+    Avg(usize),
+}
+
+impl Aggregate {
+    /// The column the aggregate reads (`None` for `COUNT(*)`).
+    pub fn column(&self) -> Option<usize> {
+        match *self {
+            Aggregate::Count => None,
+            Aggregate::Sum(c) | Aggregate::Min(c) | Aggregate::Max(c) | Aggregate::Avg(c) => {
+                Some(c)
+            }
+        }
+    }
+
+    /// SQL-ish rendering (`SUM(c2)`).
+    pub fn label(&self) -> String {
+        match *self {
+            Aggregate::Count => "COUNT(*)".into(),
+            Aggregate::Sum(c) => format!("SUM(c{c})"),
+            Aggregate::Min(c) => format!("MIN(c{c})"),
+            Aggregate::Max(c) => format!("MAX(c{c})"),
+            Aggregate::Avg(c) => format!("AVG(c{c})"),
+        }
+    }
+}
+
+/// A multi-aggregate GROUP BY query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The select-list aggregates, in output order.
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl Query {
+    /// A query over the given aggregates.
+    pub fn new(aggregates: Vec<Aggregate>) -> Query {
+        Query { aggregates }
+    }
+
+    /// Checks the select list against the table width.
+    pub fn validate(&self, n_columns: usize) -> Result<(), String> {
+        if self.aggregates.is_empty() {
+            return Err("query selects no aggregates".into());
+        }
+        for a in &self.aggregates {
+            if let Some(c) = a.column() {
+                if c >= n_columns {
+                    return Err(format!(
+                        "{} references column {c} but the table has {n_columns}",
+                        a.label()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// SQL-ish rendering of the whole query.
+    pub fn describe(&self) -> String {
+        let list: Vec<String> = self.aggregates.iter().map(Aggregate::label).collect();
+        format!("SELECT g, {} FROM t GROUP BY g", list.join(", "))
+    }
+
+    /// Executes the query in memory over the whole table — the ground
+    /// truth every network execution mode must match **bit for bit**.
+    pub fn reference(&self, table: &Table) -> QueryResult {
+        let mut acc: BTreeMap<u32, Vec<Acc>> = BTreeMap::new();
+        for shard in &table.shards {
+            for row in shard {
+                let entry = acc
+                    .entry(row.group)
+                    .or_insert_with(|| self.aggregates.iter().map(Acc::init).collect());
+                for (a, agg) in entry.iter_mut().zip(&self.aggregates) {
+                    a.feed(agg, &row.cols);
+                }
+            }
+        }
+        QueryResult {
+            rows: acc
+                .into_iter()
+                .map(|(group, accs)| GroupRow {
+                    group,
+                    values: accs.into_iter().map(Acc::finish).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Streaming accumulator for one aggregate of one group.
+enum Acc {
+    Count(u32),
+    Sum(u32),
+    Min(u32),
+    Max(u32),
+    Avg { sum: u32, count: u32 },
+}
+
+impl Acc {
+    fn init(agg: &Aggregate) -> Acc {
+        match *agg {
+            Aggregate::Count => Acc::Count(0),
+            Aggregate::Sum(_) => Acc::Sum(0),
+            Aggregate::Min(_) => Acc::Min(u32::MAX),
+            Aggregate::Max(_) => Acc::Max(0),
+            Aggregate::Avg(_) => Acc::Avg { sum: 0, count: 0 },
+        }
+    }
+
+    fn feed(&mut self, agg: &Aggregate, cols: &[u32]) {
+        match (self, *agg) {
+            (Acc::Count(n), Aggregate::Count) => *n = n.wrapping_add(1),
+            (Acc::Sum(s), Aggregate::Sum(c)) => *s = s.wrapping_add(cols[c]),
+            (Acc::Min(m), Aggregate::Min(c)) => *m = (*m).min(cols[c]),
+            (Acc::Max(m), Aggregate::Max(c)) => *m = (*m).max(cols[c]),
+            (Acc::Avg { sum, count }, Aggregate::Avg(c)) => {
+                *sum = sum.wrapping_add(cols[c]);
+                *count = count.wrapping_add(1);
+            }
+            _ => unreachable!("accumulator/aggregate mismatch"),
+        }
+    }
+
+    fn finish(self) -> AggOut {
+        match self {
+            Acc::Count(n) => AggOut::Int(n),
+            Acc::Sum(s) => AggOut::Int(s),
+            Acc::Min(m) => AggOut::Int(m),
+            Acc::Max(m) => AggOut::Int(m),
+            Acc::Avg { sum, count } => AggOut::Ratio { sum, count },
+        }
+    }
+}
+
+/// The final value of one aggregate for one group. Integer-only so
+/// cross-mode comparison is exact (`==` is bit-identity, no float
+/// tolerance); `AVG` stays an exact rational until the caller asks for a
+/// float.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOut {
+    /// COUNT / SUM / MIN / MAX.
+    Int(u32),
+    /// AVG as its exact (sum, count) decomposition.
+    Ratio {
+        /// Wrapping 32-bit sum lane.
+        sum: u32,
+        /// Count lane.
+        count: u32,
+    },
+}
+
+impl AggOut {
+    /// Numeric rendering (AVG divides; everything else converts).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            AggOut::Int(v) => f64::from(v),
+            AggOut::Ratio { sum, count } => {
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    f64::from(sum) / f64::from(count)
+                }
+            }
+        }
+    }
+}
+
+/// One output row: the group and its aggregate values in select-list
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupRow {
+    /// The GROUP BY key.
+    pub group: u32,
+    /// Aggregate values, parallel to `query.aggregates`.
+    pub values: Vec<AggOut>,
+}
+
+/// A complete query result, rows sorted by group id. `==` between two
+/// results is exact bit-identity of every aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Output rows in ascending group order.
+    pub rows: Vec<GroupRow>,
+}
+
+impl QueryResult {
+    /// Number of groups in the result.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Row, TableSpec};
+
+    /// A two-worker table with hand-checkable content.
+    fn mini_table() -> Table {
+        let spec = TableSpec {
+            n_workers: 2,
+            rows_per_worker: 3,
+            n_groups: 2,
+            n_columns: 2,
+            zipf_s: 0.0,
+            max_value: 100,
+            seed: 0,
+        };
+        Table {
+            spec,
+            shards: vec![
+                vec![
+                    Row { group: 0, cols: vec![10, 5] },
+                    Row { group: 1, cols: vec![20, 7] },
+                    Row { group: 0, cols: vec![30, 3] },
+                ],
+                vec![
+                    Row { group: 1, cols: vec![40, 9] },
+                    Row { group: 0, cols: vec![50, 1] },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn reference_computes_all_aggregates() {
+        let q = Query::new(vec![
+            Aggregate::Count,
+            Aggregate::Sum(0),
+            Aggregate::Min(1),
+            Aggregate::Max(1),
+            Aggregate::Avg(0),
+        ]);
+        let r = q.reference(&mini_table());
+        assert_eq!(r.len(), 2);
+        let g0 = &r.rows[0];
+        assert_eq!(g0.group, 0);
+        assert_eq!(
+            g0.values,
+            vec![
+                AggOut::Int(3),
+                AggOut::Int(90),
+                AggOut::Int(1),
+                AggOut::Int(5),
+                AggOut::Ratio { sum: 90, count: 3 },
+            ]
+        );
+        let g1 = &r.rows[1];
+        assert_eq!(g1.group, 1);
+        assert_eq!(
+            g1.values,
+            vec![
+                AggOut::Int(2),
+                AggOut::Int(60),
+                AggOut::Int(7),
+                AggOut::Int(9),
+                AggOut::Ratio { sum: 60, count: 2 },
+            ]
+        );
+        assert_eq!(g1.values[4].as_f64(), 30.0);
+    }
+
+    #[test]
+    fn sum_wraps_like_the_switch() {
+        let mut t = mini_table();
+        t.shards[0][0].cols[0] = u32::MAX;
+        t.shards[0][2].cols[0] = 2;
+        t.shards[1][1].cols[0] = 0;
+        let q = Query::new(vec![Aggregate::Sum(0)]);
+        let r = q.reference(&t);
+        // u32::MAX + 2 + 0 wraps to 1, exactly as AggFn::Sum would.
+        assert_eq!(r.rows[0].values[0], AggOut::Int(1));
+    }
+
+    #[test]
+    fn validate_checks_columns() {
+        let q = Query::new(vec![Aggregate::Sum(5)]);
+        assert!(q.validate(2).unwrap_err().contains("column 5"));
+        assert!(Query::new(vec![]).validate(2).is_err());
+        assert!(Query::new(vec![Aggregate::Count]).validate(0).is_ok());
+    }
+
+    #[test]
+    fn describe_reads_like_sql() {
+        let q = Query::new(vec![Aggregate::Count, Aggregate::Avg(2)]);
+        assert_eq!(q.describe(), "SELECT g, COUNT(*), AVG(c2) FROM t GROUP BY g");
+    }
+
+    #[test]
+    fn empty_ratio_is_nan_not_panic() {
+        assert!(AggOut::Ratio { sum: 0, count: 0 }.as_f64().is_nan());
+    }
+}

@@ -1,0 +1,293 @@
+//! Deterministic table generation for the GROUP BY workload.
+//!
+//! A table is a bag of rows `(group, c0, c1, …)`, horizontally sharded
+//! across workers the way a scanned base table is in a distributed SQL
+//! engine. The generator's shape knobs mirror what matters for in-network
+//! aggregation:
+//!
+//! * `n_groups` — GROUP BY cardinality. Aggregation collapses every
+//!   worker's partial row for a group into one, so the reduction factor is
+//!   governed by how many workers touch each group;
+//! * `zipf_s` — skew of the group-frequency distribution (0 = uniform).
+//!   Real GROUP BY columns are Zipf-ish: a few hot groups appear on every
+//!   worker (maximal reduction), a long tail appears on one (none);
+//! * `rows_per_worker` × `n_workers` — scan size.
+
+use daiet_wire::daiet::Key;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Table-generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableSpec {
+    /// Workers (= scan shards = DAIET senders).
+    pub n_workers: usize,
+    /// Rows each worker scans.
+    pub rows_per_worker: usize,
+    /// GROUP BY cardinality (group ids `0..n_groups`).
+    pub n_groups: usize,
+    /// Value columns per row (aggregates reference columns by index).
+    pub n_columns: usize,
+    /// Zipf exponent of the group distribution (`0.0` = uniform; group 0
+    /// is the hottest).
+    pub zipf_s: f64,
+    /// Column values are uniform in `0..=max_value`.
+    pub max_value: u32,
+    /// RNG seed; generation is fully deterministic per spec.
+    pub seed: u64,
+}
+
+impl TableSpec {
+    /// A small configuration for unit tests.
+    pub fn tiny(seed: u64) -> TableSpec {
+        TableSpec {
+            n_workers: 4,
+            rows_per_worker: 50,
+            n_groups: 12,
+            n_columns: 3,
+            zipf_s: 1.1,
+            max_value: 1000,
+            seed,
+        }
+    }
+
+    /// A demo/bench-sized configuration: 8 workers × 4 K rows over 512
+    /// groups with realistic skew.
+    pub fn demo(seed: u64) -> TableSpec {
+        TableSpec {
+            n_workers: 8,
+            rows_per_worker: 4096,
+            n_groups: 512,
+            n_columns: 3,
+            zipf_s: 1.05,
+            max_value: 100_000,
+            seed,
+        }
+    }
+}
+
+/// One row of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// The GROUP BY key.
+    pub group: u32,
+    /// Value columns (`cols.len() == spec.n_columns`).
+    pub cols: Vec<u32>,
+}
+
+/// A generated, worker-sharded table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The specification that produced this table.
+    pub spec: TableSpec,
+    /// `shards[w]` = the rows worker `w` scans.
+    pub shards: Vec<Vec<Row>>,
+}
+
+impl Table {
+    /// Generates a table from `spec`.
+    pub fn generate(spec: &TableSpec) -> Table {
+        assert!(spec.n_workers >= 1, "at least one worker");
+        assert!(spec.n_groups >= 1 && spec.n_groups <= u32::MAX as usize);
+        assert!(spec.n_columns >= 1, "aggregates need at least one column");
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let zipf = Zipf::new(spec.n_groups, spec.zipf_s);
+        let shards = (0..spec.n_workers)
+            .map(|_| {
+                (0..spec.rows_per_worker)
+                    .map(|_| Row {
+                        group: zipf.sample(&mut rng) as u32,
+                        cols: (0..spec.n_columns)
+                            .map(|_| rng.random_range(0..=spec.max_value))
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+        Table { spec: *spec, shards }
+    }
+
+    /// Total rows across all shards.
+    pub fn total_rows(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Number of distinct groups actually present.
+    pub fn groups_present(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for shard in &self.shards {
+            for row in shard {
+                seen.insert(row.group);
+            }
+        }
+        seen.len()
+    }
+
+    /// Mean number of workers holding each present group — the knob that
+    /// bounds how much in-network aggregation can collapse (exactly like
+    /// word multiplicity in the WordCount corpus).
+    pub fn group_multiplicity(&self) -> f64 {
+        let mut per_worker: Vec<std::collections::HashSet<u32>> = Vec::new();
+        for shard in &self.shards {
+            per_worker.push(shard.iter().map(|r| r.group).collect());
+        }
+        let total: usize = per_worker.iter().map(|s| s.len()).sum();
+        total as f64 / self.groups_present().max(1) as f64
+    }
+}
+
+/// Encodes a group id as a DAIET wire key: the ASCII text `g` followed by
+/// 8 hex digits — readable in packet dumps, trivially reversible, and
+/// well under the 16-byte key width.
+pub fn group_key(group: u32) -> Key {
+    let mut bytes = [0u8; 9];
+    bytes[0] = b'g';
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for (i, b) in bytes[1..].iter_mut().enumerate() {
+        *b = HEX[((group >> (28 - 4 * i)) & 0xf) as usize];
+    }
+    Key::from_bytes(&bytes).expect("9 <= KEY_LEN")
+}
+
+/// Decodes a key produced by [`group_key`]; `None` for foreign keys.
+/// Strictly the [`group_key`] alphabet — lowercase hex only, so foreign
+/// keys that merely look hex-ish (e.g. `"gABCDEF12"`) are refused.
+pub fn group_of_key(key: &Key) -> Option<u32> {
+    let t = key.trimmed();
+    if t.len() != 9 || t[0] != b'g' {
+        return None;
+    }
+    let mut g: u32 = 0;
+    for &b in &t[1..] {
+        let digit = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            _ => return None,
+        };
+        g = (g << 4) | u32::from(digit);
+    }
+    Some(g)
+}
+
+/// Zipf(s) sampler over ranks `0..n` via the inverse CDF (deterministic,
+/// works with the vendored `rand`). `s = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "empty support");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.random();
+        // First rank whose cumulative mass exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Table::generate(&TableSpec::tiny(3));
+        let b = Table::generate(&TableSpec::tiny(3));
+        assert_eq!(a.shards, b.shards);
+        let c = Table::generate(&TableSpec::tiny(4));
+        assert_ne!(a.shards, c.shards);
+    }
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = TableSpec::tiny(1);
+        let t = Table::generate(&spec);
+        assert_eq!(t.shards.len(), spec.n_workers);
+        assert_eq!(t.total_rows(), spec.n_workers * spec.rows_per_worker);
+        for shard in &t.shards {
+            for row in shard {
+                assert!((row.group as usize) < spec.n_groups);
+                assert_eq!(row.cols.len(), spec.n_columns);
+                assert!(row.cols.iter().all(|&v| v <= spec.max_value));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_orders_group_frequencies() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let z = Zipf::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate the tail decisively, and the head of the
+        // distribution must be ordered.
+        assert!(counts[0] > 4 * counts[9], "head {} tail {}", counts[0], counts[9]);
+        assert!(counts[0] > counts[1] && counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let z = Zipf::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn group_keys_round_trip() {
+        for g in [0u32, 1, 0xdead_beef, u32::MAX] {
+            let k = group_key(g);
+            assert_eq!(group_of_key(&k), Some(g), "group {g:#x}");
+        }
+        // Foreign keys decode to None — including uppercase hex, which
+        // group_key never emits.
+        assert_eq!(group_of_key(&Key::from_str_key("word").unwrap()), None);
+        assert_eq!(group_of_key(&Key::from_str_key("g12345").unwrap()), None);
+        assert_eq!(group_of_key(&Key::from_str_key("gABCDEF12").unwrap()), None);
+    }
+
+    #[test]
+    fn group_keys_are_distinct_and_readable() {
+        let a = group_key(7);
+        let b = group_key(8);
+        assert_ne!(a, b);
+        assert_eq!(a.display_lossy(), "g00000007");
+    }
+
+    #[test]
+    fn skewed_tables_have_high_multiplicity_heads() {
+        let t = Table::generate(&TableSpec::tiny(5));
+        // Group 0 (hottest under Zipf) should appear on every worker.
+        let holders = t
+            .shards
+            .iter()
+            .filter(|s| s.iter().any(|r| r.group == 0))
+            .count();
+        assert_eq!(holders, t.spec.n_workers);
+        assert!(t.group_multiplicity() >= 1.0);
+    }
+}

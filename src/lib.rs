@@ -11,7 +11,8 @@
 //! * [`daiet`] — the paper's system: controller, trees, switch aggregation,
 //! * [`mapreduce`] — MapReduce framework and the WordCount benchmark,
 //! * [`mlsim`] — parameter-server ML workloads (Figure 1a/1b),
-//! * [`graphsim`] — Pregel-like graph processing (Figure 1c).
+//! * [`graphsim`] — Pregel-like graph processing (Figure 1c),
+//! * [`querysim`] — SQL-style multi-aggregate GROUP BY queries.
 
 pub use daiet;
 pub use daiet_dataplane as dataplane;
@@ -19,5 +20,6 @@ pub use daiet_graphsim as graphsim;
 pub use daiet_mapreduce as mapreduce;
 pub use daiet_mlsim as mlsim;
 pub use daiet_netsim as netsim;
+pub use daiet_querysim as querysim;
 pub use daiet_transport as transport;
 pub use daiet_wire as wire;

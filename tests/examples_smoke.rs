@@ -13,6 +13,7 @@ const EXAMPLES: &[(&str, &[&str])] = &[
     ("ml_overlap", &["Fig 1(a)", "Fig 1(b)"]),
     ("graph_analytics", &["PageRank", "SSSP", "WCC"]),
     ("fault_injection", &["complete=true"]),
+    ("sql_groupby", &["GROUP BY g", "identical across modes: true"]),
 ];
 
 /// `target/<profile>/examples/<name>` relative to this test binary
