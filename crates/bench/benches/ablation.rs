@@ -31,6 +31,7 @@ fn drive(config: DaietConfig, packets: usize, distinct: usize) -> u64 {
         endpoints: Endpoints::from_ids(9, 2),
         agg: AggFn::Sum,
         children: 1,
+        children_sources: Vec::new(),
     });
     for i in 0..packets {
         let entries: Vec<Pair> = (0..10)

@@ -43,6 +43,7 @@ fn bench_algorithm1(c: &mut Criterion) {
                 endpoints: Endpoints::from_ids(9, 2),
                 agg: AggFn::Sum,
                 children: 1,
+                children_sources: Vec::new(),
             });
             for f in &frames {
                 let parsed = parse(f.clone(), &ParserConfig::default()).unwrap();

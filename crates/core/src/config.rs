@@ -30,6 +30,25 @@ pub struct DaietConfig {
     /// deployment, and packets from flows beyond the cap are refused
     /// deterministically.
     pub dedup_flows: usize,
+    /// Enable NACK-based recovery on top of
+    /// [`reliability`](Self::reliability) (which must also be on — dedup
+    /// is what makes replays idempotent): receivers track per-flow gaps
+    /// and NACK after [`nack_timeout_ns`](Self::nack_timeout_ns), hosts
+    /// replay from their schedules, switches from a bounded
+    /// [`rtx_frames`](Self::rtx_frames)-deep retransmit ring. See
+    /// `docs/RELIABILITY.md`.
+    pub nack_recovery: bool,
+    /// Per-tree retransmit ring depth on each switch, in frames. The
+    /// controller validates at deployment that one full register flush
+    /// (⌈cells / pairs-per-packet⌉ DATA frames + the END) fits, and
+    /// reserves the ring's worst-case SRAM as `daiet.rtx@<switch>`.
+    pub rtx_frames: usize,
+    /// How long a receiver lets an incomplete flow sit idle before
+    /// NACKing it, in nanoseconds (also the NACK timer period).
+    pub nack_timeout_ns: u64,
+    /// NACKs a receiver may send per flow without progress before giving
+    /// up (bounds the event load when data is genuinely unrecoverable).
+    pub nack_max: u32,
 }
 
 impl Default for DaietConfig {
@@ -42,6 +61,12 @@ impl Default for DaietConfig {
             // 1024 flows × 132 B ≈ 132 KiB: room for dozens of trees ×
             // dozens of senders within a tenth of one Tofino stage.
             dedup_flows: 1024,
+            nack_recovery: false,
+            // Covers a full default flush: ⌈16384/10⌉ + 1 = 1640 frames.
+            rtx_frames: 2048,
+            // ≫ the 2 µs default pacing gap, ≪ the 120 s run deadline.
+            nack_timeout_ns: 50_000,
+            nack_max: 32,
         }
     }
 }
@@ -81,6 +106,68 @@ impl DaietConfig {
         }
     }
 
+    /// SRAM bytes one tree's retransmit ring occupies at its frame cap
+    /// (0 when NACK recovery is off): each slot holds one maximal DAIET
+    /// frame (Ethernet through entries) plus its sequence tag.
+    pub fn sram_for_rtx_per_tree(&self) -> usize {
+        if self.nack_recovery {
+            crate::reliability::RetransmitRing::sram_capacity_for(
+                self.rtx_frames,
+                self.max_frame_bytes(),
+            )
+        } else {
+            0
+        }
+    }
+
+    /// SRAM bytes the switch NACK gap-tracker occupies at the dedup flow
+    /// cap (the two tables track the same `(tree, sender)` flow set).
+    pub fn sram_for_nack_tracker(&self) -> usize {
+        if self.nack_recovery {
+            crate::reliability::NackTracker::sram_capacity_for(self.dedup_flows)
+        } else {
+            0
+        }
+    }
+
+    /// Retransmit-ring frames one full register flush emits per tree:
+    /// every cell packed into maximal DATA frames, plus the END. The
+    /// deploy-time check requires [`rtx_frames`](Self::rtx_frames) to
+    /// cover this — the flush burst is the largest *instantaneous*
+    /// emission, so the END-of-round state is always recoverable.
+    ///
+    /// Mid-round **spillover** frames share the ring, so total-round
+    /// retention is workload-dependent: a loss is recoverable while the
+    /// ring still holds it, i.e. as long as fewer than `rtx_frames`
+    /// further frames were emitted between the loss and the replay.
+    /// Receivers NACK an open gap within ~one
+    /// [`nack_timeout_ns`](Self::nack_timeout_ns) even mid-stream
+    /// (prompt NACKs), so in practice the ring must cover one NACK
+    /// round-trip of emissions, not the whole round; the ring's
+    /// `misses` counter is the audit signal that a deployment violated
+    /// this.
+    pub fn rtx_demand_per_tree(&self) -> usize {
+        self.register_cells.div_ceil(self.pairs_per_packet.max(1)) + 1
+    }
+
+    /// Right-sizes [`rtx_frames`](Self::rtx_frames) to this
+    /// configuration's register size: the flush demand rounded up to a
+    /// power of two (slack absorbs mid-round spillover flushes). Call
+    /// after choosing `register_cells` so small deployments don't pay
+    /// the default 2048-deep ring's SRAM.
+    pub fn with_rtx_sized_for_flush(mut self) -> Self {
+        self.rtx_frames = self.rtx_demand_per_tree().next_power_of_two();
+        self
+    }
+
+    /// Byte length of a maximal DAIET frame on the wire (all headers).
+    pub fn max_frame_bytes(&self) -> usize {
+        daiet_wire::ethernet::HEADER_LEN
+            + daiet_wire::ipv4::HEADER_LEN
+            + daiet_wire::udp::HEADER_LEN
+            + self.max_daiet_payload()
+    }
+
     /// Byte length of a full DATA packet's DAIET payload.
     pub fn max_daiet_payload(&self) -> usize {
         daiet_wire::daiet::HEADER_LEN + self.pairs_per_packet * ENTRY_LEN
@@ -103,6 +190,23 @@ impl DaietConfig {
                 "a full DATA packet needs {frame_prefix} parsed bytes but the \
                  switch parser is limited to {max_parse_bytes}; reduce pairs_per_packet"
             ));
+        }
+        if self.nack_recovery && !self.reliability {
+            return Err(
+                "nack_recovery requires reliability: dedup windows are what \
+                 make NACK replays idempotent"
+                    .into(),
+            );
+        }
+        if self.nack_recovery && self.nack_timeout_ns == 0 {
+            return Err("nack_timeout_ns must be positive".into());
+        }
+        if self.nack_recovery && self.nack_max == 0 {
+            // A zero budget would leave incomplete flows permanently
+            // "needy" (never NACKed, never given up): the recovery timer
+            // re-arms forever and `Simulator::run` never terminates
+            // after a single loss.
+            return Err("nack_max must be positive".into());
         }
         // Note: `reliability` with `dedup_flows == 0` is not rejected
         // here — whether the dedup table is ever consulted depends on the
@@ -135,6 +239,38 @@ mod tests {
         assert_eq!(c.sram_for_dedup(), 1024 * per_flow);
         let small = DaietConfig { reliability: true, dedup_flows: 3, ..Default::default() };
         assert_eq!(small.sram_for_dedup(), 3 * per_flow);
+    }
+
+    #[test]
+    fn nack_recovery_requires_reliability_and_timeout() {
+        let bare = DaietConfig { nack_recovery: true, ..Default::default() };
+        assert!(bare.validate(256).unwrap_err().contains("reliability"));
+        let ok = DaietConfig { nack_recovery: true, reliability: true, ..Default::default() };
+        ok.validate(256).unwrap();
+        let zero = DaietConfig { nack_timeout_ns: 0, ..ok };
+        assert!(zero.validate(256).unwrap_err().contains("timeout"));
+        // A zero NACK budget would never NACK and never give up: flows
+        // stay needy forever and the run cannot terminate.
+        let no_budget = DaietConfig { nack_max: 0, ..ok };
+        assert!(no_budget.validate(256).unwrap_err().contains("nack_max"));
+    }
+
+    #[test]
+    fn rtx_sram_and_demand_formulas() {
+        let off = DaietConfig { reliability: true, ..Default::default() };
+        assert_eq!(off.sram_for_rtx_per_tree(), 0);
+        assert_eq!(off.sram_for_nack_tracker(), 0);
+        let on = DaietConfig { reliability: true, nack_recovery: true, ..Default::default() };
+        // 16384 cells / 10 per packet → 1639 DATA + 1 END.
+        assert_eq!(on.rtx_demand_per_tree(), 1640);
+        assert!(on.rtx_frames >= on.rtx_demand_per_tree());
+        // A maximal frame is the paper's 252 bytes; each slot adds a tag.
+        assert_eq!(on.max_frame_bytes(), 252);
+        assert_eq!(on.sram_for_rtx_per_tree(), on.rtx_frames * 256);
+        assert_eq!(
+            on.sram_for_nack_tracker(),
+            on.dedup_flows * crate::reliability::FlowRecv::sram_bytes()
+        );
     }
 
     #[test]

@@ -123,6 +123,22 @@ impl Deployment {
             AggregationMode::PassThrough => n_mappers as u32,
         }
     }
+
+    /// The NACK roster of the reducer at `reducer_index`: the plan slots
+    /// whose DAIET streams the reducer should track and, when gaps age
+    /// out, NACK. In-network these are the tree children feeding the
+    /// reducer (normally its last-hop switch); pass-through they are the
+    /// mappers themselves.
+    pub fn reducer_sources(&self, reducer_index: usize, mappers: &[usize]) -> Vec<u32> {
+        match self.mode {
+            AggregationMode::InNetwork => self.trees[reducer_index]
+                .children_of(self.trees[reducer_index].reducer)
+                .into_iter()
+                .map(|(child, _)| child as u32)
+                .collect(),
+            AggregationMode::PassThrough => mappers.iter().map(|&m| m as u32).collect(),
+        }
+    }
 }
 
 /// The controller: stateless; everything derives from the plan, the
@@ -176,6 +192,19 @@ impl Controller {
             .map_err(DeployError::Config)?;
         if placement.reducers.len() > u16::MAX as usize {
             return Err(DeployError::Config("too many reducers for a u16 tree id".into()));
+        }
+        // Retransmit rings must hold at least one full register flush —
+        // a smaller ring would evict frames the parent is entitled to
+        // NACK, silently un-recovering the data.
+        if mode == AggregationMode::InNetwork && self.config.nack_recovery {
+            let demand = self.config.rtx_demand_per_tree();
+            if self.config.rtx_frames < demand {
+                return Err(DeployError::Config(format!(
+                    "a full flush emits up to {demand} frames per tree but rtx_frames \
+                     is {}; raise DaietConfig::rtx_frames or shrink register_cells",
+                    self.config.rtx_frames
+                )));
+            }
         }
 
         // 1. Aggregation trees, one per reducer.
@@ -242,12 +271,33 @@ impl Controller {
                             2,
                             self.config.sram_per_tree(),
                         )?;
+                    // Its retransmit ring (NACK recovery) rides beside
+                    // it, one per tree so first-fit can spread stages.
+                    if mode == AggregationMode::InNetwork && self.config.nack_recovery {
+                        switch.pipeline_mut().tracker_mut().allocate_first_fit(
+                            &format!("daiet.rtx[{}]@{}", tree.tree_id, sw_slot),
+                            2,
+                            self.config.sram_for_rtx_per_tree(),
+                        )?;
+                    }
+                    // The NACK roster: which senders feed this switch on
+                    // this tree, and through which ports.
+                    let children_sources: Vec<crate::switch_agg::ChildSource> = tree
+                        .children_of(sw_slot)
+                        .into_iter()
+                        .map(|(child, port)| crate::switch_agg::ChildSource {
+                            id: child as u32,
+                            port,
+                        })
+                        .collect();
+                    debug_assert_eq!(children_sources.len() as u32, children);
                     engine.install_tree(TreeStateConfig {
                         tree_id: tree.tree_id,
                         out_port: upstream.port,
                         endpoints: Endpoints::from_ids(sw_slot as u32, tree.reducer as u32),
                         agg: self.agg_for(tree.tree_id as usize),
                         children,
+                        children_sources,
                     });
                     participating.push(tree.tree_id);
                 }
@@ -274,13 +324,28 @@ impl Controller {
                         self.config.dedup_flows
                     )));
                 }
+                // With NACK recovery the gap tracker's bitmaps are the
+                // duplicate filter, so the standalone dedup window is
+                // neither instantiated nor reserved.
                 let dedup_sram = self.config.sram_for_dedup();
-                if dedup_sram > 0 {
+                if dedup_sram > 0 && !self.config.nack_recovery {
                     switch.pipeline_mut().tracker_mut().allocate_first_fit(
                         &format!("daiet.dedup@{sw_slot}"),
                         2,
                         dedup_sram,
                     )?;
+                }
+                // The NACK gap tracker is switch SRAM too (the rings were
+                // reserved per tree above, beside each tree's registers).
+                if self.config.nack_recovery {
+                    let nack_sram = self.config.sram_for_nack_tracker();
+                    if nack_sram > 0 {
+                        switch.pipeline_mut().tracker_mut().allocate_first_fit(
+                            &format!("daiet.nack@{sw_slot}"),
+                            2,
+                            nack_sram,
+                        )?;
+                    }
                 }
             }
             let ext = switch.register_extern(Box::new(engine));
@@ -474,6 +539,96 @@ mod tests {
         Controller::new(exact, AggFn::Sum)
             .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
             .unwrap();
+    }
+
+    /// The NACK-recovery state (retransmit rings + gap tracker) is switch
+    /// SRAM: reserved at deployment, with the ring validated against the
+    /// placement's flush demand.
+    #[test]
+    fn nack_recovery_reserves_rtx_and_tracker_sram() {
+        let plan = TopologyPlan::star(4, LinkSpec::fast());
+        let placement = JobPlacement { mappers: vec![0, 1, 2], reducers: vec![3] };
+        let config = DaietConfig {
+            reliability: true,
+            nack_recovery: true,
+            register_cells: 256,
+            rtx_frames: 64,
+            ..DaietConfig::default()
+        };
+        let (_dep, switches) = Controller::new(config, AggFn::Sum)
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap();
+        let allocs = switches[&4].pipeline().tracker().allocations().to_vec();
+        let rtx = allocs.iter().find(|a| a.name.starts_with("daiet.rtx")).expect("rtx ring");
+        assert_eq!(rtx.bytes, config.sram_for_rtx_per_tree());
+        let nack = allocs.iter().find(|a| a.name.starts_with("daiet.nack")).expect("tracker");
+        assert_eq!(nack.bytes, config.sram_for_nack_tracker());
+
+        // An undersized ring (cannot hold one register flush) is refused
+        // with an actionable message.
+        let tight = DaietConfig { rtx_frames: 10, ..config };
+        let err = Controller::new(tight, AggFn::Sum)
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap_err();
+        assert!(
+            matches!(&err, DeployError::Config(msg) if msg.contains("rtx_frames")),
+            "expected a ring-demand rejection, got {err}"
+        );
+
+        // Recovery off → no rtx/nack allocations at all.
+        let off = DaietConfig { nack_recovery: false, ..config };
+        let (_d, switches) = Controller::new(off, AggFn::Sum)
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap();
+        assert!(switches[&4]
+            .pipeline()
+            .tracker()
+            .allocations()
+            .iter()
+            .all(|a| !a.name.starts_with("daiet.rtx") && !a.name.starts_with("daiet.nack")));
+    }
+
+    /// Deployments hand receivers their NACK roster: the tree children of
+    /// the reducer in-network, the mappers themselves pass-through.
+    #[test]
+    fn reducer_sources_follow_the_mode() {
+        let (_, dep, _) = deploy_star(4, vec![0, 1, 2], vec![3], AggregationMode::InNetwork);
+        // The reducer's only feeder is the star switch (slot 4).
+        assert_eq!(dep.reducer_sources(0, &[0, 1, 2]), vec![4]);
+        let (_, dep, _) = deploy_star(4, vec![0, 1, 2], vec![3], AggregationMode::PassThrough);
+        assert_eq!(dep.reducer_sources(0, &[0, 1, 2]), vec![0, 1, 2]);
+    }
+
+    /// The controller wires each switch engine's child roster so NACKs
+    /// can be addressed and routed without consulting L2 tables.
+    #[test]
+    fn deploy_installs_child_sources_on_engines() {
+        let plan = TopologyPlan::leaf_spine(3, 2, 1, LinkSpec::fast());
+        let config = DaietConfig {
+            reliability: true,
+            nack_recovery: true,
+            register_cells: 256,
+            rtx_frames: 64,
+            ..DaietConfig::default()
+        };
+        let controller = Controller::new(config, AggFn::Sum);
+        let placement = JobPlacement { mappers: vec![0, 1, 2, 3, 4], reducers: vec![5] };
+        let (dep, switches) = controller
+            .deploy(&plan, &placement, Resources::tofino_like(), AggregationMode::InNetwork)
+            .unwrap();
+        // Leaf 6 (hosts 0-2 below, spine above): three child mappers.
+        let leaf = &switches[&6];
+        let engine = leaf
+            .extern_ref::<DaietEngine>(dep.engine_externs[&6])
+            .expect("engine registered");
+        assert!(engine.nack_tracker().is_some());
+        assert_eq!(engine.nack_tracker().unwrap().flow_count(), 3);
+        // Spine 8: exactly one child (leaf 6).
+        let spine = &switches[&8];
+        let engine = spine
+            .extern_ref::<DaietEngine>(dep.engine_externs[&8])
+            .expect("engine registered");
+        assert_eq!(engine.nack_tracker().unwrap().flow_count(), 1);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! an optional extension ("In the current prototype, we do not address the
 //! issue of packet losses, which we leave as future work", §4).
 //!
-//! Two composable mechanisms, both off by default to mirror the prototype:
+//! Three composable mechanisms, all off by default to mirror the
+//! prototype (the full protocol is specified in `docs/RELIABILITY.md`):
 //!
 //! 1. **Switch-side duplicate suppression** ([`DedupWindow`]): aggregation
 //!    is *not idempotent* — replaying a DATA packet double-counts its
@@ -16,14 +17,25 @@
 //!    (residual loss `p^k`, see [`residual_loss`]). This trades bandwidth
 //!    for reliability without a reverse channel — an appropriate design
 //!    point for a switch that cannot buffer for retransmission.
-//!
-//! A full NACK-based recovery protocol would additionally need reducer
-//! feedback and mapper-side buffering; [`residual_loss`] quantifies how far
-//! plain redundancy goes, and the integration tests exercise exactness
-//! under duplication faults and under loss with redundancy.
+//! 3. **NACK-based recovery** (this module's [`FlowRecv`],
+//!    [`NackTracker`], [`RetransmitRing`] and [`NackEndpoint`]): every
+//!    receiver — a switch engine watching its tree children, a reducer or
+//!    query coordinator watching its last hop — tracks per-flow sequence
+//!    gaps, and after a configurable idle timeout sends a NACK frame
+//!    naming the missing [`NackRange`]s (plus a *tail* request covering a
+//!    possibly-lost END). Hosts replay from their full transmit schedule;
+//!    switches replay recently flushed aggregates from a bounded,
+//!    SRAM-accounted [`RetransmitRing`]. Replays are made idempotent by
+//!    the dedup windows, so recovery composes with (and subsumes)
+//!    redundancy: `k = 1` suffices on every segment.
 
+use daiet_netsim::{Frame, FramePool, SimDuration, SimTime};
+use daiet_wire::daiet::{Header, NackRange, PacketType};
 use daiet_wire::fnv::FnvHashMap;
+use daiet_wire::stack::{build_daiet_into, Endpoints};
+use daiet_wire::udp::DAIET_PORT;
 use daiet_wire::Ipv4Address;
+use std::collections::VecDeque;
 
 /// Size of each per-sender sequence window, in packets. Power of two so
 /// the bitmap math stays cheap.
@@ -67,6 +79,31 @@ impl FlowWindow {
     }
 
     /// Returns `true` exactly once per fresh sequence number.
+    ///
+    /// Sequence numbers are compared RFC 1982-style, so a long-lived
+    /// sender rolling past `u32::MAX` keeps being accepted — the raw
+    /// `<`/`>` comparison this replaced rejected every post-wrap packet
+    /// forever:
+    ///
+    /// ```
+    /// use daiet::reliability::FlowWindow;
+    ///
+    /// let mut w = FlowWindow::default();
+    /// assert!(w.accept(u32::MAX - 1));
+    /// assert!(w.accept(u32::MAX));
+    /// // The wrap is just another increment…
+    /// assert!(w.accept(0));
+    /// assert!(w.accept(1));
+    /// // …and stays exactly-once on both sides of it.
+    /// assert!(!w.accept(u32::MAX));
+    /// assert!(!w.accept(0));
+    /// // Bounded reordering across the boundary is tolerated too.
+    /// let mut w = FlowWindow::default();
+    /// assert!(w.accept(1));          // sender wrapped before we saw anything
+    /// assert!(w.accept(u32::MAX));   // two behind, still inside the window
+    /// assert!(w.accept(0));
+    /// assert!(!w.accept(u32::MAX));
+    /// ```
     pub fn accept(&mut self, seq: u32) -> bool {
         match self.max_seen {
             None => {
@@ -265,6 +302,816 @@ pub fn residual_loss(p: f64, k: u32) -> f64 {
     p.powi(k as i32)
 }
 
+/// Serializes the NACK frames for `req` — chunked per
+/// [`NackRequest::for_each_frame`], addressed per `ep` — handing each
+/// finished frame to `sink` and returning how many were built. The
+/// **single** wire-construction path for NACKs: host endpoints
+/// ([`NackEndpoint::build_nacks`]) and the switch engine both delegate
+/// here, so their wire behaviour cannot drift.
+pub fn build_nack_frames(
+    ep: &Endpoints,
+    tree: u16,
+    req: &NackRequest,
+    ranges_per_packet: usize,
+    pool: &FramePool,
+    mut sink: impl FnMut(Frame),
+) -> u64 {
+    let mut built = 0;
+    req.for_each_frame(ranges_per_packet, |tail, ranges| {
+        let hdr = Header::nack(tree, req.next_expected, tail);
+        let pairs: Vec<daiet_wire::daiet::Pair> = ranges.iter().map(NackRange::to_pair).collect();
+        let mut buf = pool.buffer();
+        build_daiet_into(&mut buf, ep, DAIET_PORT, &hdr, &pairs);
+        sink(pool.frame(buf));
+        built += 1;
+    });
+    built
+}
+
+/// RFC 1982 serial comparison: `a` is strictly after `b` in the wrapping
+/// 32-bit sequence space (forward distance in `(0, 2^31)`).
+#[inline]
+pub fn seq_after(a: u32, b: u32) -> bool {
+    let d = a.wrapping_sub(b);
+    d != 0 && d < 1 << 31
+}
+
+/// RFC 1982 serial comparison: `a` equals or is after `b`.
+#[inline]
+pub fn seq_at_or_after(a: u32, b: u32) -> bool {
+    a == b || seq_after(a, b)
+}
+
+/// What one NACK asks a sender to replay: the explicit missing ranges,
+/// plus — when `tail` is set — everything at or after `next_expected`
+/// (which is how a lost END, invisible as a "gap", is recovered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NackRequest {
+    /// One past the highest sequence number the receiver has seen
+    /// (`0` for a flow it never heard from).
+    pub next_expected: u32,
+    /// Request replay of everything at or after `next_expected`.
+    pub tail: bool,
+    /// Explicit missing runs below `next_expected`.
+    pub ranges: Vec<NackRange>,
+}
+
+impl NackRequest {
+    /// Visits the per-frame payloads a NACK for this request must carry:
+    /// at most `ranges_per_packet` ranges per frame, with the tail flag
+    /// riding only the first (a duplicated tail would merely cause
+    /// idempotent re-replays). This is the **single definition** of the
+    /// frame-splitting rule, shared by host endpoints and the switch
+    /// engine so their wire behaviour cannot drift.
+    pub fn for_each_frame(&self, ranges_per_packet: usize, mut f: impl FnMut(bool, &[NackRange])) {
+        let mut chunks = self.ranges.chunks(ranges_per_packet.max(1));
+        f(self.tail, chunks.next().unwrap_or(&[]));
+        for chunk in chunks {
+            f(false, chunk);
+        }
+    }
+}
+
+/// Receiver-side per-flow reassembly state for NACK recovery: a cumulative
+/// edge plus a [`WINDOW`]-wide reception bitmap ahead of it.
+///
+/// Every DAIET stream starts at sequence 0 when its sender (worker or
+/// switch) is installed, so `contig` starts there; seqs forced more than a
+/// window behind the newest traffic are abandoned (counted in
+/// [`aged_out`](Self::aged_out)) rather than tracked unboundedly — the
+/// same SRAM discipline as the dedup window.
+#[derive(Debug, Clone)]
+pub struct FlowRecv {
+    /// Everything serially before this was received (or aged out).
+    contig: u32,
+    /// Highest sequence number seen so far (serial order), `None` before
+    /// the first frame.
+    max_seen: Option<u32>,
+    /// Reception bitmap for `[contig, contig + WINDOW)`.
+    bits: [u64; (WINDOW as usize) / 64],
+    /// Sequence number of the most recent END frame.
+    end_at: Option<u32>,
+    /// Last time this flow made progress (fresh data) or was NACKed.
+    last_activity: SimTime,
+    /// NACKs sent for this flow since it last made progress.
+    nacks_sent: u32,
+    /// The flow exhausted its NACK budget without completing; cleared by
+    /// fresh data.
+    gave_up: bool,
+    /// Sequence numbers abandoned because they fell a full window behind.
+    pub aged_out: u64,
+}
+
+impl Default for FlowRecv {
+    fn default() -> Self {
+        FlowRecv {
+            contig: 0,
+            max_seen: None,
+            bits: [0; (WINDOW as usize) / 64],
+            end_at: None,
+            last_activity: SimTime::ZERO,
+            nacks_sent: 0,
+            gave_up: false,
+            aged_out: 0,
+        }
+    }
+}
+
+impl FlowRecv {
+    #[inline]
+    fn bit(&self, seq: u32) -> bool {
+        let (w, m) = FlowWindow::slot(seq);
+        self.bits[w] & m != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, seq: u32) {
+        let (w, m) = FlowWindow::slot(seq);
+        self.bits[w] |= m;
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, seq: u32) {
+        let (w, m) = FlowWindow::slot(seq);
+        self.bits[w] &= !m;
+    }
+
+    /// Records one received frame, returning `true` exactly once per
+    /// fresh sequence number — the reception bitmap doubles as the
+    /// duplicate filter, so a receiver running NACK recovery needs no
+    /// separate [`DedupWindow`] (one flow lookup per packet, not two).
+    /// Fresh data resets the NACK budget, but refreshes the activity
+    /// clock only while the flow is gapless — an open gap must be
+    /// NACKed within ~one timeout even if later frames keep streaming
+    /// in, or the sender's bounded ring evicts the loss before recovery
+    /// starts.
+    pub fn note(&mut self, seq: u32, is_end: bool, now: SimTime) -> bool {
+        // Fast path: strictly in-order delivery of a gapless flow — the
+        // loss-free common case, which must stay near the cost of a
+        // plain dedup lookup. Gapless (`contig == max_seen + 1`) means
+        // every bit below `contig` was cleared as the edge passed it and
+        // nothing was ever set at or above it, so the bitmap is provably
+        // all-zero and can be skipped entirely.
+        let gapless = match self.max_seen {
+            None => true,
+            Some(m) => m.wrapping_add(1) == self.contig,
+        };
+        if gapless && seq == self.contig {
+            self.contig = seq.wrapping_add(1);
+            self.max_seen = Some(seq);
+            if is_end {
+                self.end_at = Some(seq);
+            }
+            self.last_activity = now;
+            self.nacks_sent = 0;
+            self.gave_up = false;
+            return true;
+        }
+        // Serially before the cumulative edge: an old duplicate/replay
+        // (everything below `contig` was either received or aged out).
+        if !seq_at_or_after(seq, self.contig) {
+            return false;
+        }
+        // Keep the bitmap invariant `seq - contig < WINDOW`: drag the
+        // edge forward, abandoning whatever it passes unreceived.
+        while seq.wrapping_sub(self.contig) >= WINDOW {
+            if !self.bit(self.contig) {
+                self.aged_out += 1;
+            } else {
+                self.clear_bit(self.contig);
+            }
+            self.contig = self.contig.wrapping_add(1);
+        }
+        let fresh = !self.bit(seq);
+        if fresh {
+            self.set_bit(seq);
+            self.nacks_sent = 0;
+            self.gave_up = false;
+        }
+        if self.max_seen.is_none_or(|m| seq_after(seq, m)) {
+            self.max_seen = Some(seq);
+        }
+        if is_end && self.end_at.is_none_or(|e| seq_after(seq, e)) {
+            self.end_at = Some(seq);
+        }
+        // Advance the cumulative edge over received bits, clearing them so
+        // their slots are fresh when the window comes around again.
+        while self.bit(self.contig) {
+            self.clear_bit(self.contig);
+            self.contig = self.contig.wrapping_add(1);
+        }
+        // Refresh the idle clock only while the flow is **gapless**:
+        // once a gap opens, continued fresh traffic beyond it must not
+        // keep postponing the NACK — the sender's retransmit ring is
+        // bounded, so recovery must start within ~one timeout of the
+        // loss, not when the stream eventually pauses (prompt NACKs are
+        // what keep a hot stream's ring evictions ahead of its losses).
+        if fresh && self.contig == self.max_seen.expect("set above").wrapping_add(1) {
+            self.last_activity = now;
+        }
+        fresh
+    }
+
+    /// True when the stream is gapless up to its newest frame *and* that
+    /// frame is an END — the only state in which the receiver owes the
+    /// sender nothing. An iterative sender's next round (frames beyond
+    /// the END) makes the flow unsatisfied again.
+    pub fn is_satisfied(&self) -> bool {
+        match self.max_seen {
+            None => false,
+            Some(m) => self.contig == m.wrapping_add(1) && self.end_at == Some(m),
+        }
+    }
+
+    /// One past the highest sequence seen (0 for a silent flow).
+    pub fn next_expected(&self) -> u32 {
+        self.max_seen.map_or(0, |m| m.wrapping_add(1))
+    }
+
+    /// Collects the missing runs in `[contig, max_seen)` as coalesced
+    /// ranges.
+    fn missing(&self, out: &mut Vec<NackRange>) {
+        let Some(max) = self.max_seen else {
+            return;
+        };
+        let mut s = self.contig;
+        let mut open: Option<NackRange> = None;
+        while s != max && seq_after(max, s) {
+            if !self.bit(s) {
+                match open.as_mut() {
+                    Some(r) if r.first.wrapping_add(r.count) == s => r.count += 1,
+                    _ => {
+                        if let Some(r) = open.take() {
+                            out.push(r);
+                        }
+                        open = Some(NackRange { first: s, count: 1 });
+                    }
+                }
+            }
+            s = s.wrapping_add(1);
+        }
+        if let Some(r) = open {
+            out.push(r);
+        }
+    }
+
+    /// The request a NACK for this flow should carry, or `None` when the
+    /// flow is satisfied.
+    pub fn request(&self) -> Option<NackRequest> {
+        if self.is_satisfied() {
+            return None;
+        }
+        let mut ranges = Vec::new();
+        self.missing(&mut ranges);
+        // The tail is outstanding unless the newest frame is the END
+        // (then only interior gaps remain).
+        let tail = self.max_seen.is_none() || self.end_at != self.max_seen;
+        Some(NackRequest { next_expected: self.next_expected(), tail, ranges })
+    }
+
+    /// SRAM bytes one receive flow occupies on a switch: the bitmap plus
+    /// edge/max/end registers and the activity timestamp.
+    pub const fn sram_bytes() -> usize {
+        (WINDOW as usize) / 8 + 20
+    }
+}
+
+/// All receive flows one node tracks for NACK recovery, keyed by
+/// `(tree, sender host id)`.
+///
+/// Flows are **seeded** from the deployment roster
+/// ([`expect`](Self::expect)) so a flow whose every frame was lost is
+/// still known and NACKed from sequence 0 — gap detection alone can never
+/// see a sender it never heard. On switches the table is SRAM, reserved
+/// by the controller as `daiet.nack@<switch>` alongside the dedup window.
+///
+/// ```
+/// use daiet::reliability::NackTracker;
+/// use daiet_netsim::{SimDuration, SimTime};
+///
+/// let mut t = NackTracker::new();
+/// t.expect(1, 7); // roster: tree 1 is fed by host 7
+/// // Frames 0 and 2 arrive; 1 is lost; the END (seq 3) arrives.
+/// t.note(1, 7, 0, false, SimTime(10));
+/// t.note(1, 7, 2, false, SimTime(20));
+/// t.note(1, 7, 3, true, SimTime(30));
+/// assert!(t.wants_attention(8));
+/// // After the timeout, exactly one NACK is due, naming the gap.
+/// let mut due = Vec::new();
+/// t.for_each_due(SimTime(100_000), SimDuration::from_nanos(50), 8, |tree, child, req| {
+///     due.push((tree, child, req));
+/// });
+/// assert_eq!(due.len(), 1);
+/// let (tree, child, req) = &due[0];
+/// assert_eq!((*tree, *child), (1, 7));
+/// assert_eq!(req.ranges.len(), 1);
+/// assert_eq!((req.ranges[0].first, req.ranges[0].count), (1, 1));
+/// assert!(!req.tail, "the END was seen; only the interior gap is missing");
+/// // Once seq 1 is retransmitted the flow is satisfied and goes quiet.
+/// t.note(1, 7, 1, false, SimTime(200_000));
+/// assert!(!t.wants_attention(8));
+/// ```
+#[derive(Debug)]
+pub struct NackTracker {
+    flows: FnvHashMap<(u16, u32), FlowRecv>,
+    /// Maximum flows the table may track (`usize::MAX` when unbounded).
+    max_flows: usize,
+    /// Flows currently unsatisfied with NACK budget remaining — kept
+    /// incrementally so [`wants_attention`](Self::wants_attention) is
+    /// O(1); it is consulted on **every** packet arrival (timer
+    /// re-arming), where an O(flows) scan would tax the loss-free hot
+    /// path.
+    needy: usize,
+    /// NACK requests handed out (frames may be more: long range lists
+    /// split across packets).
+    pub nacks_requested: u64,
+    /// Flows that exhausted their NACK budget without completing.
+    pub flows_given_up: u64,
+    /// Frames suppressed as duplicates by the reception bitmaps (the
+    /// tracker doubles as the dedup filter when NACK recovery is on).
+    pub duplicates: u64,
+    /// Packets refused because their flow would exceed the flow cap.
+    pub flows_rejected: u64,
+    /// Flow entries evicted by [`NackTracker::clear_tree`] (tree
+    /// teardown/reinstallation).
+    pub flows_evicted: u64,
+}
+
+impl Default for NackTracker {
+    fn default() -> Self {
+        NackTracker {
+            flows: FnvHashMap::default(),
+            max_flows: usize::MAX,
+            needy: 0,
+            nacks_requested: 0,
+            flows_given_up: 0,
+            duplicates: 0,
+            flows_rejected: 0,
+            flows_evicted: 0,
+        }
+    }
+}
+
+impl NackTracker {
+    /// An empty, **unbounded** tracker (host-side use only).
+    pub fn new() -> NackTracker {
+        NackTracker::default()
+    }
+
+    /// An empty tracker tracking at most `max_flows` `(tree, sender)`
+    /// flows — the switch-side form, whose worst-case SRAM footprint
+    /// ([`sram_capacity_for`](Self::sram_capacity_for)) is reserved
+    /// against the chip budget at deployment; same capacity discipline
+    /// as [`DedupWindow::with_capacity`].
+    pub fn with_capacity(max_flows: usize) -> NackTracker {
+        NackTracker { max_flows, ..NackTracker::default() }
+    }
+
+    /// Seeds the roster: `child`'s stream for `tree` is expected to exist
+    /// (and to start at sequence 0). At the flow cap the seed is refused
+    /// and counted — the deploy-time demand check sizes the cap so
+    /// rostered flows always fit.
+    pub fn expect(&mut self, tree: u16, child: u32) {
+        let len = self.flows.len();
+        if let std::collections::hash_map::Entry::Vacant(e) = self.flows.entry((tree, child)) {
+            if len >= self.max_flows {
+                self.flows_rejected += 1;
+                return;
+            }
+            e.insert(FlowRecv::default());
+            self.needy += 1; // a fresh flow is unsatisfied with full budget
+        }
+    }
+
+    /// Records one received DATA/END frame; `true` exactly once per fresh
+    /// sequence number (see [`FlowRecv::note`] — this is also the
+    /// duplicate-suppression verdict). A packet from a new flow while the
+    /// table is at capacity is refused (`false`) and counted in
+    /// [`flows_rejected`](Self::flows_rejected), exactly like
+    /// [`DedupWindow::accept`]: an untracked flow could replay forever
+    /// undetected, so suppression is the only exact answer.
+    pub fn note(&mut self, tree: u16, child: u32, seq: u32, is_end: bool, now: SimTime) -> bool {
+        let len = self.flows.len();
+        let flow = match self.flows.entry((tree, child)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if len >= self.max_flows {
+                    self.flows_rejected += 1;
+                    return false;
+                }
+                self.needy += 1;
+                e.insert(FlowRecv::default())
+            }
+        };
+        let was_needy = !flow.is_satisfied() && !flow.gave_up;
+        let fresh = flow.note(seq, is_end, now);
+        let is_needy = !flow.is_satisfied() && !flow.gave_up;
+        match (was_needy, is_needy) {
+            (true, false) => self.needy -= 1,
+            (false, true) => self.needy += 1,
+            _ => {}
+        }
+        if !fresh {
+            self.duplicates += 1;
+        }
+        fresh
+    }
+
+    /// Number of tracked flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when every flow of `tree` is satisfied (gapless through its
+    /// END) — the *flush gate*: an aggregating switch must not flush a
+    /// tree while a child's late or replayed DATA is still outstanding,
+    /// or that data lands in the re-armed registers and is stranded until
+    /// a next round that may never come.
+    pub fn tree_satisfied(&self, tree: u16) -> bool {
+        self.flows
+            .iter()
+            .filter(|((t, _), _)| *t == tree)
+            .all(|(_, flow)| flow.is_satisfied())
+    }
+
+    /// Sequence numbers abandoned across all flows (fell a window behind).
+    pub fn aged_out(&self) -> u64 {
+        self.flows.values().map(|f| f.aged_out).sum()
+    }
+
+    /// Evicts every flow belonging to `tree` (tree teardown or
+    /// reinstallation), counting the evictions. Without this, a
+    /// replaced tree's dead senders would sit unsatisfied forever —
+    /// holding the flush gate closed and the flow cap consumed — exactly
+    /// the staleness [`DedupWindow::clear_tree`] guards against.
+    pub fn clear_tree(&mut self, tree: u16) {
+        let before = self.flows.len();
+        let needy = &mut self.needy;
+        self.flows.retain(|(t, _), flow| {
+            let keep = *t != tree;
+            if !keep && !flow.is_satisfied() && !flow.gave_up {
+                *needy -= 1;
+            }
+            keep
+        });
+        self.flows_evicted += (before - self.flows.len()) as u64;
+    }
+
+    /// True while any flow is incomplete and still has NACK budget —
+    /// i.e. while a timer tick could produce work. Drives timer re-arming
+    /// so an idle tracker costs no events. O(1): consulted per packet, so
+    /// it must not rescan the flow table (`_max_nacks` is the same budget
+    /// passed to [`for_each_due`](Self::for_each_due), kept for API
+    /// symmetry — the budget must be constant across a tracker's life).
+    pub fn wants_attention(&self, _max_nacks: u32) -> bool {
+        self.needy > 0
+    }
+
+    /// Visits every flow whose NACK timeout expired — `timeout` elapsed
+    /// since it last made *gapless* progress (so an open gap comes due
+    /// even mid-stream) or, for a gapless flow, since its last frame
+    /// (the missing-tail case) — charging one unit of NACK budget per
+    /// visit. Repeat NACKs without intervening progress back off
+    /// exponentially (timeout × 2^sent, capped) — a flow that is merely
+    /// *slow* (the sender hasn't flushed yet) is probed a handful of
+    /// times, not hammered every tick. Flows exhausting their budget are
+    /// counted in [`flows_given_up`](Self::flows_given_up) and never
+    /// visited again (so the simulation terminates even when data is
+    /// unrecoverable).
+    pub fn for_each_due(
+        &mut self,
+        now: SimTime,
+        timeout: SimDuration,
+        max_nacks: u32,
+        mut f: impl FnMut(u16, u32, NackRequest),
+    ) {
+        // Deterministic visiting order regardless of hash-map iteration.
+        let mut due: Vec<(u16, u32)> = self
+            .flows
+            .iter()
+            .filter(|(_, flow)| {
+                // Cheap rejection first: the backoff multiplier is ≥ 1,
+                // so a flow active within the base timeout cannot be due
+                // under ANY backoff. On a loss-free run every flow takes
+                // this exit, keeping the per-tick scan to one compare
+                // per flow.
+                if now < flow.last_activity + timeout {
+                    return false;
+                }
+                let backoff = SimDuration::from_nanos(
+                    timeout.as_nanos().saturating_mul(1 << flow.nacks_sent.min(6)),
+                );
+                !flow.is_satisfied()
+                    && !flow.gave_up
+                    && flow.nacks_sent < max_nacks
+                    && now >= flow.last_activity + backoff
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        due.sort_unstable();
+        for key in due {
+            let flow = self.flows.get_mut(&key).expect("selected above");
+            let Some(req) = flow.request() else { continue };
+            flow.nacks_sent += 1;
+            flow.last_activity = now;
+            if flow.nacks_sent == max_nacks {
+                flow.gave_up = true;
+                self.flows_given_up += 1;
+                self.needy -= 1;
+            }
+            self.nacks_requested += 1;
+            f(key.0, key.1, req);
+        }
+    }
+
+    /// Worst-case SRAM bytes a tracker capped at `max_flows` occupies on
+    /// a switch (what the controller reserves as `daiet.nack@<switch>`).
+    pub fn sram_capacity_for(max_flows: usize) -> usize {
+        max_flows.saturating_mul(FlowRecv::sram_bytes())
+    }
+}
+
+/// A bounded ring of recently transmitted frames a switch can replay on
+/// NACK — the sender half of switch-originated flush recovery.
+///
+/// Real switch SRAM cannot buffer unboundedly, so the ring holds the last
+/// `capacity` frames per tree; NACKs arriving after eviction are counted
+/// as [`misses`](Self::misses) (unrecoverable — the deploy-time demand
+/// check sizes the ring so a full register flush plus END always fits).
+#[derive(Debug, Default)]
+pub struct RetransmitRing {
+    slots: VecDeque<(u32, Frame)>,
+    capacity: usize,
+    /// Frames pushed out by newer ones before any NACK named them.
+    pub evicted: u64,
+    /// Frames replayed in response to NACKs.
+    pub replayed: u64,
+    /// Explicitly requested sequence numbers that were not in the ring.
+    pub misses: u64,
+}
+
+impl RetransmitRing {
+    /// A ring holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> RetransmitRing {
+        RetransmitRing {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Records a transmitted frame under its sequence number (cheap: the
+    /// frame buffer is reference-counted, not copied).
+    pub fn record(&mut self, seq: u32, frame: Frame) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.slots.len() == self.capacity {
+            self.slots.pop_front();
+            self.evicted += 1;
+        }
+        self.slots.push_back((seq, frame));
+    }
+
+    /// Frames currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Replays every held frame the request names (explicit ranges, plus
+    /// the tail at/after `next_expected` when requested), in original
+    /// transmission order.
+    pub fn replay(&mut self, req: &NackRequest, mut f: impl FnMut(&Frame)) {
+        let mut matched_explicit: u64 = 0;
+        for (seq, frame) in &self.slots {
+            let in_ranges = req.ranges.iter().any(|r| r.contains(*seq));
+            if in_ranges {
+                matched_explicit += 1;
+            }
+            if in_ranges || (req.tail && seq_at_or_after(*seq, req.next_expected)) {
+                f(frame);
+                self.replayed += 1;
+            }
+        }
+        let requested_explicit: u64 = req.ranges.iter().map(|r| u64::from(r.count)).sum();
+        self.misses += requested_explicit.saturating_sub(matched_explicit);
+    }
+
+    /// SRAM bytes a ring of `capacity` slots occupies when each slot must
+    /// hold a frame of at most `max_frame_bytes` plus its 4-byte tag.
+    pub fn sram_capacity_for(capacity: usize, max_frame_bytes: usize) -> usize {
+        capacity.saturating_mul(max_frame_bytes + 4)
+    }
+}
+
+/// The host-side NACK recovery driver shared by every DAIET receiver node
+/// (`daiet::worker::ReducerHost`, the querysim coordinator): a
+/// [`NackTracker`] plus the addressing and pacing needed to turn due
+/// flows into wire frames on a timer tick.
+#[derive(Debug)]
+pub struct NackEndpoint {
+    tracker: NackTracker,
+    self_id: u32,
+    timeout: SimDuration,
+    max_nacks: u32,
+    ranges_per_packet: usize,
+    /// NACK frames actually emitted.
+    pub nacks_emitted: u64,
+}
+
+impl NackEndpoint {
+    /// A driver for the host with simulator id `self_id`, NACKing flows
+    /// idle for `timeout` at most `max_nacks` times, packing at most
+    /// `ranges_per_packet` ranges into one frame.
+    pub fn new(
+        self_id: u32,
+        timeout: SimDuration,
+        max_nacks: u32,
+        ranges_per_packet: usize,
+    ) -> NackEndpoint {
+        NackEndpoint {
+            tracker: NackTracker::new(),
+            self_id,
+            timeout,
+            max_nacks,
+            ranges_per_packet: ranges_per_packet.max(1),
+            nacks_emitted: 0,
+        }
+    }
+
+    /// Seeds the roster (see [`NackTracker::expect`]).
+    pub fn expect(&mut self, tree: u16, child: u32) {
+        self.tracker.expect(tree, child);
+    }
+
+    /// Records a received DATA/END preamble from `src`, returning `false`
+    /// exactly when the frame is a known duplicate the caller must drop
+    /// (the tracker's reception bitmap is the dedup filter — replays stay
+    /// idempotent without a second per-packet flow lookup). Non-DATA/END
+    /// types and sources outside the simulator's `10/8` id scheme are not
+    /// tracked and read as fresh.
+    pub fn note(&mut self, hdr: &Header, src: Ipv4Address, now: SimTime) -> bool {
+        let is_end = match hdr.packet_type {
+            PacketType::Data => false,
+            PacketType::End => true,
+            _ => return true,
+        };
+        let Some(child) = src.host_id() else { return true };
+        self.tracker.note(hdr.tree_id, child, hdr.seq, is_end, now)
+    }
+
+    /// The tracker (for statistics).
+    pub fn tracker(&self) -> &NackTracker {
+        &self.tracker
+    }
+
+    /// True while a timer should stay armed.
+    pub fn wants_tick(&self) -> bool {
+        self.tracker.wants_attention(self.max_nacks)
+    }
+
+    /// The tick period (equal to the NACK timeout).
+    pub fn tick_interval(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Builds the NACK frames due at `now` into `out`, addressed from
+    /// this host to each delinquent child. Long range lists are split
+    /// across frames; the tail request rides only the first (a duplicate
+    /// tail would merely cause idempotent re-replays anyway).
+    pub fn build_nacks(&mut self, now: SimTime, pool: &FramePool, out: &mut Vec<Frame>) {
+        let self_id = self.self_id;
+        let ranges_per_packet = self.ranges_per_packet;
+        let mut emitted = 0u64;
+        self.tracker.for_each_due(now, self.timeout, self.max_nacks, |tree, child, req| {
+            let ep = Endpoints::from_ids(self_id, child);
+            emitted += build_nack_frames(&ep, tree, &req, ranges_per_packet, pool, |f| {
+                out.push(f);
+            });
+        });
+        self.nacks_emitted += emitted;
+    }
+}
+
+/// The receive-side reliability front door shared by every DAIET host
+/// receiver ([`ReducerHost`](crate::worker::ReducerHost), the querysim
+/// coordinator): an optional dedup window, an optional [`NackEndpoint`],
+/// and the lazily-armed-timer discipline, in one place so the workloads
+/// cannot drift.
+///
+/// Usage from a [`daiet_netsim::Node`]: call [`admit`](Self::admit) on
+/// every received DAIET preamble and drop the frame when it returns
+/// `false`; call [`arm`](Self::arm) after processing (and from
+/// `on_start`); delegate `on_timer` to [`on_timer`](Self::on_timer).
+#[derive(Debug, Default)]
+pub struct ReceiverGuard {
+    dedup: Option<DedupWindow>,
+    nack: Option<NackEndpoint>,
+    tick_armed: bool,
+}
+
+impl ReceiverGuard {
+    /// No suppression, no recovery — the paper-faithful receive path.
+    pub fn new() -> ReceiverGuard {
+        ReceiverGuard::default()
+    }
+
+    /// Enables duplicate suppression (host-side: unbounded — DRAM).
+    pub fn enable_dedup(&mut self) {
+        self.dedup = Some(DedupWindow::new());
+    }
+
+    /// Arms NACK recovery for the host with simulator id `self_id`,
+    /// watching one flow per `(tree, source)` in `sources` and NACKing
+    /// delinquent ones per `config`'s timeout and budget. The tracker's
+    /// reception bitmaps double as the duplicate filter, so any separate
+    /// dedup window is dropped (replays stay idempotent with one flow
+    /// lookup per frame instead of two).
+    pub fn arm_nack_recovery(
+        &mut self,
+        self_id: u32,
+        config: &crate::DaietConfig,
+        sources: impl IntoIterator<Item = (u16, u32)>,
+    ) {
+        let mut ep = NackEndpoint::new(
+            self_id,
+            SimDuration::from_nanos(config.nack_timeout_ns),
+            config.nack_max,
+            config.pairs_per_packet,
+        );
+        for (tree, child) in sources {
+            ep.expect(tree, child);
+        }
+        self.nack = Some(ep);
+        self.dedup = None;
+    }
+
+    /// The admission gate: `true` when the frame is fresh and must be
+    /// processed, `false` for a known duplicate the caller drops (the
+    /// NACK timer is re-armed either way — a duplicate can be the first
+    /// sign a flow needs chasing).
+    pub fn admit(
+        &mut self,
+        hdr: &Header,
+        src: Ipv4Address,
+        ctx: &mut daiet_netsim::Context<'_>,
+    ) -> bool {
+        if let Some(nack) = self.nack.as_mut() {
+            if !nack.note(hdr, src, ctx.now()) {
+                self.arm(ctx);
+                return false;
+            }
+        } else if let Some(dedup) = self.dedup.as_mut() {
+            if !dedup.accept(hdr.tree_id, src, hdr.seq) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Re-arms the NACK timer while recovery work is pending; a
+    /// satisfied tracker schedules nothing, so an idle guard costs no
+    /// events.
+    pub fn arm(&mut self, ctx: &mut daiet_netsim::Context<'_>) {
+        if let Some(nack) = self.nack.as_ref() {
+            if !self.tick_armed && nack.wants_tick() {
+                self.tick_armed = true;
+                ctx.schedule(nack.tick_interval(), 0);
+            }
+        }
+    }
+
+    /// Timer callback: emits the due NACK frames on port 0 and re-arms.
+    pub fn on_timer(&mut self, ctx: &mut daiet_netsim::Context<'_>) {
+        self.tick_armed = false;
+        if let Some(nack) = self.nack.as_mut() {
+            let mut frames = Vec::new();
+            nack.build_nacks(ctx.now(), ctx.pool(), &mut frames);
+            for f in frames {
+                ctx.send(daiet_netsim::PortId(0), f);
+            }
+        }
+        self.arm(ctx);
+    }
+
+    /// Frames suppressed as duplicates, whichever filter did it — the
+    /// dedup window or the gap tracker's bitmaps.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.dedup.as_ref().map_or(0, |d| d.duplicates)
+            + self.nack.as_ref().map_or(0, |n| n.tracker().duplicates)
+    }
+
+    /// NACK frames emitted (0 without recovery).
+    pub fn nacks_emitted(&self) -> u64 {
+        self.nack.as_ref().map_or(0, |n| n.nacks_emitted)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +1290,237 @@ mod tests {
     fn zero_copies_is_rejected() {
         RedundantSender::new(0);
     }
+
+    #[test]
+    fn serial_comparisons_wrap() {
+        assert!(seq_after(1, 0));
+        assert!(seq_after(0, u32::MAX));
+        assert!(!seq_after(u32::MAX, 0));
+        assert!(!seq_after(5, 5));
+        assert!(seq_at_or_after(5, 5));
+        assert!(seq_at_or_after(0, u32::MAX));
+        // The undefined half-space distance reads as "not after".
+        assert!(!seq_after(1 << 31, 0));
+    }
+
+    #[test]
+    fn flow_recv_tracks_gaps_and_satisfaction() {
+        let mut f = FlowRecv::default();
+        assert!(!f.is_satisfied());
+        f.note(0, false, SimTime(1));
+        f.note(3, false, SimTime(2)); // 1, 2 missing
+        let req = f.request().unwrap();
+        assert_eq!(req.next_expected, 4);
+        assert!(req.tail, "no END yet");
+        assert_eq!(req.ranges, vec![NackRange { first: 1, count: 2 }]);
+        f.note(1, false, SimTime(3));
+        f.note(2, false, SimTime(4));
+        assert!(!f.is_satisfied(), "still no END");
+        f.note(4, true, SimTime(5));
+        assert!(f.is_satisfied());
+        assert!(f.request().is_none());
+        // The next round re-opens the flow.
+        f.note(5, false, SimTime(6));
+        assert!(!f.is_satisfied());
+        let req = f.request().unwrap();
+        assert!(req.tail);
+        assert!(req.ranges.is_empty());
+        f.note(6, true, SimTime(7));
+        assert!(f.is_satisfied());
+    }
+
+    #[test]
+    fn flow_recv_lost_end_surfaces_as_tail_request() {
+        let mut f = FlowRecv::default();
+        f.note(0, false, SimTime(1));
+        f.note(1, false, SimTime(2));
+        // END (seq 2) lost: no gap exists, only the tail is outstanding.
+        let req = f.request().unwrap();
+        assert!(req.ranges.is_empty());
+        assert!(req.tail);
+        assert_eq!(req.next_expected, 2);
+    }
+
+    #[test]
+    fn flow_recv_silent_flow_requests_everything() {
+        let f = FlowRecv::default();
+        let req = f.request().unwrap();
+        assert_eq!(req.next_expected, 0);
+        assert!(req.tail);
+        assert!(req.ranges.is_empty());
+    }
+
+    #[test]
+    fn flow_recv_ages_out_hopeless_gaps() {
+        let mut f = FlowRecv::default();
+        f.note(1, false, SimTime(1)); // 0 missing
+        f.note(WINDOW + 5, false, SimTime(2)); // 0 now a full window behind
+        assert!(f.aged_out >= 1);
+        // The abandoned seq is no longer requested.
+        let req = f.request().unwrap();
+        assert!(req.ranges.iter().all(|r| !r.contains(0)));
+    }
+
+    #[test]
+    fn flow_recv_duplicates_do_not_refresh_activity() {
+        let mut f = FlowRecv::default();
+        f.note(0, false, SimTime(10));
+        f.note(0, false, SimTime(500));
+        assert_eq!(f.last_activity, SimTime(10), "duplicate must not reset the clock");
+    }
+
+    #[test]
+    fn tracker_budget_and_give_up() {
+        let mut t = NackTracker::new();
+        t.expect(1, 9);
+        let timeout = SimDuration::from_nanos(100);
+        let mut fired = 0;
+        for tick in 1..=5u64 {
+            t.for_each_due(SimTime(tick * 1_000), timeout, 3, |_, _, _| fired += 1);
+        }
+        // Budget of 3: the 4th and 5th ticks find the flow exhausted.
+        assert_eq!(fired, 3);
+        assert_eq!(t.flows_given_up, 1);
+        assert!(!t.wants_attention(3));
+        // Fresh data resets the budget.
+        t.note(1, 9, 0, false, SimTime(10_000));
+        assert!(t.wants_attention(3));
+    }
+
+    #[test]
+    fn tracker_flow_cap_rejects_deterministically() {
+        let mut t = NackTracker::with_capacity(2);
+        assert!(t.note(1, 7, 0, false, SimTime(1)));
+        assert!(t.note(1, 8, 0, false, SimTime(2)));
+        // Third flow: at capacity → refused, counted, not tracked.
+        assert!(!t.note(1, 9, 0, false, SimTime(3)));
+        t.expect(2, 7); // rostering past the cap is refused too
+        assert_eq!(t.flows_rejected, 2);
+        assert_eq!(t.flow_count(), 2);
+        // Rejections are not duplicates; existing flows keep working.
+        assert_eq!(t.duplicates, 0);
+        assert!(t.note(1, 7, 1, false, SimTime(4)));
+        assert!(!t.note(1, 7, 1, false, SimTime(5)));
+        assert_eq!(t.duplicates, 1);
+    }
+
+    #[test]
+    fn tracker_clear_tree_evicts_and_reopens_capacity() {
+        let mut t = NackTracker::with_capacity(2);
+        t.expect(1, 7);
+        t.expect(2, 7);
+        assert!(t.wants_attention(8));
+        // Tree 1's roster is replaced: its stale flow must not hold the
+        // tracker needy (or the flush gate closed) forever.
+        t.clear_tree(1);
+        assert_eq!(t.flows_evicted, 1);
+        assert_eq!(t.flow_count(), 1);
+        assert!(t.tree_satisfied(1), "no flows left for tree 1");
+        // The freed slot is reusable; needy stays consistent.
+        t.expect(1, 9);
+        assert!(t.wants_attention(8));
+        t.note(1, 9, 0, true, SimTime(10));
+        t.note(2, 7, 0, true, SimTime(11));
+        assert!(!t.wants_attention(8), "all flows satisfied");
+        // Clearing satisfied flows must not underflow the needy count.
+        t.clear_tree(1);
+        t.clear_tree(2);
+        assert_eq!(t.flows_evicted, 3);
+        assert!(!t.wants_attention(8));
+    }
+
+    #[test]
+    fn retransmit_ring_replays_ranges_and_tail() {
+        let pool = FramePool::new();
+        let frame = |tag: u8| pool.copy_from_slice(&[tag]);
+        let mut ring = RetransmitRing::new(8);
+        for seq in 0..6u32 {
+            ring.record(seq, frame(seq as u8));
+        }
+        // Explicit range 1..=2 plus tail from 4.
+        let req = NackRequest {
+            next_expected: 4,
+            tail: true,
+            ranges: vec![NackRange { first: 1, count: 2 }],
+        };
+        let mut got = Vec::new();
+        ring.replay(&req, |f| got.push(f[0]));
+        assert_eq!(got, vec![1, 2, 4, 5]);
+        assert_eq!(ring.replayed, 4);
+        assert_eq!(ring.misses, 0);
+    }
+
+    #[test]
+    fn retransmit_ring_bounds_and_counts_eviction() {
+        let pool = FramePool::new();
+        let mut ring = RetransmitRing::new(2);
+        for seq in 0..5u32 {
+            ring.record(seq, pool.copy_from_slice(&[seq as u8]));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.evicted, 3);
+        // A NACK for an evicted seq is a recorded miss, not a replay.
+        let req = NackRequest {
+            next_expected: 5,
+            tail: false,
+            ranges: vec![NackRange { first: 0, count: 1 }],
+        };
+        let mut got = 0;
+        ring.replay(&req, |_| got += 1);
+        assert_eq!(got, 0);
+        assert_eq!(ring.misses, 1);
+        // SRAM accounting saturates and scales linearly.
+        assert_eq!(RetransmitRing::sram_capacity_for(4, 252), 4 * 256);
+    }
+
+    #[test]
+    fn endpoint_builds_routable_nack_frames() {
+        use daiet_wire::daiet::PacketFlags;
+        let pool = FramePool::new();
+        let mut ep = NackEndpoint::new(3, SimDuration::from_nanos(100), 8, 10);
+        ep.expect(1, 7);
+        ep.note(&Header::data(1, PacketFlags::empty(), 0), Ipv4Address::from_id(7), SimTime(1));
+        ep.note(&Header::data(1, PacketFlags::empty(), 2), Ipv4Address::from_id(7), SimTime(2));
+        assert!(ep.wants_tick());
+        let mut out = Vec::new();
+        ep.build_nacks(SimTime(10_000), &pool, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(ep.nacks_emitted, 1);
+        // The frame parses back to a NACK from host 3 to host 7 naming
+        // the gap and the outstanding tail.
+        let parsed = daiet_wire::stack::Parsed::dissect(&out[0]).unwrap();
+        assert_eq!(parsed.ip.src_addr, Ipv4Address::from_id(3));
+        assert_eq!(parsed.ip.dst_addr, Ipv4Address::from_id(7));
+        match parsed.transport {
+            daiet_wire::stack::Transport::Daiet { daiet, .. } => {
+                assert_eq!(daiet.packet_type, daiet_wire::daiet::PacketType::Nack);
+                assert_eq!(daiet.seq, 3);
+                assert!(daiet.flags.contains(PacketFlags::NACK_TAIL));
+                let ranges: Vec<NackRange> = daiet.nack_ranges().collect();
+                assert_eq!(ranges, vec![NackRange { first: 1, count: 1 }]);
+            }
+            other => panic!("expected DAIET NACK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_splits_long_range_lists() {
+        let pool = FramePool::new();
+        let mut ep = NackEndpoint::new(3, SimDuration::from_nanos(100), 8, 2);
+        ep.expect(1, 7);
+        // Receive only every other seq: 0,2,4,...,12 → 6 single gaps.
+        for s in (0..=12u32).step_by(2) {
+            ep.note(
+                &Header::data(1, daiet_wire::daiet::PacketFlags::empty(), s),
+                Ipv4Address::from_id(7),
+                SimTime(s as u64),
+            );
+        }
+        let mut out = Vec::new();
+        ep.build_nacks(SimTime(1_000_000), &pool, &mut out);
+        // 6 ranges at 2 per packet → 3 frames.
+        assert_eq!(out.len(), 3);
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +1562,35 @@ mod proptests {
                 prop_assert!(w.accept(s), "seq {} (offset {}) refused", s, i);
                 prop_assert!(!w.accept(s), "seq {} accepted twice", s);
             }
+        }
+
+        /// Whatever subset of a stream initially survives (in whatever
+        /// order, with duplicates), request→replay rounds from a sender
+        /// with full retention always converge to a satisfied flow.
+        #[test]
+        fn nack_request_replay_converges(
+            n in 1u32..120,
+            survivors in prop::collection::vec((0u32..120, any::<bool>()), 0..200),
+        ) {
+            let mut flow = FlowRecv::default();
+            let end = n - 1; // seqs 0..n-1, the last being the END
+            for (s, _) in survivors.iter().filter(|(s, _)| *s < n) {
+                flow.note(*s, *s == end, SimTime(1));
+            }
+            let mut rounds = 0;
+            while let Some(req) = flow.request() {
+                rounds += 1;
+                prop_assert!(rounds <= 3, "recovery did not converge");
+                // The "sender" replays everything the request names.
+                for s in 0..n {
+                    let named = req.ranges.iter().any(|r| r.contains(s))
+                        || (req.tail && seq_at_or_after(s, req.next_expected));
+                    if named {
+                        flow.note(s, s == end, SimTime(2 + rounds));
+                    }
+                }
+            }
+            prop_assert!(flow.is_satisfied());
         }
     }
 }

@@ -37,14 +37,25 @@
 
 use crate::agg::AggFn;
 use crate::config::DaietConfig;
+use crate::reliability::{NackRequest, NackTracker, RetransmitRing};
 use daiet_dataplane::pipeline::{ExternOutput, PacketCtx, SwitchExtern};
 use daiet_dataplane::register::RegisterArray;
-use daiet_netsim::{Frame, FramePool, PortId};
+use daiet_netsim::{Frame, FramePool, PortId, SimDuration, SimTime};
 use daiet_wire::checksum::crc32;
-use daiet_wire::daiet::{Header, Key, PacketFlags, PacketType, Pair};
+use daiet_wire::daiet::{Header, Key, NackRange, PacketFlags, PacketType, Pair};
 use daiet_wire::stack::{build_daiet_into, Endpoints};
 use daiet_wire::fnv::FnvHashMap;
 use daiet_wire::udp::DAIET_PORT;
+
+/// One tree child as seen from a switch: the sender's simulator id (for
+/// addressing NACKs) and the switch port leading down to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildSource {
+    /// The child's plan-slot / simulator id.
+    pub id: u32,
+    /// This switch's port toward the child.
+    pub port: PortId,
+}
 
 /// Static, controller-installed configuration of one tree on one switch.
 #[derive(Debug, Clone)]
@@ -61,6 +72,10 @@ pub struct TreeStateConfig {
     /// Number of children (mappers or downstream switches) that will each
     /// send exactly one END.
     pub children: u32,
+    /// The identities and ports of those children — the NACK roster (may
+    /// stay empty when NACK recovery is off; its length must equal
+    /// `children` when it is on, which the controller guarantees).
+    pub children_sources: Vec<ChildSource>,
 }
 
 /// Per-tree runtime state (Algorithm 1's registers).
@@ -81,10 +96,16 @@ struct TreeState {
     remaining_children: u32,
     /// Sequence counter for frames this switch originates.
     next_seq: u32,
+    /// Recently emitted frames, replayable on NACK (empty ring when NACK
+    /// recovery is off).
+    rtx: RetransmitRing,
+    /// All ENDs are in but a child flow still has gaps (reordered or
+    /// NACK-replayed DATA in flight): the flush waits for the gate.
+    flush_deferred: bool,
 }
 
 impl TreeState {
-    fn new(cfg: TreeStateConfig, cells: usize) -> TreeState {
+    fn new(cfg: TreeStateConfig, cells: usize, rtx_frames: usize) -> TreeState {
         TreeState {
             keys: RegisterArray::new(format!("daiet.keys[{}]", cfg.tree_id), cells, 16),
             values: RegisterArray::new(format!("daiet.values[{}]", cfg.tree_id), cells, 4),
@@ -94,6 +115,8 @@ impl TreeState {
             flush_buf: Vec::new(),
             remaining_children: cfg.children,
             next_seq: 0,
+            rtx: RetransmitRing::new(rtx_frames),
+            flush_deferred: false,
             cfg,
         }
     }
@@ -144,6 +167,15 @@ pub struct EngineStats {
     /// violation by a child, or duplicated frame without the reliability
     /// extension).
     pub spurious_ends: u64,
+    /// Flushes held back by the reorder gate (all ENDs in, but a child
+    /// flow still had outstanding DATA).
+    pub flushes_deferred: u64,
+    /// NACK frames this switch consumed (from its parent direction).
+    pub nacks_in: u64,
+    /// NACK frames this switch originated (toward delinquent children).
+    pub nacks_out: u64,
+    /// Frames replayed from retransmit rings in response to NACKs.
+    pub frames_replayed: u64,
 }
 
 /// The aggregation extern: all trees configured on one switch.
@@ -154,6 +186,9 @@ pub struct DaietEngine {
     /// Duplicate suppression (reliability extension; `None` when the
     /// prototype-faithful configuration is used).
     dedup: Option<crate::reliability::DedupWindow>,
+    /// Per-child gap tracking for the NACK recovery extension (`None`
+    /// when [`DaietConfig::nack_recovery`] is off).
+    nack: Option<NackTracker>,
 }
 
 impl DaietEngine {
@@ -162,15 +197,31 @@ impl DaietEngine {
         // Switch-side dedup state is SRAM, so it is bounded by the
         // configured flow cap; the controller reserves
         // [`DaietConfig::sram_for_dedup`] alongside the register arrays.
-        let dedup = config
-            .reliability
+        // With NACK recovery on, the gap tracker's reception bitmaps ARE
+        // the duplicate filter (one flow lookup per packet, not two), so
+        // the separate dedup window is not instantiated.
+        let dedup = (config.reliability && !config.nack_recovery)
             .then(|| crate::reliability::DedupWindow::with_capacity(config.dedup_flows));
-        DaietEngine { trees: FnvHashMap::default(), stats: EngineStats::default(), config, dedup }
+        // The gap tracker is switch SRAM too: bounded at the same flow
+        // cap its reservation (`DaietConfig::sram_for_nack_tracker`) is
+        // computed from, refusing packets from flows beyond it.
+        let nack = config.nack_recovery.then(|| NackTracker::with_capacity(config.dedup_flows));
+        DaietEngine {
+            trees: FnvHashMap::default(),
+            stats: EngineStats::default(),
+            config,
+            dedup,
+            nack,
+        }
     }
 
-    /// Packets suppressed as duplicates (0 without the extension).
+    /// Packets suppressed as duplicates (0 without the extension),
+    /// whichever filter did the suppressing — the dedup window
+    /// (reliability without recovery) or the gap tracker's bitmaps (with
+    /// recovery).
     pub fn duplicates_suppressed(&self) -> u64 {
         self.dedup.as_ref().map_or(0, |d| d.duplicates)
+            + self.nack.as_ref().map_or(0, |n| n.duplicates)
     }
 
     /// The duplicate-suppression table, when the reliability extension is
@@ -182,13 +233,39 @@ impl DaietEngine {
     /// Installs (or replaces) a tree's state. SRAM for
     /// [`DaietConfig::sram_per_tree`] must have been reserved by the
     /// controller beforehand. Reinstallation evicts the tree's stale
-    /// dedup flows so the cap is not consumed by dead senders.
+    /// dedup *and* gap-tracker flows so neither cap is consumed by dead
+    /// senders (and a replaced roster cannot hold the flush gate
+    /// closed). With NACK recovery on, the tree's children are seeded
+    /// into the gap tracker so even a fully-silenced child gets NACKed.
     pub fn install_tree(&mut self, cfg: TreeStateConfig) {
         if let Some(dedup) = self.dedup.as_mut() {
             dedup.clear_tree(cfg.tree_id);
         }
+        if let Some(nack) = self.nack.as_mut() {
+            // Reinstallation must forget the old roster: a replaced
+            // child's unsatisfied flow would otherwise hold the flush
+            // gate closed forever (and consume flow-cap slots).
+            nack.clear_tree(cfg.tree_id);
+            for child in &cfg.children_sources {
+                nack.expect(cfg.tree_id, child.id);
+            }
+        }
         let cells = self.config.register_cells;
-        self.trees.insert(cfg.tree_id, TreeState::new(cfg, cells));
+        let rtx = if self.config.nack_recovery { self.config.rtx_frames } else { 0 };
+        self.trees.insert(cfg.tree_id, TreeState::new(cfg, cells, rtx));
+    }
+
+    /// The NACK gap tracker, when recovery is enabled.
+    pub fn nack_tracker(&self) -> Option<&NackTracker> {
+        self.nack.as_ref()
+    }
+
+    /// Retransmit-ring counters of one tree: `(buffered, evicted,
+    /// replayed, misses)`.
+    pub fn rtx_stats(&self, tree_id: u16) -> Option<(usize, u64, u64, u64)> {
+        self.trees
+            .get(&tree_id)
+            .map(|t| (t.rtx.len(), t.rtx.evicted, t.rtx.replayed, t.rtx.misses))
     }
 
     /// Number of trees configured.
@@ -275,17 +352,31 @@ impl DaietEngine {
                 }
             }
         }
+        // This DATA may have been the gap a deferred flush was waiting on
+        // (the gate re-checks the whole tree's flow state).
+        let deferred = tree.flush_deferred;
+        if deferred && self.flush_gate_open(tree_id) {
+            ops += self.flush_tree(tree_id, pool, &mut emissions);
+        }
         (emissions, ops)
+    }
+
+    /// True when nothing blocks flushing `tree_id`: without NACK recovery
+    /// the gate is always open (Algorithm 1's behavior); with it, every
+    /// child flow must be gapless through its END, so reordered or
+    /// replayed DATA cannot arrive *after* the flush and strand itself in
+    /// the re-armed registers.
+    fn flush_gate_open(&self, tree_id: u16) -> bool {
+        self.nack.as_ref().is_none_or(|n| n.tree_satisfied(tree_id))
     }
 
     /// Algorithm 1, lines 16–19.
     fn process_end(&mut self, tree_id: u16, pool: &FramePool) -> (Vec<(PortId, Frame)>, usize) {
-        let pairs_per_packet = self.config.pairs_per_packet;
-        let tree = self.trees.get_mut(&tree_id).expect("caller checked tree exists");
         let mut emissions = Vec::new();
         let mut ops = 2; // counter read-modify-write
         self.stats.ends_in += 1;
 
+        let tree = self.trees.get_mut(&tree_id).expect("caller checked tree exists");
         if tree.remaining_children == 0 {
             self.stats.spurious_ends += 1;
             return (emissions, ops);
@@ -294,8 +385,31 @@ impl DaietEngine {
         if tree.remaining_children > 0 {
             return (emissions, ops);
         }
+        if !self.flush_gate_open(tree_id) {
+            // All ENDs counted, but a child still owes DATA (reordering
+            // or a pending NACK replay): hold the flush until the gap
+            // closes — `process_data` fires it.
+            self.trees.get_mut(&tree_id).expect("exists").flush_deferred = true;
+            self.stats.flushes_deferred += 1;
+            return (emissions, ops);
+        }
+        ops += self.flush_tree(tree_id, pool, &mut emissions);
+        (emissions, ops)
+    }
 
-        // Line 19: flush. "The non-aggregated values in the spillover
+    /// Line 19 of Algorithm 1: flush spillover + registers + END toward
+    /// the parent and re-arm the child counter. Returns the ops spent.
+    fn flush_tree(
+        &mut self,
+        tree_id: u16,
+        pool: &FramePool,
+        emissions: &mut Vec<(PortId, Frame)>,
+    ) -> usize {
+        let pairs_per_packet = self.config.pairs_per_packet;
+        let tree = self.trees.get_mut(&tree_id).expect("caller checked tree exists");
+        let mut ops = 0;
+
+        // "The non-aggregated values in the spillover
         // bucket are the first to be sent to the next node, so that they
         // are more likely to be aggregated if the next node is a network
         // device and has spare memory" (§4).
@@ -308,7 +422,7 @@ impl DaietEngine {
                 PacketFlags::SPILLOVER | PacketFlags::FROM_SWITCH,
                 &mut self.stats,
                 pool,
-                &mut emissions,
+                emissions,
             );
             pairs.clear();
             tree.spillover = pairs;
@@ -332,7 +446,7 @@ impl DaietEngine {
             PacketFlags::FROM_SWITCH,
             &mut self.stats,
             pool,
-            &mut emissions,
+            emissions,
         );
         tree.flush_buf = pairs;
 
@@ -343,13 +457,15 @@ impl DaietEngine {
         tree.next_seq = tree.next_seq.wrapping_add(1);
         let mut buf = pool.buffer();
         build_daiet_into(&mut buf, &tree.cfg.endpoints, DAIET_PORT, &end, &[]);
-        emissions.push((tree.cfg.out_port, pool.frame(buf)));
+        let frame = pool.frame(buf);
+        tree.rtx.record(end.seq, frame.clone());
+        emissions.push((tree.cfg.out_port, frame));
         self.stats.frames_out += 1;
         tree.remaining_children = tree.cfg.children;
+        tree.flush_deferred = false;
         self.stats.flushes += 1;
         ops += 2;
-
-        (emissions, ops)
+        ops
     }
 
     /// Serializes `pairs` into maximal DATA packets toward the parent,
@@ -372,8 +488,41 @@ impl DaietEngine {
             stats.pairs_out += chunk.len() as u64;
             let mut buf = pool.buffer();
             build_daiet_into(&mut buf, &tree.cfg.endpoints, DAIET_PORT, &hdr, chunk);
-            out.push((tree.cfg.out_port, pool.frame(buf)));
+            let frame = pool.frame(buf);
+            // Buffer for NACK replay (a no-op on a zero-capacity ring;
+            // the clone is one refcount bump, not a copy).
+            tree.rtx.record(hdr.seq, frame.clone());
+            out.push((tree.cfg.out_port, frame));
         }
+    }
+
+    /// Handles a NACK arriving from the parent direction: replays the
+    /// requested frames from the tree's retransmit ring, in original
+    /// order, out the upstream port. Returns the emissions and ops spent.
+    fn process_nack(
+        &mut self,
+        tree_id: u16,
+        next_expected: u32,
+        tail: bool,
+        ranges: impl Iterator<Item = Pair>,
+    ) -> (Vec<(PortId, Frame)>, usize) {
+        let tree = self.trees.get_mut(&tree_id).expect("caller checked tree exists");
+        let req = NackRequest {
+            next_expected,
+            tail,
+            ranges: ranges.filter_map(|p| NackRange::from_pair(&p)).collect(),
+        };
+        self.stats.nacks_in += 1;
+        let mut emissions = Vec::new();
+        let out_port = tree.cfg.out_port;
+        tree.rtx.replay(&req, |frame| {
+            emissions.push((out_port, frame.clone()));
+        });
+        self.stats.frames_replayed += emissions.len() as u64;
+        self.stats.frames_out += emissions.len() as u64;
+        // One preamble inspection + one ring lookup per requested item.
+        let ops = 2 + emissions.len();
+        (emissions, ops)
     }
 }
 
@@ -391,6 +540,50 @@ impl SwitchExtern for DaietEngine {
             return ExternOutput { emit: Vec::new(), consume: false, ops: 1 };
         }
 
+        // NACK recovery: record every DATA/END arrival so gaps age toward
+        // a timeout — the tracker's verdict is also the duplicate filter
+        // (replays must be absorbed before they touch non-idempotent
+        // aggregation state) — and intercept NACKs addressed to *this
+        // switch* (a NACK for a host further down rides the forwarding
+        // tables).
+        if self.nack.is_some() {
+            match daiet.packet_type {
+                PacketType::Data | PacketType::End => {
+                    if let Some(child) =
+                        pkt.parsed.ip.as_ref().and_then(|ip| ip.src_addr.host_id())
+                    {
+                        let fresh = self.nack.as_mut().expect("checked above").note(
+                            daiet.tree_id,
+                            child,
+                            daiet.seq,
+                            daiet.packet_type == PacketType::End,
+                            pkt.now,
+                        );
+                        if !fresh {
+                            return ExternOutput { emit: Vec::new(), consume: true, ops: 2 };
+                        }
+                    }
+                }
+                PacketType::Nack => {
+                    let mine = pkt.parsed.ip.as_ref().is_some_and(|ip| {
+                        ip.dst_addr
+                            == self.trees[&daiet.tree_id].cfg.endpoints.src_ip
+                    });
+                    if mine {
+                        let tail = daiet.flags.contains(PacketFlags::NACK_TAIL);
+                        let (emit, ops) = self.process_nack(
+                            daiet.tree_id,
+                            daiet.seq,
+                            tail,
+                            pkt.parsed.daiet_pairs(),
+                        );
+                        return ExternOutput { emit, consume: true, ops };
+                    }
+                }
+                PacketType::Unknown(_) => {}
+            }
+        }
+
         // Reliability extension: aggregation is not idempotent, so
         // re-delivered packets must be absorbed before they touch state.
         if let (Some(dedup), Some(ip)) = (self.dedup.as_mut(), pkt.parsed.ip.as_ref()) {
@@ -406,13 +599,61 @@ impl SwitchExtern for DaietEngine {
                 self.process_data(daiet.tree_id, pkt.parsed.daiet_pairs(), pool)
             }
             PacketType::End => self.process_end(daiet.tree_id, pool),
-            // NACKs (reliability extension) and unknown types pass through
-            // toward the reducer/hosts.
+            // NACKs not addressed to this switch and unknown types pass
+            // through toward the reducer/hosts.
             PacketType::Nack | PacketType::Unknown(_) => {
                 return ExternOutput { emit: Vec::new(), consume: false, ops: 1 }
             }
         };
         ExternOutput { emit, consume: true, ops }
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        self.nack
+            .is_some()
+            .then(|| SimDuration::from_nanos(self.config.nack_timeout_ns))
+    }
+
+    fn wants_tick(&self) -> bool {
+        self.nack
+            .as_ref()
+            .is_some_and(|n| n.wants_attention(self.config.nack_max))
+    }
+
+    fn on_tick(&mut self, now: SimTime, pool: &FramePool) -> Vec<(PortId, Frame)> {
+        let Some(nack) = self.nack.as_mut() else {
+            return Vec::new();
+        };
+        let timeout = SimDuration::from_nanos(self.config.nack_timeout_ns);
+        let ranges_per_packet = self.config.pairs_per_packet.max(1);
+        let mut out = Vec::new();
+        let trees = &self.trees;
+        let stats = &mut self.stats;
+        nack.for_each_due(now, timeout, self.config.nack_max, |tree_id, child, req| {
+            let Some(tree) = trees.get(&tree_id) else { return };
+            let Some(source) =
+                tree.cfg.children_sources.iter().find(|c| c.id == child)
+            else {
+                return; // unrosterable flow: nowhere to send the NACK
+            };
+            // NACKs travel from this switch down to the child, out the
+            // port the child's traffic came in on.
+            let ep = Endpoints {
+                dst_mac: daiet_wire::EthernetAddress::from_id(child),
+                dst_ip: daiet_wire::Ipv4Address::from_id(child),
+                src_mac: tree.cfg.endpoints.src_mac,
+                src_ip: tree.cfg.endpoints.src_ip,
+            };
+            stats.nacks_out += crate::reliability::build_nack_frames(
+                &ep,
+                tree_id,
+                &req,
+                ranges_per_packet,
+                pool,
+                |f| out.push((source.port, f)),
+            );
+        });
+        out
     }
 
     fn name(&self) -> String {
@@ -438,6 +679,7 @@ mod tests {
             endpoints: Endpoints::from_ids(100, 200),
             agg: AggFn::Sum,
             children,
+            children_sources: Vec::new(),
         });
         e
     }
@@ -463,6 +705,183 @@ mod tests {
                 parsed.daiet_repr().expect("engine emits DAIET frames")
             })
             .collect()
+    }
+
+    /// An engine with the full reliability + NACK-recovery extension and
+    /// one tree fed by `children` rostered child hosts (ids 1..=children,
+    /// each on its own port).
+    fn recovering_engine(children: u32) -> DaietEngine {
+        let mut e = DaietEngine::new(DaietConfig {
+            register_cells: 4096,
+            reliability: true,
+            nack_recovery: true,
+            rtx_frames: 16,
+            ..DaietConfig::default()
+        });
+        e.install_tree(TreeStateConfig {
+            tree_id: 1,
+            out_port: PortId(9),
+            endpoints: Endpoints::from_ids(100, 200),
+            agg: AggFn::Sum,
+            children,
+            children_sources: (1..=children)
+                .map(|c| ChildSource { id: c, port: PortId(c as usize - 1) })
+                .collect(),
+        });
+        e
+    }
+
+    /// Drives a repr from host `src` at time `now`.
+    fn drive_at(e: &mut DaietEngine, src: u32, repr: &Repr, now: SimTime) -> ExternOutput {
+        let frame = Frame::from(build_daiet(&Endpoints::from_ids(src, 200), 5, repr));
+        let parsed = parse(frame, &ParserConfig::default()).unwrap();
+        let mut pkt = PacketCtx::at(PortId(0), parsed, now);
+        e.invoke(&mut pkt, u32::from(repr.tree_id), &FramePool::new())
+    }
+
+    /// Regression: replacing a tree must evict the old roster's gap
+    /// state. A dead former child left unsatisfied (even after its NACK
+    /// budget ran out) would hold the flush gate closed forever — the
+    /// new roster's ENDs would defer the flush to a retry that can never
+    /// succeed, and the reducer would silently never see results.
+    #[test]
+    fn reinstalling_a_tree_forgets_the_old_roster() {
+        let mut e = recovering_engine(2);
+        // Old child 1 delivers a gapped stream (seq 1 lost) and goes away.
+        let mut r = Repr::data(1, vec![Pair::new(key("a"), 1)]);
+        r.seq = 0;
+        drive_at(&mut e, 1, &r, SimTime(10));
+        let mut end = Repr::end(1);
+        end.seq = 2;
+        drive_at(&mut e, 1, &end, SimTime(20));
+        // The tree is re-deployed with a single fresh child, id 3.
+        e.install_tree(TreeStateConfig {
+            tree_id: 1,
+            out_port: PortId(9),
+            endpoints: Endpoints::from_ids(100, 200),
+            agg: AggFn::Sum,
+            children: 1,
+            children_sources: vec![ChildSource { id: 3, port: PortId(0) }],
+        });
+        assert!(e.nack_tracker().unwrap().flows_evicted >= 2, "old roster evicted");
+        // The new child delivers a complete round: the flush gate must
+        // open on its END alone.
+        let mut d = Repr::data(1, vec![Pair::new(key("b"), 7)]);
+        d.seq = 0;
+        drive_at(&mut e, 3, &d, SimTime(30));
+        let mut end = Repr::end(1);
+        end.seq = 1;
+        let out = drive_at(&mut e, 3, &end, SimTime(40));
+        assert!(
+            out.emit.iter().any(|(p, _)| *p == PortId(9)),
+            "flush must go out upstream, not defer on the dead roster"
+        );
+        assert_eq!(e.stats().flushes_deferred, 0);
+        assert!(!e.wants_tick(), "no flow left to chase");
+    }
+
+    #[test]
+    fn engine_nacks_delinquent_children_on_tick() {
+        let mut e = recovering_engine(2);
+        assert!(e.wants_tick(), "rostered flows start unsatisfied");
+        assert!(e.tick_interval().is_some());
+        // Child 1 delivers seq 0 and its END (seq 2); seq 1 is lost.
+        // Child 2 stays entirely silent.
+        let mut r = Repr::data(1, vec![Pair::new(key("a"), 1)]);
+        r.seq = 0;
+        drive_at(&mut e, 1, &r, SimTime(10));
+        let mut end = Repr::end(1);
+        end.seq = 2;
+        drive_at(&mut e, 1, &end, SimTime(20));
+        let out = e.on_tick(SimTime(1_000_000), &FramePool::new());
+        assert_eq!(out.len(), 2, "one NACK per delinquent child");
+        assert_eq!(e.stats().nacks_out, 2);
+        // NACKs leave on each child's own port, addressed to the child.
+        let mut by_port: Vec<(usize, Repr, daiet_wire::Ipv4Address)> = out
+            .iter()
+            .map(|(p, f)| {
+                let parsed = parse(f.clone(), &ParserConfig::default()).unwrap();
+                let dst = parsed.ip.as_ref().unwrap().dst_addr;
+                (p.0, parsed.daiet_repr().unwrap(), dst)
+            })
+            .collect();
+        by_port.sort_by_key(|(p, ..)| *p);
+        let (p0, nack0, dst0) = &by_port[0];
+        assert_eq!(*p0, 0);
+        assert_eq!(*dst0, daiet_wire::Ipv4Address::from_id(1));
+        assert_eq!(nack0.packet_type, PacketType::Nack);
+        let ranges: Vec<daiet_wire::daiet::NackRange> = nack0.nack_ranges().collect();
+        assert_eq!(ranges, vec![daiet_wire::daiet::NackRange { first: 1, count: 1 }]);
+        assert!(!nack0.flags.contains(PacketFlags::NACK_TAIL), "END was seen");
+        let (p1, nack1, dst1) = &by_port[1];
+        assert_eq!(*p1, 1);
+        assert_eq!(*dst1, daiet_wire::Ipv4Address::from_id(2));
+        assert_eq!(nack1.seq, 0, "silent child: everything from 0");
+        assert!(nack1.flags.contains(PacketFlags::NACK_TAIL));
+        assert!(nack1.entries.is_empty());
+        // Once both children complete, the engine goes quiescent.
+        let mut r1 = Repr::data(1, vec![Pair::new(key("a"), 2)]);
+        r1.seq = 1;
+        drive_at(&mut e, 1, &r1, SimTime(2_000_000));
+        for (s, is_end) in [(0u32, false), (1, true)] {
+            let mut r = if is_end { Repr::end(1) } else { Repr::data(1, vec![Pair::new(key("b"), 1)]) };
+            r.seq = s;
+            drive_at(&mut e, 2, &r, SimTime(2_000_100 + u64::from(s)));
+        }
+        assert!(!e.wants_tick(), "all flows satisfied");
+    }
+
+    #[test]
+    fn engine_replays_flushed_frames_on_nack() {
+        let mut e = recovering_engine(1);
+        // Child 1 sends 15 distinct pairs and its END → flush emits 2
+        // DATA frames (10 + 5 pairs) + 1 END, seqs 0, 1, 2.
+        let pairs: Vec<Pair> =
+            (0..15).map(|i| Pair::new(key(&format!("k{i}")), i)).collect();
+        let mut seq = 0u32;
+        for chunk in pairs.chunks(10) {
+            let mut r = Repr::data(1, chunk.to_vec());
+            r.seq = seq;
+            seq += 1;
+            drive_at(&mut e, 1, &r, SimTime(10));
+        }
+        let mut end = Repr::end(1);
+        end.seq = seq;
+        let flush = drive_at(&mut e, 1, &end, SimTime(20));
+        assert_eq!(flush.emit.len(), 3);
+        assert_eq!(e.rtx_stats(1), Some((3, 0, 0, 0)));
+
+        // The parent lost the middle DATA frame (seq 1) and the END
+        // (seq 2): its NACK names the gap and requests the tail.
+        let nack = Repr::nack(
+            1,
+            2,
+            true,
+            &[daiet_wire::daiet::NackRange { first: 1, count: 1 }],
+        );
+        // NACKs to this switch are addressed to its own tree source addr.
+        let frame = Frame::from(build_daiet(&Endpoints::from_ids(200, 100), 5, &nack));
+        let parsed = parse(frame, &ParserConfig::default()).unwrap();
+        let mut pkt = PacketCtx::at(PortId(9), parsed, SimTime(30));
+        let out = e.invoke(&mut pkt, 1, &FramePool::new());
+        assert!(out.consume, "a NACK for this switch must not be forwarded");
+        let replayed = parse_emissions(&out);
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].seq, 1);
+        assert_eq!(replayed[0].entries.len(), 5);
+        assert_eq!(replayed[1].packet_type, PacketType::End);
+        assert_eq!(replayed[1].seq, 2);
+        assert!(out.emit.iter().all(|(p, _)| *p == PortId(9)), "replays go upstream");
+        assert_eq!(e.stats().nacks_in, 1);
+        assert_eq!(e.stats().frames_replayed, 2);
+
+        // A NACK addressed to some *other* node passes through untouched.
+        let foreign = Frame::from(build_daiet(&Endpoints::from_ids(200, 77), 5, &nack));
+        let parsed = parse(foreign, &ParserConfig::default()).unwrap();
+        let mut pkt = PacketCtx::at(PortId(9), parsed, SimTime(40));
+        let out = e.invoke(&mut pkt, 1, &FramePool::new());
+        assert!(!out.consume);
+        assert!(out.emit.is_empty());
     }
 
     #[test]
@@ -574,6 +993,7 @@ mod tests {
             endpoints: Endpoints::from_ids(1, 2),
             agg: AggFn::Min,
             children: 1,
+            children_sources: Vec::new(),
         });
         drive(&mut e, &Repr::data(3, vec![Pair::new(key("d"), 9)]));
         drive(&mut e, &Repr::data(3, vec![Pair::new(key("d"), 4)]));
@@ -644,6 +1064,7 @@ mod tests {
             endpoints: Endpoints::from_ids(100, 201),
             agg: AggFn::Sum,
             children: 1,
+            children_sources: Vec::new(),
         });
         drive(&mut e, &Repr::data(1, vec![Pair::new(key("a"), 1)]));
         drive(&mut e, &Repr::data(2, vec![Pair::new(key("a"), 10)]));

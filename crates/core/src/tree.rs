@@ -127,6 +127,17 @@ impl AggregationTree {
         self.parent.get(&node).copied()
     }
 
+    /// The tree children feeding `node`, as `(child slot, node's port
+    /// toward that child)` in ascending child order — the NACK roster a
+    /// switch or the reducer needs to watch (and answer) its feeders.
+    pub fn children_of(&self, node: usize) -> Vec<(usize, daiet_netsim::PortId)> {
+        self.parent
+            .iter()
+            .filter(|(_, hop)| hop.peer == node)
+            .map(|(&child, hop)| (child, hop.peer_port))
+            .collect()
+    }
+
     /// Checks structural invariants; used by tests and debug assertions.
     ///
     /// * every mapper reaches the root through `parent` edges;

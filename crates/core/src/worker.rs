@@ -12,9 +12,10 @@
 
 use crate::agg::AggFn;
 use crate::config::DaietConfig;
+use crate::reliability::seq_at_or_after;
 use daiet_dataplane::parser::{parse, ParsedPacket, ParserConfig};
 use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimDuration};
-use daiet_wire::daiet::{self, Header, Key, PacketFlags, PacketType, Pair, Repr};
+use daiet_wire::daiet::{self, Header, Key, NackRange, PacketFlags, PacketType, Pair, Repr};
 use daiet_wire::fnv::FnvHashMap;
 use daiet_wire::stack::{build_daiet_into, Endpoints};
 
@@ -63,10 +64,25 @@ pub fn multi_tree_sender(
             packetizer.frames(*tree, pairs, ep, daiet_wire::udp::DAIET_PORT, pool)
         })
         .collect();
+    // With NACK recovery on, keep the per-tree schedules (frames indexed
+    // by sequence number — hosts have DRAM, so retention is total and a
+    // NACK for *any* lost frame is answerable). Frame buffers are shared
+    // with the transmit queue, so this costs refcounts, not copies.
+    let replay = config.nack_recovery.then(|| {
+        partitions
+            .iter()
+            .zip(&queues)
+            .map(|((tree, ..), frames)| (*tree, frames.clone()))
+            .collect::<FnvHashMap<u16, Vec<Frame>>>()
+    });
     let interleaved = interleave_round_robin(queues, sender_index);
     let frames =
         crate::reliability::RedundantSender::new(redundancy.max(1)).schedule(&interleaved);
-    PacedSenderNode::new(frames, gap, label)
+    let node = PacedSenderNode::new(frames, gap, label);
+    match replay {
+        Some(store) => node.with_replay(store),
+        None => node,
+    }
 }
 
 /// Splits a partition of pairs into DAIET packets.
@@ -193,18 +209,65 @@ pub struct PacedSenderNode {
     next: usize,
     gap: SimDuration,
     label: &'static str,
+    /// Per-tree schedules indexed by sequence number, kept for NACK
+    /// replay (None when recovery is off — then incoming frames are
+    /// ignored, as before).
+    replay: Option<FnvHashMap<u16, Vec<Frame>>>,
+    /// Frames re-sent in response to NACKs.
+    pub frames_replayed: u64,
+    /// NACK frames received and honored.
+    pub nacks_received: u64,
 }
 
 impl PacedSenderNode {
     /// A sender that transmits `frames` in order, one every `gap`;
     /// `label` names the node in traces.
     pub fn new(frames: Vec<Frame>, gap: SimDuration, label: &'static str) -> PacedSenderNode {
-        PacedSenderNode { frames, next: 0, gap, label }
+        PacedSenderNode {
+            frames,
+            next: 0,
+            gap,
+            label,
+            replay: None,
+            frames_replayed: 0,
+            nacks_received: 0,
+        }
+    }
+
+    /// Arms NACK replay: `per_tree[tree][seq]` must be the frame the
+    /// sender transmitted (or will transmit) with that sequence number.
+    pub fn with_replay(mut self, per_tree: FnvHashMap<u16, Vec<Frame>>) -> PacedSenderNode {
+        self.replay = Some(per_tree);
+        self
     }
 }
 
 impl Node for PacedSenderNode {
-    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        // Senders only ever act on NACKs, and only when replay is armed.
+        let Some(store) = self.replay.as_ref() else { return };
+        let Some((hdr, _src, parsed)) = receive_daiet(frame) else { return };
+        if hdr.packet_type != PacketType::Nack {
+            return;
+        }
+        let Some(schedule) = store.get(&hdr.tree_id) else { return };
+        self.nacks_received += 1;
+        let tail = hdr.flags.contains(PacketFlags::NACK_TAIL);
+        let ranges: Vec<NackRange> =
+            parsed.daiet_pairs().filter_map(|p| NackRange::from_pair(&p)).collect();
+        // Host schedules are dense: frame `i` carries seq `i`. Replay in
+        // original order; receiver dedup absorbs anything it already has.
+        // (A replay burst bypasses the pacing gap — recovery is latency-
+        // critical and the burst is at most one partition.)
+        for (i, f) in schedule.iter().enumerate() {
+            let seq = i as u32;
+            if ranges.iter().any(|r| r.contains(seq)) || (tail && seq_at_or_after(seq, hdr.seq))
+            {
+                ctx.send(PortId(0), f.clone());
+                self.frames_replayed += 1;
+            }
+        }
+    }
 
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.schedule(self.gap, 0);
@@ -425,10 +488,9 @@ pub struct ReducerHost {
     pub collector: Collector,
     /// Completion time, once reached.
     pub completed_at: Option<daiet_netsim::SimTime>,
-    /// Receive-side duplicate suppression (reliability extension —
-    /// aggregation is not idempotent, so the *last* hop needs protection
-    /// too, not just the switches).
-    dedup: Option<crate::reliability::DedupWindow>,
+    /// Receive-side reliability (dedup and/or NACK recovery — the
+    /// default guard is the paper-faithful fire-and-forget path).
+    guard: crate::reliability::ReceiverGuard,
 }
 
 impl ReducerHost {
@@ -437,20 +499,43 @@ impl ReducerHost {
         ReducerHost {
             collector: Collector::new(agg, expected_ends),
             completed_at: None,
-            dedup: None,
+            guard: crate::reliability::ReceiverGuard::new(),
         }
     }
 
     /// Enables receive-side duplicate suppression (pairs with
-    /// [`crate::DaietConfig::reliability`] on the switches).
+    /// [`crate::DaietConfig::reliability`] on the switches —
+    /// aggregation is not idempotent, so the *last* hop needs protection
+    /// too, not just the switches).
     pub fn with_dedup(mut self) -> ReducerHost {
-        self.dedup = Some(crate::reliability::DedupWindow::new());
+        self.guard.enable_dedup();
         self
     }
 
-    /// Frames suppressed as duplicates.
+    /// Arms NACK recovery: this reducer (simulator id `self_id`) watches
+    /// one flow per `(tree, source)` in `sources` — the deployment's
+    /// [`reducer_sources`](crate::controller::Deployment::reducer_sources)
+    /// roster — and NACKs delinquent ones per `config`'s timeout/budget
+    /// (see [`ReceiverGuard`](crate::reliability::ReceiverGuard)).
+    pub fn with_nack_recovery(
+        mut self,
+        self_id: u32,
+        config: &DaietConfig,
+        sources: impl IntoIterator<Item = (u16, u32)>,
+    ) -> ReducerHost {
+        self.guard.arm_nack_recovery(self_id, config, sources);
+        self
+    }
+
+    /// Frames suppressed as duplicates (by the dedup window or, under
+    /// NACK recovery, the gap tracker's bitmaps).
     pub fn duplicates_suppressed(&self) -> u64 {
-        self.dedup.as_ref().map_or(0, |d| d.duplicates)
+        self.guard.duplicates_suppressed()
+    }
+
+    /// NACK frames this reducer has sent (0 without recovery).
+    pub fn nacks_emitted(&self) -> u64 {
+        self.guard.nacks_emitted()
     }
 }
 
@@ -459,14 +544,21 @@ impl Node for ReducerHost {
         let Some((hdr, src, parsed)) = receive_daiet(frame) else {
             return;
         };
-        if let Some(dedup) = self.dedup.as_mut() {
-            if !dedup.accept(hdr.tree_id, src, hdr.seq) {
-                return;
-            }
+        if !self.guard.admit(&hdr, src, ctx) {
+            return;
         }
         if self.collector.on_parts(&hdr, parsed.daiet_pairs()) && self.completed_at.is_none() {
             self.completed_at = Some(ctx.now());
         }
+        self.guard.arm(ctx);
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.guard.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        self.guard.on_timer(ctx);
     }
 
     fn name(&self) -> String {
@@ -638,6 +730,7 @@ mod tests {
             endpoints: Endpoints::from_ids(100, 3),
             agg: AggFn::Sum,
             children: 2,
+            children_sources: Vec::new(),
         });
         let ext = sw.register_extern(Box::new(engine));
         sw.pipeline_mut()

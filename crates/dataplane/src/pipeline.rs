@@ -12,7 +12,7 @@
 use crate::parser::ParsedPacket;
 use crate::resources::{ResourceError, Resources, SramTracker};
 use crate::table::Table;
-use daiet_netsim::{Frame, FramePool, PortId};
+use daiet_netsim::{Frame, FramePool, PortId, SimDuration, SimTime};
 
 /// Identifies a registered extern within one switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +35,10 @@ pub struct PacketCtx {
     pub ops: usize,
     /// Times this packet has been recirculated.
     pub recircs: u32,
+    /// Simulated arrival time ([`SimTime::ZERO`] outside a simulator run,
+    /// e.g. in unit tests that drive the pipeline directly). Externs with
+    /// time-based state (NACK timeouts) read this.
+    pub now: SimTime,
 }
 
 /// Forwarding decision for the original packet.
@@ -63,7 +67,13 @@ impl PacketCtx {
             egress: Egress::Unset,
             ops: 0,
             recircs: 0,
+            now: SimTime::ZERO,
         }
+    }
+
+    /// Like [`PacketCtx::new`], stamped with the simulated arrival time.
+    pub fn at(in_port: PortId, parsed: ParsedPacket, now: SimTime) -> PacketCtx {
+        PacketCtx { now, ..PacketCtx::new(in_port, parsed) }
     }
 
     /// Reads metadata slot `slot`.
@@ -131,6 +141,28 @@ pub trait SwitchExtern: std::any::Any {
     /// [`ActionSpec::Invoke`]. Frames the extern emits should be built in
     /// buffers taken from `pool` so their storage recycles.
     fn invoke(&mut self, pkt: &mut PacketCtx, arg: u32, pool: &FramePool) -> ExternOutput;
+
+    /// How often [`SwitchExtern::on_tick`] should run, or `None` for a
+    /// purely packet-driven extern (the default). A switch only arms the
+    /// timer while [`SwitchExtern::wants_tick`] holds, so a quiescent
+    /// extern costs no events.
+    fn tick_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// True while the extern has pending time-based work (e.g. flows with
+    /// outstanding NACK timeouts). The switch re-arms the tick timer after
+    /// any packet or tick that leaves this true, and lets it lapse
+    /// otherwise — which is what allows the event queue to drain.
+    fn wants_tick(&self) -> bool {
+        false
+    }
+
+    /// Runs one timer tick at simulated time `now`, returning frames to
+    /// transmit (e.g. NACKs toward children whose flows timed out).
+    fn on_tick(&mut self, _now: SimTime, _pool: &FramePool) -> Vec<ExternEmission> {
+        Vec::new()
+    }
 
     /// Diagnostic name.
     fn name(&self) -> String {

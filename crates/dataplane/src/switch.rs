@@ -3,7 +3,7 @@
 
 use crate::parser::{parse, ParseError, ParserConfig};
 use crate::pipeline::{Egress, ExternId, PacketCtx, Pipeline, SwitchExtern};
-use daiet_netsim::{Context, Frame, FramePool, Node, PortId};
+use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimTime};
 
 /// Counters a switch maintains about its own processing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +49,9 @@ pub struct Switch {
     port_count: usize,
     /// Reused output staging buffer for [`Node::on_packet`].
     scratch: Vec<(PortId, Frame)>,
+    /// Whether extern `i`'s tick timer is currently armed (timer tokens
+    /// are extern indices).
+    tick_armed: Vec<bool>,
 }
 
 impl Switch {
@@ -66,13 +69,30 @@ impl Switch {
             stats: SwitchStats::default(),
             port_count: 0,
             scratch: Vec::new(),
+            tick_armed: Vec::new(),
         }
     }
 
     /// Registers an extern, returning its id for `ActionSpec::Invoke`.
     pub fn register_extern(&mut self, ext: Box<dyn SwitchExtern>) -> ExternId {
         self.externs.push(ext);
+        self.tick_armed.push(false);
         ExternId(self.externs.len() - 1)
+    }
+
+    /// Arms the tick timer of any extern that asks for one and is not
+    /// already armed. Called after starts, packets and ticks — the timer
+    /// therefore lapses exactly when the extern reports quiescence, so a
+    /// finished simulation's event queue still drains.
+    fn arm_ticks(&mut self, ctx: &mut Context<'_>) {
+        for (i, ext) in self.externs.iter().enumerate() {
+            if !self.tick_armed[i] && ext.wants_tick() {
+                if let Some(interval) = ext.tick_interval() {
+                    self.tick_armed[i] = true;
+                    ctx.schedule(interval, i as u64);
+                }
+            }
+        }
     }
 
     /// The pipeline (controller-plane access for installing rules).
@@ -113,19 +133,21 @@ impl Switch {
         pool: &FramePool,
     ) -> Vec<(PortId, Frame)> {
         let mut outputs = Vec::new();
-        self.process_into(in_port, frame, port_count, pool, &mut outputs);
+        self.process_into(in_port, frame, port_count, pool, SimTime::ZERO, &mut outputs);
         outputs
     }
 
     /// Processes one frame, appending the frames to transmit to `out` —
     /// the allocation-free core [`Node::on_packet`] drives with a reused
-    /// staging buffer.
+    /// staging buffer. `now` stamps the packet context for time-aware
+    /// externs.
     pub fn process_into(
         &mut self,
         in_port: PortId,
         frame: Frame,
         port_count: usize,
         pool: &FramePool,
+        now: SimTime,
         out: &mut Vec<(PortId, Frame)>,
     ) {
         self.stats.packets_in += 1;
@@ -143,7 +165,7 @@ impl Switch {
             }
         };
 
-        let mut pkt = PacketCtx::new(in_port, parsed);
+        let mut pkt = PacketCtx::at(in_port, parsed, now);
         let max_recirc = self.pipeline.resources().max_recirculations;
 
         loop {
@@ -199,12 +221,33 @@ impl core::fmt::Debug for Switch {
 impl Node for Switch {
     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
         let port_count = ctx.port_count();
+        let now = ctx.now();
         let mut out = std::mem::take(&mut self.scratch);
-        self.process_into(port, frame, port_count, ctx.pool(), &mut out);
+        self.process_into(port, frame, port_count, ctx.pool(), now, &mut out);
         for (out_port, out_frame) in out.drain(..) {
             ctx.send(out_port, out_frame);
         }
         self.scratch = out;
+        // A packet may have created time-based work (a new flow to watch).
+        self.arm_ticks(ctx);
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.arm_ticks(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        let i = token as usize;
+        let Some(ext) = self.externs.get_mut(i) else {
+            return;
+        };
+        self.tick_armed[i] = false;
+        let emissions = ext.on_tick(ctx.now(), ctx.pool());
+        self.stats.extern_emissions += emissions.len() as u64;
+        for (port, frame) in emissions {
+            ctx.send(port, frame);
+        }
+        self.arm_ticks(ctx);
     }
 
     fn name(&self) -> String {
@@ -325,6 +368,52 @@ mod tests {
         let stats = sim.node_ref::<Switch>(sw).unwrap().stats();
         assert_eq!(stats.packets_in, 1);
         assert_eq!(stats.forwarded, 1);
+    }
+
+    #[test]
+    fn extern_ticks_run_until_quiescent() {
+        use crate::pipeline::{ExternOutput, PacketCtx, SwitchExtern};
+        use daiet_netsim::{FramePool, LinkSpec, SimDuration, Simulator};
+
+        /// Emits one probe frame per tick until it has emitted `budget`.
+        struct Ticker {
+            budget: u32,
+            ticks: u32,
+        }
+        impl SwitchExtern for Ticker {
+            fn invoke(&mut self, _: &mut PacketCtx, _: u32, _: &FramePool) -> ExternOutput {
+                ExternOutput::default()
+            }
+            fn tick_interval(&self) -> Option<SimDuration> {
+                Some(SimDuration::from_micros(10))
+            }
+            fn wants_tick(&self) -> bool {
+                self.ticks < self.budget
+            }
+            fn on_tick(&mut self, _now: SimTime, pool: &FramePool) -> Vec<(PortId, Frame)> {
+                self.ticks += 1;
+                vec![(PortId(0), pool.copy_from_slice(b"tick"))]
+            }
+        }
+
+        #[derive(Default)]
+        struct Sink(usize);
+        impl Node for Sink {
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {
+                self.0 += 1;
+            }
+        }
+
+        let mut sw = Switch::new("ticker", Pipeline::new(Resources::tiny()));
+        sw.register_extern(Box::new(Ticker { budget: 3, ticks: 0 }));
+        let mut sim = Simulator::new(1);
+        let sw_id = sim.add_node(Box::new(sw));
+        let sink = sim.add_node(Box::new(Sink::default()));
+        sim.connect(sw_id, sink, LinkSpec::fast());
+        // The run terminates (the extern goes quiescent after 3 ticks) and
+        // every tick's emission reached the sink.
+        sim.run();
+        assert_eq!(sim.node_ref::<Sink>(sink).unwrap().0, 3);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod time;
 pub mod topology;
 
 pub use frame::{Frame, FramePool, PoolStats};
-pub use link::{FaultProfile, LinkSpec};
+pub use link::{FaultDecision, FaultProfile, LinkScript, LinkSpec};
 pub use node::{Context, Node, NodeId, PortId};
 pub use sim::Simulator;
 pub use stats::{LinkStats, NodeStats};

@@ -65,7 +65,7 @@ impl LinkSpec {
 }
 
 /// Per-frame fault probabilities (applied independently, in the order
-/// drop → duplicate → corrupt).
+/// drop → duplicate → corrupt → reorder).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultProfile {
     /// Probability a frame is silently dropped.
@@ -75,20 +75,129 @@ pub struct FaultProfile {
     pub corrupt: f64,
     /// Probability the frame is delivered twice.
     pub duplicate: f64,
+    /// Probability the frame is held back by
+    /// [`reorder_ns`](FaultProfile::reorder_ns) extra nanoseconds, letting frames
+    /// transmitted after it overtake it — the simulator's model of
+    /// multipath/queueing reordering.
+    pub reorder: f64,
+    /// Extra delay applied to reordered frames, in nanoseconds. Choose it
+    /// larger than a few frame serialization times so reordering actually
+    /// happens.
+    pub reorder_ns: u64,
 }
 
 impl FaultProfile {
     /// No injected faults.
-    pub const NONE: FaultProfile = FaultProfile { drop: 0.0, corrupt: 0.0, duplicate: 0.0 };
+    pub const NONE: FaultProfile = FaultProfile {
+        drop: 0.0,
+        corrupt: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        reorder_ns: 0,
+    };
 
     /// A loss-only profile.
     pub fn loss(p: f64) -> FaultProfile {
         FaultProfile { drop: p, ..Self::NONE }
     }
 
+    /// The full adversary short of corruption: independent loss,
+    /// duplication and reordering (by `reorder_ns` nanoseconds) at the
+    /// given per-frame probabilities — the profile the reliability
+    /// acceptance tests inject on every link.
+    pub fn chaos(drop: f64, duplicate: f64, reorder: f64, reorder_ns: u64) -> FaultProfile {
+        FaultProfile { drop, duplicate, reorder, reorder_ns, ..Self::NONE }
+    }
+
     /// True when all probabilities are zero.
     pub fn is_none(&self) -> bool {
-        self.drop == 0.0 && self.corrupt == 0.0 && self.duplicate == 0.0
+        self.drop == 0.0 && self.corrupt == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0
+    }
+}
+
+/// One scripted per-frame decision of a [`LinkScript`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Drop the frame.
+    Drop,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Flip one random bit (receiver checksums will catch it).
+    Corrupt,
+    /// Deliver, but this many nanoseconds late (reordering).
+    Delay(u64),
+}
+
+/// A deterministic, per-frame fault script for one link direction — the
+/// "adversarial link" harness. Unlike [`FaultProfile`] (probabilities
+/// drawn from the shared simulation RNG, so decisions shift whenever any
+/// other traffic changes), a script pins the fate of the *k*-th frame on
+/// the link: decision `k` applies to the `k`-th frame admitted to the
+/// egress queue, and once the script is exhausted the link falls back to
+/// its [`FaultProfile`]. Attach with
+/// [`Simulator::script_link`](crate::Simulator::script_link).
+#[derive(Debug, Clone, Default)]
+pub struct LinkScript {
+    decisions: std::collections::VecDeque<FaultDecision>,
+}
+
+impl LinkScript {
+    /// A script replaying `decisions` in order.
+    pub fn new(decisions: impl IntoIterator<Item = FaultDecision>) -> LinkScript {
+        LinkScript { decisions: decisions.into_iter().collect() }
+    }
+
+    /// A script that leaves the first `n` frames untouched and then
+    /// applies `decision` to the next one — the precision tool for
+    /// regression tests ("drop exactly the third flush frame").
+    pub fn nth_frame(n: usize, decision: FaultDecision) -> LinkScript {
+        let mut decisions: std::collections::VecDeque<FaultDecision> =
+            std::iter::repeat_n(FaultDecision::Deliver, n).collect();
+        decisions.push_back(decision);
+        LinkScript { decisions }
+    }
+
+    /// A deterministic adversarial script: `n` per-frame decisions drawn
+    /// from a dedicated RNG seeded with `seed` under `profile`'s
+    /// probabilities. The same `(seed, n, profile)` always yields the
+    /// same decision sequence, independent of every other link and of the
+    /// traffic pattern — which makes failures replayable.
+    pub fn adversarial(seed: u64, n: usize, profile: FaultProfile) -> LinkScript {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let decisions = (0..n)
+            .map(|_| {
+                // Independent draws in a fixed order so each probability
+                // is honored marginally; first match wins.
+                let d: f64 = rng.random();
+                let u: f64 = rng.random();
+                let r: f64 = rng.random();
+                let c: f64 = rng.random();
+                if d < profile.drop {
+                    FaultDecision::Drop
+                } else if u < profile.duplicate {
+                    FaultDecision::Duplicate
+                } else if r < profile.reorder {
+                    FaultDecision::Delay(profile.reorder_ns)
+                } else if c < profile.corrupt {
+                    FaultDecision::Corrupt
+                } else {
+                    FaultDecision::Deliver
+                }
+            })
+            .collect();
+        LinkScript { decisions }
+    }
+
+    /// Decisions not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.decisions.len()
+    }
+
+    fn pop(&mut self) -> Option<FaultDecision> {
+        self.decisions.pop_front()
     }
 }
 
@@ -109,6 +218,9 @@ struct Direction {
 pub(crate) struct Link {
     spec: LinkSpec,
     dirs: [Direction; 2],
+    /// Optional per-direction fault scripts (consume one decision per
+    /// admitted frame, then fall back to `spec.faults`).
+    scripts: [Option<LinkScript>; 2],
 }
 
 /// Maps `(node, port)` to its link and direction, and owns all links.
@@ -160,8 +272,15 @@ impl PortTable {
                     to_port: pa,
                 },
             ],
+            scripts: [None, None],
         });
         (pa, pb)
+    }
+
+    /// Installs a fault script on one direction of link `idx` (0 = a→b in
+    /// connect order), replacing any prior script.
+    pub(crate) fn set_script(&mut self, idx: usize, dir: usize, script: LinkScript) {
+        self.links[idx].scripts[dir] = Some(script);
     }
 
     /// Ports attached to `node`.
@@ -216,8 +335,31 @@ impl PortTable {
             return;
         }
 
+        // A scripted decision (consumed per admitted frame) overrides the
+        // probabilistic profile entirely; an exhausted script falls back.
+        let scripted = link.scripts[dir_idx].as_mut().and_then(LinkScript::pop);
+        let (do_drop, do_corrupt, do_duplicate, extra_delay) = match scripted {
+            Some(FaultDecision::Deliver) => (false, false, false, 0),
+            Some(FaultDecision::Drop) => (true, false, false, 0),
+            Some(FaultDecision::Duplicate) => (false, false, true, 0),
+            Some(FaultDecision::Corrupt) => (false, true, false, 0),
+            Some(FaultDecision::Delay(ns)) => (false, false, false, ns),
+            None => {
+                let f = spec.faults;
+                let drop = f.drop > 0.0 && rng.random::<f64>() < f.drop;
+                let corrupt = !drop && f.corrupt > 0.0 && rng.random::<f64>() < f.corrupt;
+                let dup = !drop && f.duplicate > 0.0 && rng.random::<f64>() < f.duplicate;
+                let delay = if !drop && f.reorder > 0.0 && rng.random::<f64>() < f.reorder {
+                    f.reorder_ns
+                } else {
+                    0
+                };
+                (drop, corrupt, dup, delay)
+            }
+        };
+
         // Fault injection: drop.
-        if spec.faults.drop > 0.0 && rng.random::<f64>() < spec.faults.drop {
+        if do_drop {
             stats.link_drop_fault(idx, dir_idx, len);
             return;
         }
@@ -236,7 +378,7 @@ impl PortTable {
         // A frame still shared with its sender is copied through the pool
         // first; an exclusively owned one is flipped in place.
         let mut deliver_frame = frame;
-        if spec.faults.corrupt > 0.0 && rng.random::<f64>() < spec.faults.corrupt {
+        if do_corrupt {
             if deliver_frame.try_mut().is_none() {
                 deliver_frame = pool.copy_from_slice(&deliver_frame);
             }
@@ -248,12 +390,18 @@ impl PortTable {
             stats.link_corrupt(idx, dir_idx);
         }
 
-        let arrival = departure + spec.latency;
+        // Reordering: hold the frame back past its natural arrival so
+        // later transmissions overtake it.
+        let mut arrival = departure + spec.latency;
+        if extra_delay > 0 {
+            arrival += SimDuration::from_nanos(extra_delay);
+            stats.link_reorder(idx, dir_idx);
+        }
         stats.link_tx(idx, dir_idx, len);
 
         // Duplication: deliver a second copy one nanosecond later (the
         // copy shares the buffer — one refcount bump, no allocation).
-        let duplicate = spec.faults.duplicate > 0.0 && rng.random::<f64>() < spec.faults.duplicate;
+        let duplicate = do_duplicate;
         if duplicate {
             stats.link_duplicate(idx, dir_idx);
         }
@@ -421,6 +569,82 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::Deliver { .. }))
             .count();
         assert_eq!(deliveries, 2);
+    }
+
+    #[test]
+    fn reorder_fault_delays_delivery() {
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
+        let spec = LinkSpec::fast()
+            .with_faults(FaultProfile { reorder: 1.0, reorder_ns: 5_000, ..FaultProfile::NONE });
+        ports.connect(NodeId(0), NodeId(1), spec);
+        ports.transmit(NodeId(0), PortId(0), Frame::from_slice(b"abc"), SimTime::ZERO, &mut queue, &mut rng, &mut stats, &pool);
+        let arrival = loop {
+            match queue.pop().expect("delivery scheduled").kind {
+                EventKind::Deliver { .. } => break queue.peek_time(),
+                _ => continue,
+            }
+        };
+        let _ = arrival;
+        assert_eq!(stats.link(0).dirs[0].reordered, 1);
+    }
+
+    #[test]
+    fn scripted_decisions_apply_per_frame_then_fall_back() {
+        let (mut ports, mut queue, mut rng, mut stats, pool) = fixture();
+        // Clean profile; the script is the only fault source.
+        ports.connect(NodeId(0), NodeId(1), LinkSpec::fast());
+        ports.set_script(
+            0,
+            0,
+            LinkScript::new([
+                FaultDecision::Deliver,
+                FaultDecision::Drop,
+                FaultDecision::Duplicate,
+                FaultDecision::Delay(10_000),
+            ]),
+        );
+        let frame = Frame::from_slice(b"frame");
+        for i in 0..6 {
+            ports.transmit(NodeId(0), PortId(0), frame.clone(), SimTime(i * 1_000_000), &mut queue, &mut rng, &mut stats, &pool);
+        }
+        let deliveries = std::iter::from_fn(|| queue.pop())
+            .filter(|e| matches!(e.kind, EventKind::Deliver { .. }))
+            .count();
+        // Frame 0 delivered, 1 dropped, 2 duplicated (×2), 3 delayed,
+        // 4 and 5 past the script → delivered cleanly: 6 deliveries.
+        assert_eq!(deliveries, 6);
+        let d = stats.link(0).dirs[0];
+        assert_eq!(d.drops_fault, 1);
+        assert_eq!(d.duplicated, 1);
+        assert_eq!(d.reordered, 1);
+    }
+
+    #[test]
+    fn nth_frame_script_targets_exactly_one_frame() {
+        let script = LinkScript::nth_frame(3, FaultDecision::Drop);
+        assert_eq!(script.remaining(), 4);
+        let decisions: Vec<FaultDecision> =
+            (0..4).map(|_| script.clone().pop().unwrap()).collect();
+        assert_eq!(decisions[0], FaultDecision::Deliver);
+        let mut script = script;
+        for _ in 0..3 {
+            assert_eq!(script.pop(), Some(FaultDecision::Deliver));
+        }
+        assert_eq!(script.pop(), Some(FaultDecision::Drop));
+        assert_eq!(script.pop(), None);
+    }
+
+    #[test]
+    fn adversarial_script_is_deterministic_in_its_seed() {
+        let profile = FaultProfile::chaos(0.2, 0.2, 0.2, 1_000);
+        let a = LinkScript::adversarial(7, 500, profile);
+        let b = LinkScript::adversarial(7, 500, profile);
+        let c = LinkScript::adversarial(8, 500, profile);
+        assert_eq!(a.decisions, b.decisions);
+        assert_ne!(a.decisions, c.decisions, "different seeds should diverge");
+        // Marginal rates are roughly honored.
+        let drops = a.decisions.iter().filter(|d| **d == FaultDecision::Drop).count();
+        assert!((50..150).contains(&drops), "drops {drops} of 500 at p=0.2");
     }
 
     #[test]

@@ -124,6 +124,17 @@ impl Simulator {
         self.stats.link(idx)
     }
 
+    /// Installs a deterministic per-frame fault script on one direction of
+    /// link `idx` (`dir` 0 = the a→b direction of [`Simulator::connect`]).
+    /// Each admitted frame consumes one decision; after the script runs
+    /// out, the link reverts to its probabilistic
+    /// [`FaultProfile`](crate::FaultProfile).
+    pub fn script_link(&mut self, idx: usize, dir: usize, script: crate::LinkScript) {
+        assert!(idx < self.ports.link_count(), "script_link on unknown link {idx}");
+        assert!(dir < 2, "link direction must be 0 or 1");
+        self.ports.set_script(idx, dir, script);
+    }
+
     /// Number of links created.
     pub fn link_count(&self) -> usize {
         self.ports.link_count()

@@ -19,6 +19,9 @@ pub struct DirStats {
     pub corrupted: u64,
     /// Frames duplicated by fault injection.
     pub duplicated: u64,
+    /// Frames delayed past their natural arrival (reordered) by fault
+    /// injection.
+    pub reordered: u64,
 }
 
 /// Both directions of one link (0 = a→b, 1 = b→a in connect order).
@@ -102,6 +105,10 @@ impl StatsTable {
 
     pub(crate) fn link_duplicate(&mut self, idx: usize, dir: usize) {
         self.link_mut(idx).dirs[dir].duplicated += 1;
+    }
+
+    pub(crate) fn link_reorder(&mut self, idx: usize, dir: usize) {
+        self.link_mut(idx).dirs[dir].reordered += 1;
     }
 
     pub(crate) fn node_sent(&mut self, node: NodeId, bytes: usize) {

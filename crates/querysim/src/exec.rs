@@ -25,7 +25,6 @@ use crate::query::{Query, QueryResult};
 use crate::table::{group_of_key, Table};
 use daiet::agg::AggFn;
 use daiet::controller::{AggregationMode, Controller, JobPlacement};
-use daiet::reliability::DedupWindow;
 use daiet::worker::{receive_daiet, Collector};
 use daiet::DaietConfig;
 use daiet_dataplane::Resources;
@@ -90,10 +89,13 @@ fn decode_partials(mut data: &[u8]) -> Option<Vec<(u8, u32, u32)>> {
 
 /// The coordinator for the UDP modes: one [`Collector`] per lane (frames
 /// are demultiplexed by tree id), optional receive-side duplicate
-/// suppression, completion when every lane saw all its ENDs.
+/// suppression and NACK recovery, completion when every lane saw all its
+/// ENDs.
 pub struct QueryCoordinatorNode {
     collectors: Vec<Collector>,
-    dedup: Option<DedupWindow>,
+    /// Receive-side reliability (dedup and/or NACK recovery) — the same
+    /// shared driver `ReducerHost` uses, so the workloads cannot drift.
+    guard: daiet::reliability::ReceiverGuard,
     /// Simulated time all lanes completed, once reached.
     pub completed_at: Option<SimTime>,
 }
@@ -103,16 +105,38 @@ impl QueryCoordinatorNode {
     /// merging lane `l` with `lane_aggs[l]`.
     pub fn new(lane_aggs: &[AggFn], expected_ends: &[u32], dedup: bool) -> QueryCoordinatorNode {
         assert_eq!(lane_aggs.len(), expected_ends.len());
+        let mut guard = daiet::reliability::ReceiverGuard::new();
+        if dedup {
+            // Host-side table: unbounded (DRAM), unlike the switch's.
+            guard.enable_dedup();
+        }
         QueryCoordinatorNode {
             collectors: lane_aggs
                 .iter()
                 .zip(expected_ends)
                 .map(|(&agg, &ends)| Collector::new(agg, ends))
                 .collect(),
-            // Host-side table: unbounded (DRAM), unlike the switch's.
-            dedup: dedup.then(DedupWindow::new),
+            guard,
             completed_at: None,
         }
+    }
+
+    /// Arms NACK recovery: the coordinator (simulator id `self_id`)
+    /// watches one flow per `(lane tree, source)` in `sources` and NACKs
+    /// delinquent ones per `config`'s timeout and budget.
+    pub fn with_nack_recovery(
+        mut self,
+        self_id: u32,
+        config: &DaietConfig,
+        sources: impl IntoIterator<Item = (u16, u32)>,
+    ) -> QueryCoordinatorNode {
+        self.guard.arm_nack_recovery(self_id, config, sources);
+        self
+    }
+
+    /// NACK frames this coordinator has sent (0 without recovery).
+    pub fn nacks_emitted(&self) -> u64 {
+        self.guard.nacks_emitted()
     }
 
     /// True once every lane's partition completed.
@@ -130,9 +154,10 @@ impl QueryCoordinatorNode {
         self.collectors.iter().map(|c| c.stats().pairs_received).sum()
     }
 
-    /// Frames suppressed as duplicates (0 without dedup).
+    /// Frames suppressed as duplicates (0 without dedup), whichever
+    /// filter did it — the dedup window or the gap tracker's bitmaps.
     pub fn duplicates_suppressed(&self) -> u64 {
-        self.dedup.as_ref().map_or(0, |d| d.duplicates)
+        self.guard.duplicates_suppressed()
     }
 
     /// The merged per-lane group maps, decoded back to group ids.
@@ -157,15 +182,22 @@ impl Node for QueryCoordinatorNode {
         if lane >= self.collectors.len() {
             return; // foreign tree id — discarded before it can charge dedup state
         }
-        if let Some(dedup) = self.dedup.as_mut() {
-            if !dedup.accept(hdr.tree_id, src, hdr.seq) {
-                return;
-            }
+        if !self.guard.admit(&hdr, src, ctx) {
+            return;
         }
         self.collectors[lane].on_parts(&hdr, parsed.daiet_pairs());
         if self.is_complete() && self.completed_at.is_none() {
             self.completed_at = Some(ctx.now());
         }
+        self.guard.arm(ctx);
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.guard.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        self.guard.on_timer(ctx);
     }
 
     fn name(&self) -> String {
@@ -220,6 +252,11 @@ pub struct QueryRunner {
     /// Extra faults applied to worker→switch links only (the segment the
     /// redundancy harness protects; see the module docs).
     pub worker_faults: Option<FaultProfile>,
+    /// Extra faults applied to the switch→coordinator link — only
+    /// survivable with NACK recovery
+    /// ([`with_full_reliability`](Self::with_full_reliability)), since
+    /// switch-originated flush frames are sent exactly once.
+    pub coordinator_faults: Option<FaultProfile>,
     /// Copies of each frame workers transmit (1 = no redundancy).
     pub redundancy: u32,
     /// Switch chip profile.
@@ -228,6 +265,8 @@ pub struct QueryRunner {
     pub pacing: SimDuration,
     /// Simulation seed.
     pub seed: u64,
+    /// The frame pool shared across this runner's runs (see `make_sim`).
+    pool: daiet_netsim::FramePool,
 }
 
 impl QueryRunner {
@@ -257,10 +296,12 @@ impl QueryRunner {
             daiet_config: DaietConfig { register_cells, ..DaietConfig::default() },
             link: LinkSpec::fast().with_queue_bytes(4 * 1024 * 1024),
             worker_faults: None,
+            coordinator_faults: None,
             redundancy: 1,
             resources: Resources::tofino_like(),
             pacing: SimDuration::from_micros(2),
             seed: 42,
+            pool: daiet_netsim::FramePool::new(),
         }
     }
 
@@ -271,6 +312,19 @@ impl QueryRunner {
         self.daiet_config.reliability = true;
         self.redundancy = k;
         self.worker_faults = Some(faults);
+        self
+    }
+
+    /// Arms the *full* reliability story: dedup + NACK recovery on every
+    /// segment, `faults` on **every** link (worker→switch and
+    /// switch→coordinator), redundancy left at `k = 1` — recovery alone
+    /// must carry the query to the exact answer.
+    pub fn with_full_reliability(mut self, faults: FaultProfile) -> QueryRunner {
+        self.daiet_config.reliability = true;
+        self.daiet_config.nack_recovery = true;
+        self.daiet_config = self.daiet_config.with_rtx_sized_for_flush();
+        self.worker_faults = Some(faults);
+        self.coordinator_faults = Some(faults);
         self
     }
 
@@ -291,7 +345,11 @@ impl QueryRunner {
         for &w in &workers {
             plan.link(w, sw, worker_link);
         }
-        plan.link(coord, sw, self.link);
+        let coord_link = match self.coordinator_faults {
+            Some(f) => self.link.with_faults(f),
+            None => self.link,
+        };
+        plan.link(coord, sw, coord_link);
         (plan, workers, coord)
     }
 
@@ -304,7 +362,12 @@ impl QueryRunner {
     }
 
     fn make_sim(&self) -> Simulator {
-        Simulator::new(self.seed)
+        let mut sim = Simulator::new(self.seed);
+        // One pool across this runner's runs: repeated runs recycle the
+        // previous run's buffers instead of growing a cold pool each time
+        // (see `daiet_mapreduce::Runner::make_sim`). Semantics-neutral.
+        sim.set_frame_pool(self.pool.clone());
+        sim
     }
 
     /// Runs the query under `mode`.
@@ -426,11 +489,29 @@ impl QueryRunner {
                         "query-worker",
                     )))
                 }
-                Role::Host => sim.add_node(Box::new(QueryCoordinatorNode::new(
-                    &lane_aggs,
-                    &expected_ends,
-                    self.daiet_config.reliability,
-                ))),
+                Role::Host => {
+                    let mut node = QueryCoordinatorNode::new(
+                        &lane_aggs,
+                        &expected_ends,
+                        self.daiet_config.reliability,
+                    );
+                    if self.daiet_config.nack_recovery {
+                        let sources: Vec<(u16, u32)> = (0..self.plan.lane_count())
+                            .flat_map(|l| {
+                                let tree = dep.tree_id(l);
+                                dep.reducer_sources(l, &workers)
+                                    .into_iter()
+                                    .map(move |src| (tree, src))
+                            })
+                            .collect();
+                        node = node.with_nack_recovery(
+                            slot as u32,
+                            &self.daiet_config,
+                            sources,
+                        );
+                    }
+                    sim.add_node(Box::new(node))
+                }
                 Role::Switch => sim.add_node(Box::new(
                     switches.remove(&slot).expect("controller built every switch"),
                 )),
@@ -592,6 +673,44 @@ mod tests {
         assert!(out.frames_dropped > 0, "faults did not fire");
         assert!(out.complete, "redundancy k=3 should survive 10% loss");
         assert_eq!(out.result, truth);
+    }
+
+    /// The segment PR 3 could not protect: switch-originated flush frames
+    /// lost on the switch→coordinator link. NACK recovery closes it.
+    #[test]
+    fn coordinator_link_loss_is_recovered_by_nacks() {
+        let table = Table::generate(&TableSpec::tiny(29));
+        let query = full_query();
+        let truth = query.reference(&table);
+        let mut runner =
+            QueryRunner::new(table, query).with_full_reliability(FaultProfile::loss(0.15));
+        // Confine the faults to the coordinator link so the recovered
+        // losses are provably flush-frame losses.
+        runner.worker_faults = None;
+        let out = runner.run(QueryMode::DaietAgg);
+        assert!(out.frames_dropped > 0, "faults did not fire");
+        assert!(out.complete, "NACK recovery should complete the query");
+        assert_eq!(out.result, truth);
+    }
+
+    /// The PR-4 acceptance scenario for the query workload: loss +
+    /// duplication + reordering on every link at k = 1, results
+    /// bit-identical to the in-memory reference executor.
+    #[test]
+    fn full_chaos_on_every_link_is_exact_at_k1() {
+        let table = Table::generate(&TableSpec::tiny(31));
+        let query = full_query();
+        let truth = query.reference(&table);
+        let chaos = FaultProfile::chaos(0.08, 0.08, 0.08, 20_000);
+        let runner = QueryRunner::new(table, query).with_full_reliability(chaos);
+        let mut any_drops = false;
+        for mode in [QueryMode::UdpNoAgg, QueryMode::DaietAgg] {
+            let out = runner.run(mode);
+            any_drops |= out.frames_dropped > 0;
+            assert!(out.complete, "{mode:?} did not complete under chaos");
+            assert_eq!(out.result, truth, "{mode:?} diverged under chaos at k=1");
+        }
+        assert!(any_drops, "faults never fired — the test proved nothing");
     }
 
     #[test]

@@ -67,6 +67,14 @@ impl Ipv4Address {
         Ipv4Address([10, b[1], b[2], b[3]])
     }
 
+    /// The inverse of [`Ipv4Address::from_id`]: recovers the host id from
+    /// a `10.x.y.z` simulator address, or `None` for addresses outside
+    /// that scheme (so receivers can reject traffic they cannot answer).
+    pub fn host_id(&self) -> Option<u32> {
+        let b = self.0;
+        (b[0] == 10).then(|| u32::from_be_bytes([0, b[1], b[2], b[3]]))
+    }
+
     /// Returns true if this is `255.255.255.255`.
     pub fn is_broadcast(&self) -> bool {
         *self == Self::BROADCAST
@@ -119,5 +127,15 @@ mod tests {
         assert!(!a.is_broadcast());
         assert!(Ipv4Address::BROADCAST.is_broadcast());
         assert!(Ipv4Address::UNSPECIFIED.is_unspecified());
+    }
+
+    #[test]
+    fn host_id_inverts_from_id() {
+        for id in [0u32, 1, 258, (1 << 24) - 1] {
+            assert_eq!(Ipv4Address::from_id(id).host_id(), Some(id));
+        }
+        // Addresses outside the 10/8 scheme have no id.
+        assert_eq!(Ipv4Address([192, 168, 0, 1]).host_id(), None);
+        assert_eq!(Ipv4Address::BROADCAST.host_id(), None);
     }
 }

@@ -155,6 +155,12 @@ impl PacketFlags {
     pub const FROM_SWITCH: PacketFlags = PacketFlags(0b0000_0010);
     /// Reliability extension: this DATA packet is a retransmission.
     pub const RETRANSMIT: PacketFlags = PacketFlags(0b0000_0100);
+    /// Reliability extension, NACK packets only: besides the explicit
+    /// [`NackRange`]s, the receiver also requests replay of *everything*
+    /// the sender has emitted at or after the preamble's `seq` field
+    /// ("next expected") — how tail loss, including a lost END, is
+    /// recovered without the receiver knowing how far the stream goes.
+    pub const NACK_TAIL: PacketFlags = PacketFlags(0b0000_1000);
 
     /// The empty flag set.
     pub const fn empty() -> Self {
@@ -322,6 +328,59 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     }
 }
 
+/// One contiguous run of missing sequence numbers requested by a NACK
+/// (reliability extension).
+///
+/// NACK packets reuse the fixed-size entry area: each entry carries one
+/// range in its key bytes — `key[0..4]` = `first` and `key[4..8]` =
+/// `count`, both big-endian; the remaining key bytes and the value lane
+/// are zero. This keeps NACKs parseable by the same bounded switch parser
+/// that handles DATA packets (a 10-entry NACK names 10 ranges within the
+/// 256-byte budget).
+///
+/// ```
+/// use daiet_wire::daiet::NackRange;
+///
+/// let r = NackRange { first: 41, count: 3 };
+/// let pair = r.to_pair();
+/// assert_eq!(NackRange::from_pair(&pair), Some(r));
+/// assert!(r.contains(41) && r.contains(43) && !r.contains(44));
+/// // Ranges live in the wrapping 32-bit sequence space.
+/// let wrap = NackRange { first: u32::MAX, count: 2 };
+/// assert!(wrap.contains(u32::MAX) && wrap.contains(0) && !wrap.contains(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NackRange {
+    /// First missing sequence number.
+    pub first: u32,
+    /// How many consecutive sequence numbers are missing (≥ 1).
+    pub count: u32,
+}
+
+impl NackRange {
+    /// True when `seq` falls inside the range (wrapping arithmetic).
+    pub fn contains(&self, seq: u32) -> bool {
+        seq.wrapping_sub(self.first) < self.count
+    }
+
+    /// Encodes the range into a wire entry.
+    pub fn to_pair(&self) -> Pair {
+        let mut key = [0u8; KEY_LEN];
+        key[0..4].copy_from_slice(&self.first.to_be_bytes());
+        key[4..8].copy_from_slice(&self.count.to_be_bytes());
+        Pair { key: Key(key), value: 0 }
+    }
+
+    /// Decodes a wire entry back into a range; `None` for an empty
+    /// (count 0) range, which a well-formed NACK never carries.
+    pub fn from_pair(pair: &Pair) -> Option<NackRange> {
+        let k = &pair.key.0;
+        let first = u32::from_be_bytes([k[0], k[1], k[2], k[3]]);
+        let count = u32::from_be_bytes([k[4], k[5], k[6], k[7]]);
+        (count > 0).then_some(NackRange { first, count })
+    }
+}
+
 /// The parsed DAIET preamble alone — a fixed-size, `Copy` view of
 /// everything except the entries.
 ///
@@ -375,6 +434,14 @@ impl Header {
     /// An END preamble for `tree_id` with sequence `seq`.
     pub fn end(tree_id: u16, flags: PacketFlags, seq: u32) -> Header {
         Header { packet_type: PacketType::End, tree_id, flags, seq }
+    }
+
+    /// A NACK preamble: `seq` is the receiver's *next expected* sequence
+    /// number; pass `tail = true` to also request everything at or after
+    /// it (sets [`PacketFlags::NACK_TAIL`]).
+    pub fn nack(tree_id: u16, next_expected: u32, tail: bool) -> Header {
+        let flags = if tail { PacketFlags::NACK_TAIL } else { PacketFlags::empty() };
+        Header { packet_type: PacketType::Nack, tree_id, flags, seq: next_expected }
     }
 
     /// Reads the preamble fields from a (length-checked) packet view.
@@ -465,6 +532,25 @@ impl Repr {
             seq: 0,
             entries: Vec::new(),
         }
+    }
+
+    /// A NACK packet requesting `ranges` (encoded into the entry area via
+    /// [`NackRange::to_pair`]); see [`Header::nack`] for the preamble
+    /// semantics.
+    pub fn nack(tree_id: u16, next_expected: u32, tail: bool, ranges: &[NackRange]) -> Repr {
+        Repr {
+            packet_type: PacketType::Nack,
+            tree_id,
+            flags: Header::nack(tree_id, next_expected, tail).flags,
+            seq: next_expected,
+            entries: ranges.iter().map(NackRange::to_pair).collect(),
+        }
+    }
+
+    /// Decodes this packet's entries as NACK ranges (skipping any
+    /// malformed zero-count entries).
+    pub fn nack_ranges(&self) -> impl Iterator<Item = NackRange> + '_ {
+        self.entries.iter().filter_map(NackRange::from_pair)
     }
 
     /// Parses a full DAIET packet.
@@ -628,6 +714,39 @@ mod tests {
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         assert_eq!(repr.emit(&mut packet).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn nack_round_trips_ranges_and_tail_flag() {
+        let ranges = [
+            NackRange { first: 3, count: 2 },
+            NackRange { first: 9, count: 1 },
+            NackRange { first: u32::MAX - 1, count: 4 }, // crosses the wrap
+        ];
+        let repr = Repr::nack(6, 42, true, &ranges);
+        let bytes = repr.to_bytes();
+        let parsed = Repr::parse(&Packet::new_checked(&bytes[..]).unwrap()).unwrap();
+        assert_eq!(parsed.packet_type, PacketType::Nack);
+        assert_eq!(parsed.seq, 42);
+        assert!(parsed.flags.contains(PacketFlags::NACK_TAIL));
+        let decoded: Vec<NackRange> = parsed.nack_ranges().collect();
+        assert_eq!(decoded, ranges);
+        // Without tail, the flag is clear.
+        let plain = Repr::nack(6, 42, false, &ranges[..1]);
+        assert!(!plain.flags.contains(PacketFlags::NACK_TAIL));
+    }
+
+    #[test]
+    fn nack_range_wrapping_membership() {
+        let r = NackRange { first: u32::MAX, count: 3 };
+        assert!(r.contains(u32::MAX));
+        assert!(r.contains(0));
+        assert!(r.contains(1));
+        assert!(!r.contains(2));
+        assert!(!r.contains(u32::MAX - 1));
+        // Zero-count entries decode as None (malformed, skipped).
+        let z = Pair::new(Key::ZERO, 0);
+        assert_eq!(NackRange::from_pair(&z), None);
     }
 
     #[test]

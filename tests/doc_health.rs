@@ -1,0 +1,186 @@
+//! Doc health: every relative markdown link and anchor in the repo's
+//! `*.md` files must resolve, so prose can't silently rot as files move
+//! and headings are reworded. CI runs this as its doc-health gate next
+//! to `cargo doc --no-deps` (which covers the rustdoc side).
+//!
+//! Scope: links of the form `[text](target)` outside fenced code blocks
+//! and inline code spans. `http(s)`/`mailto` targets are skipped (the
+//! build is offline); everything else must name an existing file
+//! relative to the linking document, and a `#fragment` must match a
+//! heading anchor (GitHub slug rules) in the target document.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Markdown files under `root`, skipping build/VCS output.
+fn markdown_files(root: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(root).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !matches!(name.as_str(), "target" | ".git" | ".github") {
+                markdown_files(&path, out);
+            }
+        } else if name.ends_with(".md") {
+            out.push(path);
+        }
+    }
+}
+
+/// The document with fenced code blocks (``` / ~~~) and inline code
+/// spans blanked out, so link syntax inside examples is not parsed.
+fn without_code(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            out.push('\n');
+            continue;
+        }
+        if in_fence {
+            out.push('\n');
+            continue;
+        }
+        // Blank inline code spans: `...`
+        let mut in_span = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_span = !in_span;
+                out.push(' ');
+            } else {
+                out.push(if in_span { ' ' } else { c });
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// GitHub-style heading slug: lowercase, alphanumerics kept, spaces and
+/// hyphens become hyphens, everything else dropped.
+fn slug(heading: &str) -> String {
+    let mut s = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() {
+            s.extend(c.to_lowercase());
+        } else if c == ' ' || c == '-' {
+            s.push('-');
+        }
+    }
+    s
+}
+
+/// Anchor slugs of every heading in a document (formatting stripped the
+/// way GitHub does: backticks and emphasis markers don't survive).
+fn anchors(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !trimmed.starts_with('#') {
+            continue;
+        }
+        let title = trimmed.trim_start_matches('#').replace(['`', '*', '_'], "");
+        out.push(slug(&title));
+    }
+    out
+}
+
+/// `(target, line)` of every markdown link in `text` (code stripped).
+fn links(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (lineno, line) in without_code(text).lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find "](", then the balanced ")" that closes the target.
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(rel_end) = line[i + 2..].find(')') {
+                    let target = &line[i + 2..i + 2 + rel_end];
+                    // Real link targets have no spaces (titles unused here).
+                    if !target.is_empty() && !target.contains(' ') {
+                        out.push((target.to_string(), lineno + 1));
+                    }
+                    i += 2 + rel_end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn markdown_links_and_anchors_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).canonicalize().unwrap();
+    let mut files = Vec::new();
+    markdown_files(&root, &mut files);
+    files.sort();
+    assert!(
+        files.iter().any(|f| f.ends_with("docs/RELIABILITY.md")),
+        "expected the protocol spec among {} markdown files",
+        files.len()
+    );
+
+    // Load every document once; anchor checks may target any of them.
+    let docs: BTreeMap<PathBuf, String> = files
+        .iter()
+        .map(|f| (f.canonicalize().unwrap(), fs::read_to_string(f).expect("readable md")))
+        .collect();
+
+    let mut errors = Vec::new();
+    for (file, text) in &docs {
+        let dir = file.parent().unwrap();
+        for (target, line) in links(text) {
+            let at = format!("{}:{line}", file.strip_prefix(&root).unwrap().display());
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, fragment) = match target.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                file.clone() // pure-fragment link into this document
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                errors.push(format!("{at}: broken link `{target}` ({path_part} not found)"));
+                continue;
+            }
+            if let Some(frag) = fragment {
+                let Some(dest) = docs.get(&resolved.canonicalize().unwrap()) else {
+                    errors.push(format!("{at}: `{target}` anchors into a non-markdown file"));
+                    continue;
+                };
+                if !anchors(dest).iter().any(|a| a == frag) {
+                    errors.push(format!("{at}: anchor `#{frag}` not found in {path_part}"));
+                }
+            }
+        }
+    }
+    assert!(errors.is_empty(), "doc health failures:\n{}", errors.join("\n"));
+}
+
+#[test]
+fn slugs_follow_github_rules() {
+    assert_eq!(slug("SRAM accounting"), "sram-accounting");
+    assert_eq!(slug("Mechanism 3 — NACK-based recovery"), "mechanism-3--nack-based-recovery");
+    assert_eq!(slug("  Spaced  Out  "), "spaced--out");
+    // Formatting is stripped before slugging (anchors() does the strip).
+    assert_eq!(anchors("# The `code` *bold* heading"), vec!["the-code-bold-heading"]);
+    // Fenced pseudo-headings don't count.
+    assert_eq!(anchors("```\n# not a heading\n```\n## real"), vec!["real"]);
+}

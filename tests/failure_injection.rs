@@ -121,7 +121,7 @@ fn loss_starves_the_prototype_as_documented() {
 #[test]
 fn tcp_baseline_survives_all_fault_kinds() {
     use daiet_repro::transport::tcp::{BulkSenderNode, SinkReceiverNode, TcpConfig};
-    let faults = FaultProfile { drop: 0.1, corrupt: 0.05, duplicate: 0.1 };
+    let faults = FaultProfile { drop: 0.1, corrupt: 0.05, duplicate: 0.1, ..FaultProfile::NONE };
     let mut sim = Simulator::new(11);
     let data: Vec<u8> = (0..40_000).map(|i| (i % 241) as u8).collect();
     let tx = sim.add_node(Box::new(BulkSenderNode::new(

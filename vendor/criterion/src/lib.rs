@@ -6,8 +6,14 @@
 //! with the standard deviation and min/max across samples, so a reader
 //! can judge whether a delta clears the run-to-run noise. Not the real
 //! statistics suite — but enough to trust the baselines in CHANGES.md.
+//!
+//! Set `BENCH_JSON_DIR=<dir>` to additionally write one
+//! `BENCH_<id>.json` per benchmark with the raw per-sample means, the
+//! min/max across samples and the iteration counts — the machine-readable
+//! record small (<10 %) regression claims are checked against.
 
 use std::fmt::Display;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -176,6 +182,54 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, throughput: Opt
         fmt_time(min),
         fmt_time(max),
     );
+
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        if let Err(e) =
+            write_json_record(Path::new(&dir), id, &sample_means, warm_iters, iters_per_sample)
+        {
+            eprintln!("criterion shim: could not write BENCH json for {id}: {e}");
+        }
+    }
+}
+
+/// Serializes one benchmark's raw measurements to
+/// `<dir>/BENCH_<sanitized id>.json`: the per-sample means (seconds), the
+/// derived mean/sd/min/max, and the warm-up and per-sample iteration
+/// counts — everything needed to audit a small-regression claim after the
+/// fact.
+fn write_json_record(
+    dir: &Path,
+    id: &str,
+    sample_means: &[f64],
+    warmup_iters: u64,
+    iters_per_sample: u64,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let n = sample_means.len() as f64;
+    let mean = sample_means.iter().sum::<f64>() / n;
+    let var = sample_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
+    let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = sample_means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let samples: Vec<String> = sample_means.iter().map(|s| format!("{s:e}")).collect();
+    let sanitized: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let json = format!(
+        "{{\n  \"id\": \"{}\",\n  \"mean_s\": {:e},\n  \"sd_s\": {:e},\n  \
+         \"min_s\": {:e},\n  \"max_s\": {:e},\n  \"sample_count\": {},\n  \
+         \"iters_per_sample\": {},\n  \"warmup_iters\": {},\n  \"samples_s\": [{}]\n}}\n",
+        id.replace('\\', "\\\\").replace('"', "\\\""),
+        mean,
+        var.sqrt(),
+        min,
+        max,
+        sample_means.len(),
+        iters_per_sample,
+        warmup_iters,
+        samples.join(", "),
+    );
+    std::fs::write(dir.join(format!("BENCH_{sanitized}.json")), json)
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -247,6 +301,25 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 2, "calibration + measurement passes expected");
+    }
+
+    #[test]
+    fn json_record_round_trips_the_measurements() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        let samples = [1.5e-3, 2.0e-3, 1.0e-3];
+        write_json_record(&dir, "group/bench: odd\"id\"", &samples, 7, 42).unwrap();
+        let path = dir.join("BENCH_group_bench__odd_id_.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Raw samples, min/max and iteration counts are all recorded.
+        assert!(text.contains("\"sample_count\": 3"), "{text}");
+        assert!(text.contains("\"iters_per_sample\": 42"));
+        assert!(text.contains("\"warmup_iters\": 7"));
+        assert!(text.contains("\"min_s\": 1e-3"));
+        assert!(text.contains("\"max_s\": 2e-3"));
+        assert!(text.contains("\"samples_s\": [1.5e-3, 2e-3, 1e-3]"));
+        // The id survives escaping.
+        assert!(text.contains("odd\\\"id\\\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
