@@ -22,12 +22,12 @@
 //! records the raw distributions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use daiet_bench::interleaved_medians;
 use daiet_mapreduce::runner::{Runner, ShuffleMode};
 use daiet_mapreduce::wordcount::{Corpus, CorpusSpec};
 use daiet_netsim::FaultProfile;
 use daiet_querysim::prelude::*;
 use std::hint::black_box;
-use std::time::Instant;
 
 fn chaos() -> FaultProfile {
     FaultProfile::chaos(0.05, 0.05, 0.05, 20_000)
@@ -83,33 +83,6 @@ fn query_runner(rig: Rig) -> QueryRunner {
         }
     }
     runner
-}
-
-/// **Median** seconds per call for each closure, measured in interleaved
-/// rounds (A, B, C, A, B, C, …). Interleaving makes slow machine-level
-/// drift hit every configuration equally instead of biasing whichever
-/// ran last; the median (unlike the mean) also shrugs off the occasional
-/// round where a noisy neighbour steals the CPU mid-call — the dominant
-/// residual noise on shared single-core runners.
-fn interleaved_medians(fns: &mut [&mut dyn FnMut()], rounds: u32) -> Vec<f64> {
-    for f in fns.iter_mut() {
-        f(); // warm-up
-    }
-    let mut samples = vec![Vec::with_capacity(rounds as usize); fns.len()];
-    for _ in 0..rounds {
-        for (f, s) in fns.iter_mut().zip(&mut samples) {
-            let start = Instant::now();
-            f();
-            s.push(start.elapsed().as_secs_f64());
-        }
-    }
-    samples
-        .into_iter()
-        .map(|mut s| {
-            s.sort_unstable_by(f64::total_cmp);
-            s[s.len() / 2]
-        })
-        .collect()
 }
 
 fn bench_reliability(c: &mut Criterion) {

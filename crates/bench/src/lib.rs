@@ -73,6 +73,35 @@ pub fn arg_u64(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// **Median** seconds per call for each closure, measured in interleaved
+/// rounds (A, B, C, A, B, C, …) after one unrecorded warm-up call each.
+/// The shared acceptance-measurement harness of `fig_reliability` and
+/// `fig_iter`: interleaving makes slow machine-level drift hit every
+/// configuration equally instead of biasing whichever ran last, and the
+/// median (unlike the mean) shrugs off the occasional round where a
+/// noisy neighbour steals the CPU mid-call — the dominant residual noise
+/// on shared single-core runners.
+pub fn interleaved_medians(fns: &mut [&mut dyn FnMut()], rounds: u32) -> Vec<f64> {
+    for f in fns.iter_mut() {
+        f(); // warm-up
+    }
+    let mut samples = vec![Vec::with_capacity(rounds as usize); fns.len()];
+    for _ in 0..rounds {
+        for (f, s) in fns.iter_mut().zip(&mut samples) {
+            let start = std::time::Instant::now();
+            f();
+            s.push(start.elapsed().as_secs_f64());
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort_unstable_by(f64::total_cmp);
+            s[s.len() / 2]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +125,19 @@ mod tests {
     fn arg_parsers_default() {
         assert_eq!(arg_usize("definitely-not-passed", 7), 7);
         assert_eq!(arg_u64("also-not-passed", 9), 9);
+    }
+
+    #[test]
+    fn interleaved_medians_returns_one_median_per_closure() {
+        let mut calls = [0u32, 0];
+        let [a, b] = &mut calls;
+        let meds = interleaved_medians(
+            &mut [&mut || *a += 1, &mut || *b += 1],
+            5,
+        );
+        assert_eq!(meds.len(), 2);
+        assert!(meds.iter().all(|&m| m >= 0.0));
+        // warm-up + 5 measured rounds each.
+        assert_eq!(calls, [6, 6]);
     }
 }

@@ -63,4 +63,4 @@ pub use config::DaietConfig;
 pub use controller::{Controller, Deployment, JobPlacement};
 pub use switch_agg::{DaietEngine, EngineStats};
 pub use tree::AggregationTree;
-pub use worker::{Collector, Packetizer};
+pub use worker::{Collector, IterRound, IterativeRunner, IterativeSpec, Packetizer};

@@ -739,6 +739,17 @@ impl NackTracker {
         self.flows.values().map(|f| f.aged_out).sum()
     }
 
+    /// True when **every** tracked flow is gapless through its newest END
+    /// — the whole-receiver analogue of [`tree_satisfied`](Self::tree_satisfied).
+    /// An iterative harness checks this at each round barrier: unlike
+    /// [`wants_attention`](Self::wants_attention) (which goes quiet when a
+    /// flow exhausts its NACK budget), this still reports `false` for a
+    /// given-up flow, so a round with unrecoverable data cannot pass as
+    /// complete.
+    pub fn all_satisfied(&self) -> bool {
+        self.flows.values().all(FlowRecv::is_satisfied)
+    }
+
     /// Evicts every flow belonging to `tree` (tree teardown or
     /// reinstallation), counting the evictions. Without this, a
     /// replaced tree's dead senders would sit unsatisfied forever —
@@ -848,6 +859,9 @@ pub struct RetransmitRing {
     pub replayed: u64,
     /// Explicitly requested sequence numbers that were not in the ring.
     pub misses: u64,
+    /// Frames retired by [`Self::retire_before`] (dead-round cleanup —
+    /// unlike `evicted`, these were provably no longer NACKable).
+    pub retired: u64,
 }
 
 impl RetransmitRing {
@@ -881,6 +895,30 @@ impl RetransmitRing {
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
+    }
+
+    /// Retires every held frame whose sequence number is serially before
+    /// `cutoff`, returning how many were dropped. The iterative-workload
+    /// cleanup: receivers abandon gaps more than a [`WINDOW`] behind their
+    /// newest traffic (see [`FlowRecv`]), so once a tree's emission
+    /// counter reaches `cutoff + WINDOW`, frames below `cutoff` can never
+    /// be legitimately NACKed again — holding them would only pin their
+    /// pooled buffers (and, on a long run, risk answering a NACK for the
+    /// *same sequence number* of a later wrap with a dead round's bytes).
+    /// FIFO recording order is emission order, which is serial sequence
+    /// order between retirements, so retirement pops from the front.
+    pub fn retire_before(&mut self, cutoff: u32) -> usize {
+        let mut n = 0usize;
+        while let Some((seq, _)) = self.slots.front() {
+            if seq_after(cutoff, *seq) {
+                self.slots.pop_front();
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        self.retired += n as u64;
+        n
     }
 
     /// Replays every held frame the request names (explicit ranges, plus
@@ -1109,6 +1147,15 @@ impl ReceiverGuard {
     /// NACK frames emitted (0 without recovery).
     pub fn nacks_emitted(&self) -> u64 {
         self.nack.as_ref().map_or(0, |n| n.nacks_emitted)
+    }
+
+    /// True when NACK recovery owes nothing — every tracked flow gapless
+    /// through its newest END (vacuously true when recovery is not
+    /// armed). See [`NackTracker::all_satisfied`]; round-barrier checks
+    /// rely on this staying `false` for flows that exhausted their NACK
+    /// budget with data still missing.
+    pub fn all_satisfied(&self) -> bool {
+        self.nack.as_ref().is_none_or(|n| n.tracker().all_satisfied())
     }
 }
 
@@ -1350,6 +1397,66 @@ mod tests {
         assert!(req.ranges.is_empty());
     }
 
+    /// Satellite audit (ISSUE 5): a flow satisfied by round `r`'s END must
+    /// not read as satisfied again — off the *old* END — while round
+    /// `r+1`'s first frames are still arriving out of order. The
+    /// invariant that protects it: `is_satisfied` demands `end_at ==
+    /// max_seen`, and any new-round frame pushes `max_seen` past the old
+    /// END while `end_at` only moves on a *newer* END.
+    #[test]
+    fn reopened_flow_is_not_satisfied_by_the_previous_rounds_end() {
+        let mut f = FlowRecv::default();
+        // Round 1: seqs 0..=4, END at 4, delivered clean.
+        for s in 0..=4u32 {
+            f.note(s, s == 4, SimTime(s as u64));
+        }
+        assert!(f.is_satisfied());
+        // Round 2 is seqs 5..=8 (END 8). Every out-of-order prefix of the
+        // new round must leave the flow unsatisfied until ALL of it is in.
+        for order in [[6u32, 5, 8, 7], [8, 7, 6, 5], [7, 8, 5, 6], [5, 7, 6, 8]] {
+            let mut f = f.clone();
+            for (i, &s) in order.iter().enumerate() {
+                f.note(s, s == 8, SimTime(100 + i as u64));
+                let last = i == order.len() - 1;
+                assert_eq!(
+                    f.is_satisfied(),
+                    last,
+                    "after frame {i} of arrival order {order:?}: the old END (4) must \
+                     not satisfy a partially-arrived new round"
+                );
+            }
+            // And the request machinery agrees.
+            assert!(f.request().is_none());
+        }
+        // In particular: new DATA beyond the old END, then silence — the
+        // old END must not close the tail request.
+        let mut g = f.clone();
+        g.note(9, false, SimTime(200));
+        let req = g.request().expect("reopened flow owes a request");
+        assert!(req.tail, "tail must be outstanding: end_at is stale (old round)");
+        assert_eq!(req.next_expected, 10);
+    }
+
+    /// A late-recovered END from round `r` arriving after round `r+1`
+    /// already advanced the flow must not clobber the newer END edge.
+    #[test]
+    fn late_previous_round_end_does_not_regress_end_at() {
+        let mut f = FlowRecv::default();
+        // Round 1: 0,1 arrive; END (2) lost. Round 2: 3,4 with END 4.
+        for (s, e) in [(0u32, false), (1, false), (3, false), (4, true)] {
+            f.note(s, e, SimTime(s as u64));
+        }
+        assert!(!f.is_satisfied(), "seq 2 still missing");
+        let req = f.request().unwrap();
+        assert_eq!(req.ranges, vec![NackRange { first: 2, count: 1 }]);
+        assert!(!req.tail, "round 2's END is the newest frame");
+        // The replayed round-1 END closes the gap *across the round
+        // boundary* without regressing end_at to the older END.
+        assert!(f.note(2, true, SimTime(50)));
+        assert!(f.is_satisfied());
+        assert_eq!(f.next_expected(), 5);
+    }
+
     #[test]
     fn flow_recv_ages_out_hopeless_gaps() {
         let mut f = FlowRecv::default();
@@ -1471,6 +1578,90 @@ mod tests {
         assert_eq!(ring.misses, 1);
         // SRAM accounting saturates and scales linearly.
         assert_eq!(RetransmitRing::sram_capacity_for(4, 252), 4 * 256);
+    }
+
+    /// Satellite (ISSUE 5): ring entries from dead rounds must be
+    /// retirable, and a sequence space that wraps `u32::MAX` over many
+    /// rounds must never let a stale round's frame answer a NACK for the
+    /// same (wrapped) sequence number.
+    #[test]
+    fn retransmit_ring_retires_dead_rounds_across_seq_wrap() {
+        let pool = FramePool::new();
+        // Capacity far larger than any single round, so eviction alone
+        // would NOT clean up — the hazard the retirement API closes.
+        let mut ring = RetransmitRing::new(1 << 20);
+        let round_len = 300u32;
+        // Many rounds of `round_len` frames, starting close enough to
+        // u32::MAX that the run crosses the wrap. Each frame's payload is
+        // its own sequence number, so a stale answer is detectable.
+        let mut seq = u32::MAX - 3 * round_len;
+        for _round in 0..8 {
+            for _ in 0..round_len {
+                ring.record(seq, pool.copy_from_slice(&seq.to_be_bytes()));
+                seq = seq.wrapping_add(1);
+            }
+            // End-of-round retirement: everything a full receiver window
+            // behind the emission edge is dead (receivers age those gaps
+            // out, so no NACK can ever name them again).
+            ring.retire_before(seq.wrapping_sub(WINDOW));
+        }
+        assert!(seq < u32::MAX - 3 * round_len, "the run must actually wrap");
+        // Only the last WINDOW of frames can remain.
+        assert!(ring.len() <= WINDOW as usize, "ring holds {} frames", ring.len());
+        assert!(ring.retired > 0);
+        // A NACK for a recent post-wrap seq replays exactly one frame —
+        // the live one — despite pre-wrap frames having occupied the ring.
+        let want = seq.wrapping_sub(2);
+        let req = NackRequest {
+            next_expected: seq,
+            tail: false,
+            ranges: vec![NackRange { first: want, count: 1 }],
+        };
+        let mut got = Vec::new();
+        ring.replay(&req, |f| got.push(u32::from_be_bytes([f[0], f[1], f[2], f[3]])));
+        assert_eq!(got, vec![want], "exactly the live frame must answer the NACK");
+        assert_eq!(ring.misses, 0);
+    }
+
+    #[test]
+    fn retire_before_is_a_noop_for_live_frames() {
+        let pool = FramePool::new();
+        let mut ring = RetransmitRing::new(8);
+        for s in 10..14u32 {
+            ring.record(s, pool.copy_from_slice(&[s as u8]));
+        }
+        // Cutoff at/below the oldest held seq: nothing retired.
+        assert_eq!(ring.retire_before(10), 0);
+        assert_eq!(ring.len(), 4);
+        // Cutoff mid-ring: only the dead prefix goes.
+        assert_eq!(ring.retire_before(12), 2);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.retired, 2);
+        let req = NackRequest {
+            next_expected: 14,
+            tail: false,
+            ranges: vec![NackRange { first: 12, count: 2 }],
+        };
+        let mut got = Vec::new();
+        ring.replay(&req, |f| got.push(f[0]));
+        assert_eq!(got, vec![12, 13]);
+    }
+
+    #[test]
+    fn tracker_all_satisfied_sees_given_up_flows() {
+        let mut t = NackTracker::new();
+        t.expect(1, 7);
+        assert!(!t.all_satisfied());
+        t.note(1, 7, 0, true, SimTime(5));
+        assert!(t.all_satisfied());
+        // Reopen with a gap, then exhaust the budget: wants_attention
+        // goes quiet but all_satisfied must keep reporting the hole.
+        t.note(1, 7, 2, false, SimTime(10));
+        for tick in 1..=4u64 {
+            t.for_each_due(SimTime(tick * 1_000_000), SimDuration::from_nanos(10), 2, |_, _, _| {});
+        }
+        assert!(!t.wants_attention(2), "budget exhausted: no more NACK work");
+        assert!(!t.all_satisfied(), "but the data is still missing");
     }
 
     #[test]

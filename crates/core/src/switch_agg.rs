@@ -261,11 +261,11 @@ impl DaietEngine {
     }
 
     /// Retransmit-ring counters of one tree: `(buffered, evicted,
-    /// replayed, misses)`.
-    pub fn rtx_stats(&self, tree_id: u16) -> Option<(usize, u64, u64, u64)> {
+    /// replayed, misses, retired)`.
+    pub fn rtx_stats(&self, tree_id: u16) -> Option<(usize, u64, u64, u64, u64)> {
         self.trees
             .get(&tree_id)
-            .map(|t| (t.rtx.len(), t.rtx.evicted, t.rtx.replayed, t.rtx.misses))
+            .map(|t| (t.rtx.len(), t.rtx.evicted, t.rtx.replayed, t.rtx.misses, t.rtx.retired))
     }
 
     /// Number of trees configured.
@@ -378,7 +378,17 @@ impl DaietEngine {
 
         let tree = self.trees.get_mut(&tree_id).expect("caller checked tree exists");
         if tree.remaining_children == 0 {
+            let deferred = tree.flush_deferred;
             self.stats.spurious_ends += 1;
+            // A late or NACK-recovered END from an earlier round lands
+            // here (the current round's ENDs already zeroed the counter)
+            // — but it may be exactly the frame that closed its flow's
+            // last gap. Re-check a deferred flush like `process_data`
+            // does, or the gate would hold a *satisfied* round's flush
+            // closed forever: no further DATA ever arrives to retry it.
+            if deferred && self.flush_gate_open(tree_id) {
+                ops += self.flush_tree(tree_id, pool, &mut emissions);
+            }
             return (emissions, ops);
         }
         tree.remaining_children -= 1;
@@ -464,6 +474,15 @@ impl DaietEngine {
         tree.remaining_children = tree.cfg.children;
         tree.flush_deferred = false;
         self.stats.flushes += 1;
+        // Round boundary: retire ring entries a full receiver WINDOW
+        // behind the emission edge. The parent ages such gaps out rather
+        // than NACK them (`FlowRecv`), so these frames are dead — without
+        // retirement an iterative tree whose rounds underfill the ring
+        // would pin dead rounds' pooled buffers indefinitely (and, across
+        // a sequence-space wrap, could answer a NACK for a reused seq
+        // with a stale round's bytes).
+        tree.rtx
+            .retire_before(tree.next_seq.wrapping_sub(crate::reliability::WINDOW));
         ops += 2;
         ops
     }
@@ -780,6 +799,47 @@ mod tests {
         assert!(!e.wants_tick(), "no flow left to chase");
     }
 
+    /// Regression (ISSUE 5): a deferred flush must fire when the last gap
+    /// is closed by a late/NACK-recovered **END**, not only by DATA. In a
+    /// continuous multi-round stream, round r's lost END can arrive after
+    /// round r+1's END already zeroed the child counter; that recovered
+    /// END takes the "spurious" path — which used to return without
+    /// re-checking the gate, holding a satisfied round's flush closed
+    /// forever (no further DATA ever arrives to retry it).
+    #[test]
+    fn deferred_flush_fires_when_a_recovered_end_closes_the_last_gap() {
+        let mut e = recovering_engine(1);
+        // Round 1: DATA seq 0 arrives; its END (seq 1) is lost.
+        let mut d = Repr::data(1, vec![Pair::new(key("a"), 1)]);
+        d.seq = 0;
+        drive_at(&mut e, 1, &d, SimTime(10));
+        // Round 2 streams in on the same registers: DATA seq 2, END seq 3.
+        let mut d2 = Repr::data(1, vec![Pair::new(key("b"), 2)]);
+        d2.seq = 2;
+        drive_at(&mut e, 1, &d2, SimTime(20));
+        let mut end2 = Repr::end(1);
+        end2.seq = 3;
+        let out = drive_at(&mut e, 1, &end2, SimTime(30));
+        // Counter hit zero but the flow still has a gap at seq 1: defer.
+        assert!(out.emit.is_empty());
+        assert_eq!(e.stats().flushes_deferred, 1);
+        assert_eq!(e.stats().flushes, 0);
+        // The NACK-replayed round-1 END closes the gap — the flow is now
+        // satisfied and the deferred flush must fire, END and all.
+        let mut end1 = Repr::end(1);
+        end1.seq = 1;
+        let out = drive_at(&mut e, 1, &end1, SimTime(40));
+        assert_eq!(e.stats().spurious_ends, 1, "the late END is spurious for the counter");
+        assert_eq!(e.stats().flushes, 1, "but it must still release the deferred flush");
+        let reprs = parse_emissions(&out);
+        assert_eq!(reprs.last().unwrap().packet_type, PacketType::End);
+        let pairs: Vec<Pair> = reprs.iter().flat_map(|r| r.entries.clone()).collect();
+        let mut got: Vec<(Key, u32)> = pairs.iter().map(|p| (p.key, p.value)).collect();
+        got.sort();
+        assert_eq!(got, vec![(key("a"), 1), (key("b"), 2)]);
+        assert!(!e.wants_tick(), "nothing left to chase");
+    }
+
     #[test]
     fn engine_nacks_delinquent_children_on_tick() {
         let mut e = recovering_engine(2);
@@ -849,7 +909,7 @@ mod tests {
         end.seq = seq;
         let flush = drive_at(&mut e, 1, &end, SimTime(20));
         assert_eq!(flush.emit.len(), 3);
-        assert_eq!(e.rtx_stats(1), Some((3, 0, 0, 0)));
+        assert_eq!(e.rtx_stats(1), Some((3, 0, 0, 0, 0)));
 
         // The parent lost the middle DATA frame (seq 1) and the END
         // (seq 2): its NACK names the gap and requests the tail.

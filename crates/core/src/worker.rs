@@ -12,7 +12,7 @@
 
 use crate::agg::AggFn;
 use crate::config::DaietConfig;
-use crate::reliability::seq_at_or_after;
+use crate::reliability::{seq_after, seq_at_or_after};
 use daiet_dataplane::parser::{parse, ParsedPacket, ParserConfig};
 use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimDuration};
 use daiet_wire::daiet::{self, Header, Key, NackRange, PacketFlags, PacketType, Pair, Repr};
@@ -163,13 +163,30 @@ impl Packetizer {
         src_port: u16,
         pool: &FramePool,
     ) -> Vec<Frame> {
+        self.frames_from_seq(tree_id, pairs, endpoints, src_port, 0, pool).0
+    }
+
+    /// Like [`Packetizer::frames`] but numbering from `start_seq`,
+    /// returning the next free sequence number — the iterative-sender
+    /// form: each round's frames continue the tree's wrapping sequence
+    /// space so receiver-side dedup and gap tracking stay sound across
+    /// rounds (a restart from 0 would read as a giant stale duplicate).
+    pub fn frames_from_seq(
+        &self,
+        tree_id: u16,
+        pairs: &[Pair],
+        endpoints: &Endpoints,
+        src_port: u16,
+        start_seq: u32,
+        pool: &FramePool,
+    ) -> (Vec<Frame>, u32) {
         let mut out = Vec::with_capacity(pairs.len().div_ceil(self.pairs_per_packet) + 1);
-        self.each_packet(tree_id, pairs, 0, |hdr, chunk| {
+        let next = self.each_packet(tree_id, pairs, start_seq, |hdr, chunk| {
             let mut buf = pool.buffer();
             build_daiet_into(&mut buf, endpoints, src_port, hdr, chunk);
             out.push(pool.frame(buf));
         });
-        out
+        (out, next)
     }
 }
 
@@ -199,24 +216,41 @@ pub fn interleave_round_robin(mut queues: Vec<Vec<Frame>>, offset: usize) -> Vec
     out
 }
 
+/// One tree's NACK-replay retention on a host: frames indexed densely by
+/// sequence number starting at `base`. Rounds append at the tail
+/// ([`PacedSenderNode::enqueue_round`]) and round barriers retire from
+/// the head ([`PacedSenderNode::retire_round`]), so an iterative sender
+/// retains O(one round) of frames instead of its whole history.
+#[derive(Debug, Default)]
+struct ReplaySchedule {
+    /// Sequence number of `frames[0]` (wrapping space).
+    base: u32,
+    frames: std::collections::VecDeque<Frame>,
+}
+
 /// A host that replays a prebuilt frame schedule at a fixed pace: one
 /// frame per `gap` tick, starting at simulation start. The transmit half
 /// shared by every bulk UDP sender (the MapReduce mappers, the querysim
 /// workers) — build the schedule up front (packetize, interleave,
-/// optionally expand redundantly), then hand it here.
+/// optionally expand redundantly), then hand it here. Iterative senders
+/// instead start empty and feed one round at a time through
+/// [`enqueue_round`](Self::enqueue_round) (see
+/// [`IterativeRunner`], which also restarts the pacing timer from
+/// outside via [`daiet_netsim::Simulator::schedule_timer`]).
 pub struct PacedSenderNode {
     frames: Vec<Frame>,
     next: usize,
     gap: SimDuration,
     label: &'static str,
-    /// Per-tree schedules indexed by sequence number, kept for NACK
-    /// replay (None when recovery is off — then incoming frames are
-    /// ignored, as before).
-    replay: Option<FnvHashMap<u16, Vec<Frame>>>,
+    /// Per-tree replay retention (None when recovery is off — then
+    /// incoming frames are ignored, as before).
+    replay: Option<FnvHashMap<u16, ReplaySchedule>>,
     /// Frames re-sent in response to NACKs.
     pub frames_replayed: u64,
     /// NACK frames received and honored.
     pub nacks_received: u64,
+    /// Replay-retention frames retired at round barriers.
+    pub frames_retired: u64,
 }
 
 impl PacedSenderNode {
@@ -231,14 +265,87 @@ impl PacedSenderNode {
             replay: None,
             frames_replayed: 0,
             nacks_received: 0,
+            frames_retired: 0,
         }
     }
 
     /// Arms NACK replay: `per_tree[tree][seq]` must be the frame the
-    /// sender transmitted (or will transmit) with that sequence number.
+    /// sender transmitted (or will transmit) with that sequence number,
+    /// counting from 0.
     pub fn with_replay(mut self, per_tree: FnvHashMap<u16, Vec<Frame>>) -> PacedSenderNode {
-        self.replay = Some(per_tree);
+        self.replay = Some(
+            per_tree
+                .into_iter()
+                .map(|(tree, frames)| (tree, ReplaySchedule { base: 0, frames: frames.into() }))
+                .collect(),
+        );
         self
+    }
+
+    /// Arms NACK replay with empty retention — the iterative form, filled
+    /// round by round via [`enqueue_round`](Self::enqueue_round).
+    pub fn arm_replay(&mut self) {
+        self.replay.get_or_insert_with(FnvHashMap::default);
+    }
+
+    /// Appends one round's transmit schedule (already interleaved and, if
+    /// requested, redundancy-expanded) plus its per-tree replay retention:
+    /// each `(tree, base_seq, frames)` must continue the tree's dense
+    /// sequence numbering where the previous round left off.
+    pub fn enqueue_round(
+        &mut self,
+        transmit: Vec<Frame>,
+        replay_parts: Vec<(u16, u32, Vec<Frame>)>,
+    ) {
+        self.frames.extend(transmit);
+        if let Some(store) = self.replay.as_mut() {
+            for (tree, base, frames) in replay_parts {
+                let sched = store.entry(tree).or_insert(ReplaySchedule {
+                    base,
+                    frames: std::collections::VecDeque::new(),
+                });
+                debug_assert_eq!(
+                    sched.base.wrapping_add(sched.frames.len() as u32),
+                    base,
+                    "replay retention must stay sequence-dense across rounds"
+                );
+                sched.frames.extend(frames);
+            }
+        }
+    }
+
+    /// Round-barrier cleanup: drops the already-transmitted prefix of the
+    /// pacing queue and retires replay retention serially before each
+    /// tree's `cutoff` sequence number. Called once the round is known
+    /// complete end-to-end (every receiver satisfied), so nothing below
+    /// the cutoff can ever be NACKed again — this is what keeps a
+    /// hundreds-of-rounds run's memory bounded at O(one round).
+    pub fn retire_round(&mut self, cutoffs: &[(u16, u32)]) {
+        self.frames.drain(..self.next);
+        self.next = 0;
+        if let Some(store) = self.replay.as_mut() {
+            for &(tree, cutoff) in cutoffs {
+                if let Some(sched) = store.get_mut(&tree) {
+                    while !sched.frames.is_empty() && seq_after(cutoff, sched.base) {
+                        sched.frames.pop_front();
+                        sched.base = sched.base.wrapping_add(1);
+                        self.frames_retired += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Frames queued but not yet transmitted.
+    pub fn pending(&self) -> usize {
+        self.frames.len() - self.next
+    }
+
+    /// Frames currently held for NACK replay, across all trees.
+    pub fn replay_retained(&self) -> usize {
+        self.replay
+            .as_ref()
+            .map_or(0, |s| s.values().map(|sched| sched.frames.len()).sum())
     }
 }
 
@@ -255,12 +362,12 @@ impl Node for PacedSenderNode {
         let tail = hdr.flags.contains(PacketFlags::NACK_TAIL);
         let ranges: Vec<NackRange> =
             parsed.daiet_pairs().filter_map(|p| NackRange::from_pair(&p)).collect();
-        // Host schedules are dense: frame `i` carries seq `i`. Replay in
+        // Retention is dense: frame `i` carries seq `base + i`. Replay in
         // original order; receiver dedup absorbs anything it already has.
         // (A replay burst bypasses the pacing gap — recovery is latency-
-        // critical and the burst is at most one partition.)
-        for (i, f) in schedule.iter().enumerate() {
-            let seq = i as u32;
+        // critical and the burst is at most one retained round.)
+        for (i, f) in schedule.frames.iter().enumerate() {
+            let seq = schedule.base.wrapping_add(i as u32);
             if ranges.iter().any(|r| r.contains(seq)) || (tail && seq_at_or_after(seq, hdr.seq))
             {
                 ctx.send(PortId(0), f.clone());
@@ -270,7 +377,11 @@ impl Node for PacedSenderNode {
     }
 
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        ctx.schedule(self.gap, 0);
+        // Iterative senders start with an empty queue; their harness arms
+        // the pacing timer itself when it enqueues the first round.
+        if !self.frames.is_empty() {
+            ctx.schedule(self.gap, 0);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
@@ -303,6 +414,25 @@ pub struct CollectorStats {
     pub pairs_merged: u64,
     /// Application payload bytes received (DAIET preamble + entries).
     pub app_bytes: u64,
+}
+
+impl CollectorStats {
+    /// Counter growth since `earlier` — the per-round read-out for
+    /// iterative runs, where the collector's counters are cumulative
+    /// across rounds. Panics if any counter shrank (mismatched
+    /// snapshots), the shared policy of
+    /// [`daiet_netsim::stats::counter_delta`].
+    pub fn delta(&self, earlier: &CollectorStats) -> CollectorStats {
+        let sub = daiet_netsim::stats::counter_delta;
+        CollectorStats {
+            data_packets: sub(self.data_packets, earlier.data_packets, "data_packets"),
+            end_packets: sub(self.end_packets, earlier.end_packets, "end_packets"),
+            spill_packets: sub(self.spill_packets, earlier.spill_packets, "spill_packets"),
+            pairs_received: sub(self.pairs_received, earlier.pairs_received, "pairs_received"),
+            pairs_merged: sub(self.pairs_merged, earlier.pairs_merged, "pairs_merged"),
+            app_bytes: sub(self.app_bytes, earlier.app_bytes, "app_bytes"),
+        }
+    }
 }
 
 /// Reducer-side collector: merges unordered aggregated pairs and reports
@@ -406,6 +536,18 @@ impl Collector {
     pub fn into_sorted(self) -> Vec<(Key, u32)> {
         let mut v: Vec<(Key, u32)> = self.pairs.into_iter().collect();
         v.sort_unstable_by_key(|a| a.0);
+        v
+    }
+
+    /// Drains one completed round: returns the collected pairs **sorted
+    /// by key** and re-arms the collector (pairs cleared, END count reset
+    /// to zero) for the next round of an iterative flow. Counters in
+    /// [`stats`](Self::stats) keep accumulating — read per-round numbers
+    /// with [`CollectorStats::delta`].
+    pub fn take_round(&mut self) -> Vec<(Key, u32)> {
+        let mut v: Vec<(Key, u32)> = self.pairs.drain().collect();
+        v.sort_unstable_by_key(|a| a.0);
+        self.ends_seen = 0;
         v
     }
 
@@ -537,6 +679,23 @@ impl ReducerHost {
     pub fn nacks_emitted(&self) -> u64 {
         self.guard.nacks_emitted()
     }
+
+    /// True when NACK recovery (if armed) owes nothing: every tracked
+    /// flow is gapless through its newest END. An iterative harness must
+    /// check this **in addition to** [`Collector::is_complete`] at each
+    /// round barrier — the ENDs can all be in while a DATA frame of the
+    /// round is still missing (the silent-corruption mode recovery
+    /// exists to close).
+    pub fn recovery_satisfied(&self) -> bool {
+        self.guard.all_satisfied()
+    }
+
+    /// Drains one completed round (see [`Collector::take_round`]) and
+    /// re-arms completion detection for the next.
+    pub fn take_round(&mut self) -> Vec<(daiet_wire::daiet::Key, u32)> {
+        self.completed_at = None;
+        self.collector.take_round()
+    }
 }
 
 impl Node for ReducerHost {
@@ -563,6 +722,371 @@ impl Node for ReducerHost {
 
     fn name(&self) -> String {
         "reducer".into()
+    }
+}
+
+/// A host that takes no part in the job: receives and drops. Occupies
+/// plan slots the placement leaves unused.
+struct IdleHost;
+
+impl Node for IdleHost {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+
+    fn name(&self) -> String {
+        "idle-host".into()
+    }
+}
+
+/// How an [`IterativeRunner`] deployment is shaped: the same knobs the
+/// one-shot workloads pass to their runners, minus anything per-round.
+#[derive(Debug, Clone)]
+pub struct IterativeSpec {
+    /// DAIET parameters (reliability/recovery switches included).
+    pub config: DaietConfig,
+    /// Aggregation function for every tree.
+    pub agg: AggFn,
+    /// The fabric.
+    pub plan: daiet_netsim::topology::TopologyPlan,
+    /// Plan slots acting as iterative senders (ML workers, graph
+    /// workers).
+    pub senders: Vec<usize>,
+    /// Plan slots acting as reducers (parameter server, inbox collector);
+    /// one aggregation tree each.
+    pub reducers: Vec<usize>,
+    /// Switch chip profile.
+    pub resources: daiet_dataplane::Resources,
+    /// Aggregate in-network or pass through.
+    pub mode: crate::controller::AggregationMode,
+    /// Gap between frames at each sender.
+    pub pacing: SimDuration,
+    /// Copies of each frame senders transmit (1 = none; >1 requires
+    /// `config.reliability` so duplicates are suppressed).
+    pub redundancy: u32,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl IterativeSpec {
+    /// Paper-shaped defaults over `plan`: in-network aggregation with
+    /// SUM, 1 µs pacing, no redundancy.
+    pub fn new(
+        config: DaietConfig,
+        plan: daiet_netsim::topology::TopologyPlan,
+        senders: Vec<usize>,
+        reducers: Vec<usize>,
+    ) -> IterativeSpec {
+        IterativeSpec {
+            config,
+            agg: AggFn::Sum,
+            plan,
+            senders,
+            reducers,
+            resources: daiet_dataplane::Resources::tofino_like(),
+            mode: crate::controller::AggregationMode::InNetwork,
+            pacing: SimDuration::from_micros(1),
+            redundancy: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// What one round of an [`IterativeRunner`] produced.
+#[derive(Debug)]
+pub struct IterRound {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Each reducer's aggregated pairs for this round, sorted by key.
+    pub per_reducer: Vec<Vec<(Key, u32)>>,
+    /// Each reducer's collector-counter growth during this round.
+    pub reducer_stats: Vec<CollectorStats>,
+    /// Simulator counter growth during this round (frames, bytes,
+    /// drops — per node and link).
+    pub net: daiet_netsim::StatsSnapshot,
+}
+
+/// Drives an iterative workload **round by round over one long-lived
+/// simulation**: the same switches, register arrays, dedup windows, gap
+/// trackers and sequence spaces serve every round, exactly as an
+/// in-network deployment would run a training job or a Pregel
+/// computation. This is the packet-level counterpart of the analytic
+/// fig-1 models — and the first harness to drive the reliability layer's
+/// round-reopening path end to end.
+///
+/// Per round ([`run_round`](Self::run_round)):
+///
+/// 1. each sender's shards are packetized **continuing its per-tree
+///    sequence space** (dedup and gap tracking stay sound across rounds),
+///    interleaved at an offset that *rotates* with the round (fairness:
+///    no tree is always drained first), optionally expanded
+///    `k`-redundantly, and appended to the sender's pacing queue;
+/// 2. the simulation runs to quiescence — the **round barrier**. With
+///    NACK recovery armed, quiescence implies every gap was either
+///    recovered or given up on; the runner then *requires* every reducer
+///    to be complete **and** satisfied (gapless through every END), so a
+///    round with unrecoverable data fails loudly instead of feeding a
+///    silently-partial aggregate to the next step;
+/// 3. each reducer's round result is drained ([`ReducerHost::take_round`]
+///    — the flow stays open: the next round's frames reopen it), and
+///    host-side replay retention plus transmitted frames are **retired**,
+///    keeping memory bounded at O(one round) over arbitrarily many steps.
+pub struct IterativeRunner {
+    spec: IterativeSpec,
+    sim: daiet_netsim::Simulator,
+    deployment: crate::controller::Deployment,
+    /// Node ids by plan slot.
+    ids: Vec<daiet_netsim::NodeId>,
+    /// Per sender (spec order), per tree id: next free sequence number.
+    next_seq: Vec<FnvHashMap<u16, u32>>,
+    /// END frames each reducer must see per round.
+    expected_per_round: Vec<u32>,
+    round: u64,
+}
+
+impl IterativeRunner {
+    /// Deploys `spec` onto a fresh simulator: controller-built switches,
+    /// one empty [`PacedSenderNode`] per sender (replay armed when
+    /// recovery is on), one [`ReducerHost`] per reducer (dedup/NACK per
+    /// the config).
+    pub fn build(spec: IterativeSpec) -> Result<IterativeRunner, String> {
+        use crate::controller::{Controller, JobPlacement};
+        use daiet_netsim::topology::Role;
+
+        if spec.redundancy > 1 && !spec.config.reliability {
+            return Err(
+                "redundancy > 1 without reliability would double-count: duplicate ENDs \
+                 corrupt round accounting"
+                    .into(),
+            );
+        }
+        let controller = Controller::new(spec.config, spec.agg);
+        let placement = JobPlacement {
+            mappers: spec.senders.clone(),
+            reducers: spec.reducers.clone(),
+        };
+        let (dep, mut switches) = controller
+            .deploy(&spec.plan, &placement, spec.resources, spec.mode)
+            .map_err(|e| e.to_string())?;
+
+        let mut sim = daiet_netsim::Simulator::new(spec.seed);
+        let mut ids = Vec::with_capacity(spec.plan.len());
+        let expected_per_round: Vec<u32> = (0..spec.reducers.len())
+            .map(|r| dep.expected_ends(r, spec.senders.len()))
+            .collect();
+        for slot in 0..spec.plan.len() {
+            let id = match spec.plan.role(slot) {
+                Role::Host => {
+                    if spec.senders.contains(&slot) {
+                        let mut node =
+                            PacedSenderNode::new(Vec::new(), spec.pacing, "iter-sender");
+                        if spec.config.nack_recovery {
+                            node.arm_replay();
+                        }
+                        sim.add_node(Box::new(node))
+                    } else if !spec.reducers.contains(&slot) {
+                        // A fabric host taking no part in the job: an
+                        // inert NIC (plans are built in standard shapes,
+                        // so a leaf may hold more hosts than the job
+                        // uses).
+                        sim.add_node(Box::new(IdleHost))
+                    } else {
+                        let r = spec
+                            .reducers
+                            .iter()
+                            .position(|&s| s == slot)
+                            .expect("checked above");
+                        let mut reducer =
+                            ReducerHost::new(controller.agg_for(r), expected_per_round[r]);
+                        if spec.config.reliability {
+                            reducer = reducer.with_dedup();
+                        }
+                        if spec.config.nack_recovery {
+                            let tree = dep.tree_id(r);
+                            let sources = dep
+                                .reducer_sources(r, &spec.senders)
+                                .into_iter()
+                                .map(|src| (tree, src));
+                            reducer =
+                                reducer.with_nack_recovery(slot as u32, &spec.config, sources);
+                        }
+                        sim.add_node(Box::new(reducer))
+                    }
+                }
+                Role::Switch => sim.add_node(Box::new(
+                    switches.remove(&slot).expect("controller built every switch"),
+                )),
+            };
+            ids.push(id);
+        }
+        spec.plan.wire(&mut sim, &ids);
+        // Fire every node's `on_start` now, so the first round's enqueue
+        // finds the same steady state as every later round's.
+        sim.run_until(daiet_netsim::SimTime::ZERO);
+
+        let next_seq = vec![FnvHashMap::default(); spec.senders.len()];
+        Ok(IterativeRunner {
+            spec,
+            sim,
+            deployment: dep,
+            ids,
+            next_seq,
+            expected_per_round,
+            round: 0,
+        })
+    }
+
+    /// Runs one round: `shards[i][r]` is what sender `i` owes reducer
+    /// `r`'s tree this round (an empty shard still ships its END — every
+    /// rostered flow must close every round). Returns each reducer's
+    /// aggregated round result, or an error naming the first reducer
+    /// whose round could not be completed exactly (e.g. data lost beyond
+    /// the NACK budget).
+    pub fn run_round(&mut self, shards: &[Vec<Vec<Pair>>]) -> Result<IterRound, String> {
+        assert_eq!(shards.len(), self.spec.senders.len(), "one shard list per sender");
+        let packetizer = Packetizer::new(&self.spec.config);
+        let pool = self.sim.pool().clone();
+        let snap_before = self.sim.snapshot();
+        let stats_before: Vec<CollectorStats> = (0..self.spec.reducers.len())
+            .map(|r| self.reducer(r).collector.stats())
+            .collect();
+
+        for (i, sender_shards) in shards.iter().enumerate() {
+            assert_eq!(
+                sender_shards.len(),
+                self.spec.reducers.len(),
+                "one shard per reducer per sender"
+            );
+            let slot = self.spec.senders[i];
+            let mut queues = Vec::with_capacity(sender_shards.len());
+            let mut replay_parts = Vec::new();
+            for (r, pairs) in sender_shards.iter().enumerate() {
+                let tree = self.deployment.tree_id(r);
+                let ep = self.deployment.endpoints(slot, r);
+                let base = self.next_seq[i].get(&tree).copied().unwrap_or(0);
+                let (frames, next) = packetizer.frames_from_seq(
+                    tree,
+                    pairs,
+                    &ep,
+                    daiet_wire::udp::DAIET_PORT,
+                    base,
+                    &pool,
+                );
+                self.next_seq[i].insert(tree, next);
+                if self.spec.config.nack_recovery {
+                    replay_parts.push((tree, base, frames.clone()));
+                }
+                queues.push(frames);
+            }
+            // The interleave offset rotates with the round so no tree is
+            // permanently first in every sender's transmit order.
+            let offset = i.wrapping_add(self.round as usize);
+            let interleaved = interleave_round_robin(queues, offset);
+            let transmit = crate::reliability::RedundantSender::new(self.spec.redundancy.max(1))
+                .schedule(&interleaved);
+            let id = self.ids[slot];
+            let node = self
+                .sim
+                .node_mut::<PacedSenderNode>(id)
+                .expect("sender slots hold PacedSenderNodes");
+            node.enqueue_round(transmit, replay_parts);
+            // Restart the pacing chain (it ran dry at the last barrier).
+            let at = self.sim.now() + self.spec.pacing;
+            self.sim.schedule_timer(at, id, 0);
+        }
+
+        // The round barrier: run to quiescence. Every timer in the system
+        // (pacing, NACK) disarms itself when it has nothing left to do,
+        // so the queue drains exactly when no node owes the round
+        // anything more.
+        self.sim.run();
+
+        let round = self.round;
+        let mut per_reducer = Vec::with_capacity(self.spec.reducers.len());
+        let mut reducer_stats = Vec::with_capacity(self.spec.reducers.len());
+        for (r, stats_at_start) in stats_before.iter().enumerate() {
+            let expected = self.expected_per_round[r];
+            let slot = self.spec.reducers[r];
+            let id = self.ids[slot];
+            let node = self
+                .sim
+                .node_mut::<ReducerHost>(id)
+                .expect("reducer slots hold ReducerHosts");
+            let ends = node.collector.ends_seen();
+            if ends != expected {
+                return Err(format!(
+                    "round {round}: reducer {r} saw {ends}/{expected} ENDs at quiescence \
+                     (data lost beyond recovery)"
+                ));
+            }
+            if !node.recovery_satisfied() {
+                return Err(format!(
+                    "round {round}: reducer {r} completed its ENDs but a flow still has \
+                     gaps (NACK budget exhausted — the aggregate would be silently partial)"
+                ));
+            }
+            per_reducer.push(node.take_round());
+            reducer_stats.push(node.collector.stats().delta(stats_at_start));
+        }
+
+        // Round-barrier retirement: everything below each tree's next
+        // free sequence number was delivered and acknowledged-by-silence
+        // (every receiver satisfied), so hosts drop it.
+        for (i, &slot) in self.spec.senders.iter().enumerate() {
+            let cutoffs: Vec<(u16, u32)> =
+                self.next_seq[i].iter().map(|(&t, &s)| (t, s)).collect();
+            let id = self.ids[slot];
+            let node = self
+                .sim
+                .node_mut::<PacedSenderNode>(id)
+                .expect("sender slots hold PacedSenderNodes");
+            node.retire_round(&cutoffs);
+        }
+
+        self.round += 1;
+        Ok(IterRound {
+            round,
+            per_reducer,
+            reducer_stats,
+            net: self.sim.snapshot().delta(&snap_before),
+        })
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    /// The deployment the controller computed.
+    pub fn deployment(&self) -> &crate::controller::Deployment {
+        &self.deployment
+    }
+
+    /// Node id of plan `slot`.
+    pub fn node_id(&self, slot: usize) -> daiet_netsim::NodeId {
+        self.ids[slot]
+    }
+
+    /// The underlying simulator (stats, engine introspection).
+    pub fn sim(&self) -> &daiet_netsim::Simulator {
+        &self.sim
+    }
+
+    /// Mutable simulator access — e.g. to script links before a round.
+    pub fn sim_mut(&mut self) -> &mut daiet_netsim::Simulator {
+        &mut self.sim
+    }
+
+    /// The reducer node for reducer index `r`.
+    pub fn reducer(&self, r: usize) -> &ReducerHost {
+        self.sim
+            .node_ref::<ReducerHost>(self.ids[self.spec.reducers[r]])
+            .expect("reducer slots hold ReducerHosts")
+    }
+
+    /// The sender node for sender index `i`.
+    pub fn sender(&self, i: usize) -> &PacedSenderNode {
+        self.sim
+            .node_ref::<PacedSenderNode>(self.ids[self.spec.senders[i]])
+            .expect("sender slots hold PacedSenderNodes")
     }
 }
 
@@ -669,6 +1193,102 @@ mod tests {
             .map(|(k, _)| k.display_lossy())
             .collect();
         assert_eq!(sorted, vec!["alpha", "mid", "zebra"]);
+    }
+
+    /// Satellite (ISSUE 5): the interleave offset is what spreads fan-in
+    /// across trees; an iterative sender passes `sender_index + round` so
+    /// the lead rotates per round. Pin the offset semantics: queue
+    /// `offset % n` transmits first, order within each queue is
+    /// preserved, and over any `n` consecutive rounds every queue leads
+    /// exactly once (fairness — no tree is always drained first).
+    #[test]
+    fn interleave_offset_rotates_the_lead_across_rounds() {
+        let pool = FramePool::new();
+        let frame = |tag: u8| pool.copy_from_slice(&[tag]);
+        let n = 3usize;
+        let make_queues = || -> Vec<Vec<Frame>> {
+            (0..n as u8)
+                .map(|q| (0..4).map(|i| frame(q * 10 + i)).collect())
+                .collect()
+        };
+        let sender_index = 2usize;
+        let mut leads = Vec::new();
+        for round in 0..2 * n {
+            let out = interleave_round_robin(make_queues(), sender_index + round);
+            assert_eq!(out.len(), n * 4);
+            leads.push(out[0][0] / 10);
+            // Every queue's internal order is preserved (ENDs still trail
+            // their tree's data).
+            for q in 0..n as u8 {
+                let tags: Vec<u8> =
+                    out.iter().map(|f| f[0]).filter(|t| t / 10 == q).collect();
+                assert_eq!(tags, vec![q * 10, q * 10 + 1, q * 10 + 2, q * 10 + 3]);
+            }
+        }
+        // The lead rotates: round r leads with queue (sender + r) % n…
+        let expect: Vec<u8> =
+            (0..2 * n).map(|r| ((sender_index + r) % n) as u8).collect();
+        assert_eq!(leads, expect);
+        // …so across any n consecutive rounds each queue led exactly once.
+        for w in leads.windows(n) {
+            let mut sorted = w.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n as u8).collect::<Vec<u8>>(), "unfair window {w:?}");
+        }
+    }
+
+    /// Two senders × two reducers × three rounds over a real star fabric:
+    /// per-round results are exact and independent, sequence spaces carry
+    /// across rounds, and host memory stays bounded by retirement.
+    #[test]
+    fn iterative_runner_runs_rounds_on_one_simulation() {
+        use daiet_netsim::topology::TopologyPlan;
+        let config = DaietConfig {
+            register_cells: 256,
+            reliability: true,
+            nack_recovery: true,
+            ..DaietConfig::default()
+        }
+        .with_rtx_sized_for_flush();
+        let plan = TopologyPlan::star(4, daiet_netsim::LinkSpec::fast());
+        let spec = IterativeSpec::new(config, plan, vec![0, 1], vec![2, 3]);
+        let mut runner = IterativeRunner::build(spec).unwrap();
+        for round in 0..3u32 {
+            // Sender i ships ("w", round+1+i) to reducer 0's tree and a
+            // round-unique key to reducer 1's tree.
+            let shards: Vec<Vec<Vec<Pair>>> = (0..2u32)
+                .map(|i| {
+                    vec![
+                        vec![Pair::new(key("w"), round + 1 + i)],
+                        vec![Pair::new(key(&format!("r{round}")), 10 + i)],
+                    ]
+                })
+                .collect();
+            let out = runner.run_round(&shards).unwrap();
+            assert_eq!(out.round, u64::from(round));
+            // Reducer 0: the two senders' "w" values, switch-aggregated.
+            assert_eq!(out.per_reducer[0], vec![(key("w"), 2 * round + 3)]);
+            // Reducer 1: only this round's key — earlier rounds were
+            // drained at their own barriers.
+            assert_eq!(out.per_reducer[1], vec![(key(&format!("r{round}")), 21)]);
+            // In-network: exactly one switch END per reducer per round.
+            assert_eq!(out.reducer_stats[0].end_packets, 1);
+            // Per-round net counters are deltas, not cumulative: the
+            // reducers received a handful of frames, not the whole run.
+            let rnode = runner.node_id(2);
+            assert!(out.net.nodes[rnode.0].frames_in >= 2);
+            assert!(out.net.nodes[rnode.0].frames_in < 10);
+        }
+        assert_eq!(runner.rounds_run(), 3);
+        // Retirement bounded the host-side state: pacing queues drained,
+        // replay retention empty (every round was fully acknowledged).
+        for i in 0..2 {
+            assert_eq!(runner.sender(i).pending(), 0);
+            assert_eq!(runner.sender(i).replay_retained(), 0);
+        }
+        // Sequence spaces carried across rounds: round 2's frames were
+        // not treated as replays of round 0's.
+        assert_eq!(runner.reducer(0).duplicates_suppressed(), 0);
     }
 
     #[test]

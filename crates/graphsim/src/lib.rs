@@ -15,7 +15,10 @@
 //! * [`pregel`] — the BSP engine with combiners and a per-superstep
 //!   message census;
 //! * [`algos`] — PageRank, SSSP, WCC as vertex programs;
-//! * [`traffic`] — the Figure-1(c) reduction-ratio series.
+//! * [`traffic`] — the Figure-1(c) reduction-ratio series;
+//! * [`netrun`] — Pregel supersteps carried by the real dataplane (one
+//!   DAIET round per superstep, in-network combiners), bit-identical to
+//!   the analytic engine even under link faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,8 +26,10 @@
 pub mod algos;
 pub mod generate;
 pub mod graph;
+pub mod netrun;
 pub mod pregel;
 pub mod traffic;
 
 pub use graph::Graph;
+pub use netrun::{FixedPageRank, PacketPregelOutcome, PacketPregelSpec};
 pub use traffic::{reduction_series, AlgoKind, SuperstepTraffic};

@@ -20,15 +20,20 @@
 //! * [`optimizer`] — SGD and Adam;
 //! * [`psworker`] — parameter-server/worker simulation producing sparse
 //!   updates per step;
-//! * [`overlap`] — the Figure-1 overlap metric and experiment driver.
+//! * [`overlap`] — the Figure-1 overlap metric and experiment driver;
+//! * [`netrun`] — the same training loop driven packet-level through the
+//!   real dataplane (fixed-point gradients, one DAIET round per step),
+//!   bit-identical to an in-memory reference even under link faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data;
 pub mod model;
+pub mod netrun;
 pub mod optimizer;
 pub mod overlap;
 pub mod psworker;
 
+pub use netrun::{NetTrainOutcome, NetTrainSpec};
 pub use overlap::{OverlapPoint, OverlapRun};

@@ -63,6 +63,6 @@ pub use frame::{Frame, FramePool, PoolStats};
 pub use link::{FaultDecision, FaultProfile, LinkScript, LinkSpec};
 pub use node::{Context, Node, NodeId, PortId};
 pub use sim::Simulator;
-pub use stats::{LinkStats, NodeStats};
+pub use stats::{LinkStats, NodeStats, StatsSnapshot};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Role, TopologyPlan};

@@ -158,6 +158,25 @@ impl Simulator {
         self.queue.push(at, EventKind::Deliver { node, port, frame });
     }
 
+    /// Arms a timer on `node` from outside the topology — the external
+    /// counterpart of [`Context::schedule`]. This is how a round-driven
+    /// harness (e.g. `daiet::worker::IterativeRunner`) restarts a node
+    /// whose internal timer chain ran dry at a round barrier: mutate the
+    /// node via [`node_mut`](Self::node_mut), then schedule a wake-up.
+    /// `at` must not lie in the simulator's past.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        assert!(at >= self.now, "timer scheduled in the past");
+        self.queue.push(at, EventKind::Timer { node, token });
+    }
+
+    /// A copy of every per-node and per-link counter at this instant —
+    /// subtract two with [`crate::stats::StatsSnapshot::delta`] to read
+    /// one round's traffic out of a long-running simulation (counters
+    /// themselves are cumulative for the simulator's whole life).
+    pub fn snapshot(&self) -> crate::stats::StatsSnapshot {
+        self.stats.snapshot(self.nodes.len(), self.ports.link_count())
+    }
+
     fn dispatch<F>(&mut self, node_id: NodeId, f: F)
     where
         F: FnOnce(&mut dyn Node, &mut Context<'_>),

@@ -53,6 +53,104 @@ impl NodeStats {
     }
 }
 
+/// Subtracts monotonic counters, loudly: simulator counters only ever
+/// grow, so `later < earlier` means the caller paired snapshots from
+/// different simulations (or swapped the arguments) — a bug that
+/// `saturating_sub` would silently flatten to 0 and `wrapping_sub` would
+/// turn into a near-`u64::MAX` "delta". Panic instead, in release too:
+/// per-round deltas feed acceptance numbers, so a quiet lie is worse
+/// than a crash. Exported so every per-round delta in the workspace
+/// (e.g. `daiet`'s collector stats) shares one subtraction policy.
+#[inline]
+pub fn counter_delta(later: u64, earlier: u64, what: &str) -> u64 {
+    later.checked_sub(earlier).unwrap_or_else(|| {
+        panic!("{what} went backwards ({later} < {earlier}): snapshots are from different runs or swapped")
+    })
+}
+
+macro_rules! delta_fields {
+    ($later:expr, $earlier:expr, $($field:ident),+) => {
+        Self { $($field: counter_delta($later.$field, $earlier.$field, stringify!($field)),)+ }
+    };
+}
+
+impl DirStats {
+    /// Counter growth since `earlier` (field-wise `later − earlier`).
+    pub fn delta(&self, earlier: &DirStats) -> DirStats {
+        delta_fields!(
+            self, earlier, tx_frames, tx_bytes, drops_overflow, drops_fault, corrupted,
+            duplicated, reordered
+        )
+    }
+}
+
+impl LinkStats {
+    /// Counter growth since `earlier`.
+    pub fn delta(&self, earlier: &LinkStats) -> LinkStats {
+        LinkStats {
+            dirs: [self.dirs[0].delta(&earlier.dirs[0]), self.dirs[1].delta(&earlier.dirs[1])],
+        }
+    }
+}
+
+impl NodeStats {
+    /// Counter growth since `earlier`.
+    pub fn delta(&self, earlier: &NodeStats) -> NodeStats {
+        delta_fields!(self, earlier, frames_in, bytes_in, frames_out, bytes_out)
+    }
+}
+
+/// Every node and link counter at one instant, as captured by
+/// [`crate::Simulator::snapshot`]. Counters are cumulative for the
+/// simulator's life; an iterative harness snapshots at each round barrier
+/// and reads the round's own traffic with [`delta`](Self::delta), so
+/// per-round numbers never silently report the whole run.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Per-node counters, indexed by node id.
+    pub nodes: Vec<NodeStats>,
+    /// Per-link counters, indexed in connect order.
+    pub links: Vec<LinkStats>,
+}
+
+impl StatsSnapshot {
+    /// The counter growth between `earlier` and this snapshot,
+    /// field-for-field. Panics if any counter shrank (snapshots from
+    /// different runs, or arguments swapped) — see [`NodeStats::delta`].
+    /// `earlier` may be shorter (nodes/links added since): missing
+    /// entries read as zero.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let zero_n = NodeStats::default();
+        let zero_l = LinkStats::default();
+        StatsSnapshot {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| n.delta(earlier.nodes.get(i).unwrap_or(&zero_n)))
+                .collect(),
+            links: self
+                .links
+                .iter()
+                .enumerate()
+                .map(|(i, l)| l.delta(earlier.links.get(i).unwrap_or(&zero_l)))
+                .collect(),
+        }
+    }
+
+    /// Frames dropped by fault injection, summed over every link and
+    /// direction.
+    pub fn fault_drops(&self) -> u64 {
+        self.links.iter().flat_map(|l| l.dirs).map(|d| d.drops_fault).sum()
+    }
+
+    /// Frames dropped to egress-queue overflow, summed over every link
+    /// and direction.
+    pub fn overflow_drops(&self) -> u64 {
+        self.links.iter().flat_map(|l| l.dirs).map(|d| d.drops_overflow).sum()
+    }
+}
+
 /// All statistics for one simulation.
 #[derive(Debug, Default)]
 pub struct StatsTable {
@@ -122,6 +220,17 @@ impl StatsTable {
         s.frames_in += 1;
         s.bytes_in += bytes as u64;
     }
+
+    /// Copies the current counters out, padded with zeros to `n_nodes` /
+    /// `n_links` (the tables grow lazily, so an untouched tail may not
+    /// exist yet).
+    pub(crate) fn snapshot(&self, n_nodes: usize, n_links: usize) -> StatsSnapshot {
+        let mut nodes = self.nodes.clone();
+        nodes.resize(nodes.len().max(n_nodes), NodeStats::default());
+        let mut links = self.links.clone();
+        links.resize(links.len().max(n_links), LinkStats::default());
+        StatsSnapshot { nodes, links }
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +271,52 @@ mod tests {
         assert_eq!(s.dirs[1].duplicated, 1);
         // Untouched link reads as zeros.
         assert_eq!(t.link(0), LinkStats::default());
+    }
+
+    #[test]
+    fn snapshot_deltas_isolate_one_rounds_counters() {
+        let mut t = StatsTable::default();
+        t.node_sent(NodeId(0), 100);
+        t.link_tx(0, 0, 100);
+        let before = t.snapshot(2, 1);
+        // "Round 2": more traffic on the same counters.
+        t.node_sent(NodeId(0), 50);
+        t.node_received(NodeId(1), 50);
+        t.link_tx(0, 0, 50);
+        t.link_drop_fault(0, 1, 50);
+        let after = t.snapshot(2, 1);
+        let d = after.delta(&before);
+        assert_eq!(d.nodes[0].frames_out, 1, "only the round's own frame");
+        assert_eq!(d.nodes[0].bytes_out, 50);
+        assert_eq!(d.nodes[1].frames_in, 1);
+        assert_eq!(d.links[0].dirs[0].tx_frames, 1);
+        assert_eq!(d.fault_drops(), 1);
+        assert_eq!(d.overflow_drops(), 0);
+    }
+
+    #[test]
+    fn snapshot_pads_untouched_tail_and_grown_tables() {
+        let mut t = StatsTable::default();
+        let before = t.snapshot(1, 0); // node 1 and the link don't exist yet
+        t.node_sent(NodeId(1), 10);
+        t.link_tx(0, 0, 10);
+        let after = t.snapshot(2, 1);
+        let d = after.delta(&before);
+        assert_eq!(d.nodes[1].frames_out, 1, "entries born mid-window count from zero");
+        assert_eq!(d.links[0].dirs[0].tx_frames, 1);
+        // Padding: requesting more slots than ever touched reads zeros.
+        assert_eq!(after.nodes[0], NodeStats::default());
+    }
+
+    /// Counters are monotonic; a shrinking "delta" means mismatched
+    /// snapshots and must fail loudly, not saturate to zero.
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn swapped_snapshots_panic_instead_of_saturating() {
+        let mut t = StatsTable::default();
+        let before = t.snapshot(1, 0);
+        t.node_sent(NodeId(0), 10);
+        let after = t.snapshot(1, 0);
+        let _ = before.delta(&after); // arguments swapped
     }
 }

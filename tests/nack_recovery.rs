@@ -227,7 +227,7 @@ fn mid_round_spillover_loss_is_recovered_while_stream_is_hot() {
     let engine = sw
         .extern_ref::<DaietEngine>(dep.engine_externs[&(N_MAPPERS + 1)])
         .expect("engine registered");
-    let (_, evicted, replayed, misses) = engine.rtx_stats(dep.tree_id(0)).unwrap();
+    let (_, evicted, replayed, misses, _retired) = engine.rtx_stats(dep.tree_id(0)).unwrap();
     assert!(
         evicted > 0,
         "the round must overflow the ring, or this test proves nothing"

@@ -40,6 +40,7 @@ impl Criterion {
             name: name.into(),
             sample_size: DEFAULT_SAMPLE_SIZE,
             throughput: None,
+            rounds_per_iter: None,
         }
     }
 
@@ -48,7 +49,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&id, DEFAULT_SAMPLE_SIZE, None, f);
+        run_one(&id, DEFAULT_SAMPLE_SIZE, None, None, f);
         self
     }
 }
@@ -86,6 +87,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    rounds_per_iter: Option<u64>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -99,12 +101,23 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares that one benchmark iteration internally runs `n`
+    /// workload rounds (an iterative benchmark like `fig_iter` runs a
+    /// whole multi-round job per call). Recorded in the `BENCH_JSON_DIR`
+    /// output as `rounds_per_iter` plus the derived `per_round_samples`,
+    /// so a per-round claim can be audited against the number of round
+    /// executions that actually backed it.
+    pub fn rounds_per_iter(&mut self, n: u64) -> &mut Self {
+        self.rounds_per_iter = Some(n);
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.into());
-        run_one(&id, self.sample_size, self.throughput, f);
+        run_one(&id, self.sample_size, self.throughput, self.rounds_per_iter, f);
         self
     }
 
@@ -113,7 +126,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = format!("{}/{}", self.name, id);
-        run_one(&id, self.sample_size, self.throughput, |b| f(b, input));
+        run_one(&id, self.sample_size, self.throughput, self.rounds_per_iter, |b| f(b, input));
         self
     }
 
@@ -137,7 +150,13 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    rounds_per_iter: Option<u64>,
+    mut f: F,
+) {
     // Calibration: one iteration to estimate the per-iter cost.
     let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
     f(&mut bencher);
@@ -184,9 +203,14 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, throughput: Opt
     );
 
     if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
-        if let Err(e) =
-            write_json_record(Path::new(&dir), id, &sample_means, warm_iters, iters_per_sample)
-        {
+        if let Err(e) = write_json_record(
+            Path::new(&dir),
+            id,
+            &sample_means,
+            warm_iters,
+            iters_per_sample,
+            rounds_per_iter,
+        ) {
             eprintln!("criterion shim: could not write BENCH json for {id}: {e}");
         }
     }
@@ -203,6 +227,7 @@ fn write_json_record(
     sample_means: &[f64],
     warmup_iters: u64,
     iters_per_sample: u64,
+    rounds_per_iter: Option<u64>,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let n = sample_means.len() as f64;
@@ -215,10 +240,19 @@ fn write_json_record(
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
+    // Iterative benchmarks (rounds_per_iter set) additionally record how
+    // many per-round executions back each reported number.
+    let rounds = rounds_per_iter.map_or(String::new(), |n| {
+        format!(
+            "  \"rounds_per_iter\": {},\n  \"per_round_samples\": {},\n",
+            n,
+            n * iters_per_sample * sample_means.len() as u64,
+        )
+    });
     let json = format!(
         "{{\n  \"id\": \"{}\",\n  \"mean_s\": {:e},\n  \"sd_s\": {:e},\n  \
          \"min_s\": {:e},\n  \"max_s\": {:e},\n  \"sample_count\": {},\n  \
-         \"iters_per_sample\": {},\n  \"warmup_iters\": {},\n  \"samples_s\": [{}]\n}}\n",
+         \"iters_per_sample\": {},\n  \"warmup_iters\": {},\n{}  \"samples_s\": [{}]\n}}\n",
         id.replace('\\', "\\\\").replace('"', "\\\""),
         mean,
         var.sqrt(),
@@ -227,6 +261,7 @@ fn write_json_record(
         sample_means.len(),
         iters_per_sample,
         warmup_iters,
+        rounds,
         samples.join(", "),
     );
     std::fs::write(dir.join(format!("BENCH_{sanitized}.json")), json)
@@ -307,7 +342,7 @@ mod tests {
     fn json_record_round_trips_the_measurements() {
         let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
         let samples = [1.5e-3, 2.0e-3, 1.0e-3];
-        write_json_record(&dir, "group/bench: odd\"id\"", &samples, 7, 42).unwrap();
+        write_json_record(&dir, "group/bench: odd\"id\"", &samples, 7, 42, None).unwrap();
         let path = dir.join("BENCH_group_bench__odd_id_.json");
         let text = std::fs::read_to_string(&path).unwrap();
         // Raw samples, min/max and iteration counts are all recorded.
@@ -319,6 +354,25 @@ mod tests {
         assert!(text.contains("\"samples_s\": [1.5e-3, 2e-3, 1e-3]"));
         // The id survives escaping.
         assert!(text.contains("odd\\\"id\\\""));
+        // Non-iterative benchmarks carry no per-round fields.
+        assert!(!text.contains("rounds_per_iter"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Iterative benchmarks (`rounds_per_iter` declared on the group)
+    /// record how many per-round executions back each number — the
+    /// audit trail for a "median over interleaved rounds" claim.
+    #[test]
+    fn json_record_carries_per_round_sample_counts() {
+        let dir = std::env::temp_dir()
+            .join(format!("criterion-shim-rounds-{}", std::process::id()));
+        let samples = [1.0e-3, 2.0e-3];
+        write_json_record(&dir, "fig_iter/x", &samples, 3, 4, Some(10)).unwrap();
+        let text =
+            std::fs::read_to_string(dir.join("BENCH_fig_iter_x.json")).unwrap();
+        assert!(text.contains("\"rounds_per_iter\": 10"), "{text}");
+        // 2 samples × 4 iters × 10 rounds = 80 round executions.
+        assert!(text.contains("\"per_round_samples\": 80"), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
