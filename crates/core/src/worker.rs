@@ -764,6 +764,10 @@ pub struct IterativeSpec {
     pub redundancy: u32,
     /// Simulation seed.
     pub seed: u64,
+    /// Execution partitions for the simulator (default: the
+    /// `DAIET_PARTITIONS` environment variable, else 1). Round results
+    /// must be bit-identical at any setting.
+    pub partitions: usize,
 }
 
 impl IterativeSpec {
@@ -786,6 +790,7 @@ impl IterativeSpec {
             pacing: SimDuration::from_micros(1),
             redundancy: 1,
             seed: 7,
+            partitions: daiet_netsim::env_partitions(),
         }
     }
 }
@@ -867,7 +872,8 @@ impl IterativeRunner {
             .deploy(&spec.plan, &placement, spec.resources, spec.mode)
             .map_err(|e| e.to_string())?;
 
-        let mut sim = daiet_netsim::Simulator::new(spec.seed);
+        let pmap = spec.plan.partition_map(spec.partitions);
+        let mut sim = daiet_netsim::Simulator::with_partitions(spec.seed, pmap);
         let mut ids = Vec::with_capacity(spec.plan.len());
         let expected_per_round: Vec<u32> = (0..spec.reducers.len())
             .map(|r| dep.expected_ends(r, spec.senders.len()))
@@ -943,7 +949,6 @@ impl IterativeRunner {
     pub fn run_round(&mut self, shards: &[Vec<Vec<Pair>>]) -> Result<IterRound, String> {
         assert_eq!(shards.len(), self.spec.senders.len(), "one shard list per sender");
         let packetizer = Packetizer::new(&self.spec.config);
-        let pool = self.sim.pool().clone();
         let snap_before = self.sim.snapshot();
         let stats_before: Vec<CollectorStats> = (0..self.spec.reducers.len())
             .map(|r| self.reducer(r).collector.stats())
@@ -956,6 +961,10 @@ impl IterativeRunner {
                 "one shard per reducer per sender"
             );
             let slot = self.spec.senders[i];
+            let id = self.ids[slot];
+            // Preloaded frames come from the pool of the partition that
+            // owns this sender (pools are `Rc`-backed, partition-local).
+            let pool = self.sim.pool_for(id).clone();
             let mut queues = Vec::with_capacity(sender_shards.len());
             let mut replay_parts = Vec::new();
             for (r, pairs) in sender_shards.iter().enumerate() {
@@ -982,7 +991,6 @@ impl IterativeRunner {
             let interleaved = interleave_round_robin(queues, offset);
             let transmit = crate::reliability::RedundantSender::new(self.spec.redundancy.max(1))
                 .schedule(&interleaved);
-            let id = self.ids[slot];
             let node = self
                 .sim
                 .node_mut::<PacedSenderNode>(id)

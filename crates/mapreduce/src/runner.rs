@@ -25,9 +25,10 @@ use daiet::DaietConfig;
 use daiet_dataplane::Resources;
 use daiet_netsim::topology::{Role, TopologyPlan};
 use daiet_netsim::{
-    FramePool, LinkSpec, NodeId, SimDuration, SimTime, Simulator,
+    FramePool, LinkSpec, NodeId, PartitionMap, SimDuration, SimTime, Simulator,
 };
 use daiet_transport::tcp::{BulkSenderNode, SinkReceiverNode, TcpConfig};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// The shuffle transport under test.
@@ -86,8 +87,15 @@ pub struct Runner {
     /// (default). Disable to force plain allocation — results must be
     /// bit-identical either way, which `tests/` asserts.
     pub pooling: bool,
-    /// The frame pool shared across this runner's runs (see `make_sim`).
-    pool: FramePool,
+    /// Execution partitions for the simulator (default: the
+    /// `DAIET_PARTITIONS` environment variable, else 1). Results must be
+    /// bit-identical at any setting — `tests/partition_properties`
+    /// asserts it.
+    pub partitions: usize,
+    /// Per-partition frame pools shared across this runner's runs (see
+    /// `make_sim`). Pools are `Rc`-backed and partition-local, so one per
+    /// partition, grown on demand.
+    pools: RefCell<Vec<FramePool>>,
     /// Copies of each frame mappers transmit (1 = no redundancy; pair
     /// with `daiet_config.reliability` so duplicates are suppressed).
     pub redundancy: u32,
@@ -108,7 +116,8 @@ impl Runner {
             pacing: SimDuration::from_micros(2),
             seed: 42,
             pooling: true,
-            pool: FramePool::new(),
+            partitions: daiet_netsim::env_partitions(),
+            pools: RefCell::new(Vec::new()),
             redundancy: 1,
         }
     }
@@ -125,20 +134,31 @@ impl Runner {
         self
     }
 
-    fn make_sim(&self) -> Simulator {
-        let mut sim = Simulator::new(self.seed);
+    fn make_sim(&self, plan: &TopologyPlan) -> (Simulator, PartitionMap) {
+        let pmap = plan.partition_map(self.partitions);
+        let mut sim = Simulator::with_partitions(self.seed, pmap.clone());
         if !self.pooling {
-            sim.set_frame_pool(FramePool::disabled());
+            for p in 0..sim.partition_count() {
+                sim.set_frame_pool_for(p, FramePool::disabled());
+            }
         } else {
-            // One pool across this runner's runs: repeated runs (benches,
-            // multi-mode comparisons) recycle the previous run's buffers
-            // instead of growing a cold pool from scratch each time —
-            // which matters once retransmit rings hold frames long enough
-            // that a run's working set exceeds the in-flight population.
-            // Buffer reuse is semantics-neutral (`tests/pool_properties`).
-            sim.set_frame_pool(self.pool.clone());
+            // One pool per partition across this runner's runs: repeated
+            // runs (benches, multi-mode comparisons) recycle the previous
+            // run's buffers instead of growing a cold pool from scratch
+            // each time — which matters once retransmit rings hold frames
+            // long enough that a run's working set exceeds the in-flight
+            // population. Buffer reuse is semantics-neutral
+            // (`tests/pool_properties`); pools are partition-local
+            // because their buffers are `Rc`-backed.
+            let mut pools = self.pools.borrow_mut();
+            while pools.len() < sim.partition_count() {
+                pools.push(FramePool::new());
+            }
+            for p in 0..sim.partition_count() {
+                sim.set_frame_pool_for(p, pools[p].clone());
+            }
         }
-        sim
+        (sim, pmap)
     }
 
     /// The star topology of the paper's testbed for this corpus.
@@ -182,7 +202,7 @@ impl Runner {
             .deploy(plan, &placement, self.resources, AggregationMode::PassThrough)
             .expect("deployment fits");
 
-        let mut sim = self.make_sim();
+        let (mut sim, _pmap) = self.make_sim(plan);
         let mut ids: Vec<NodeId> = Vec::with_capacity(plan.len());
         let tcp_cfg = TcpConfig::default();
 
@@ -263,8 +283,7 @@ impl Runner {
             .deploy(plan, &placement, self.resources, agg)
             .expect("deployment fits");
 
-        let mut sim = self.make_sim();
-        let pool = sim.pool().clone();
+        let (mut sim, pmap) = self.make_sim(plan);
         let mut ids: Vec<NodeId> = Vec::with_capacity(plan.len());
         for slot in 0..plan.len() {
             let id = match plan.role(slot) {
@@ -279,6 +298,10 @@ impl Runner {
                                 )
                             })
                             .collect();
+                        // Preloaded frames must come from the pool of the
+                        // partition that will transmit them (pools are
+                        // strictly partition-local).
+                        let pool = sim.partition_pool(pmap.part_of(slot)).clone();
                         sim.add_node(Box::new(daiet::worker::multi_tree_sender(
                             &self.daiet_config,
                             m,

@@ -1,34 +1,47 @@
-//! The event queue: an index-based binary heap ordered by `(time,
-//! sequence)` so that simultaneous events fire in insertion order, keeping
-//! runs deterministic.
+//! The event queue: an index-based binary heap ordered by the explicit
+//! deterministic key `(time, source node, per-source sequence)`.
+//!
+//! # The ordering key
+//!
+//! Same-tick ordering used to lean on a *global* insertion sequence —
+//! whichever event happened to be pushed first fired first. That is
+//! well-defined only while a single event loop performs every push: the
+//! moment the simulator is partitioned across worker threads there is no
+//! global push order, and "insertion order" becomes a race. The key is
+//! therefore explicit and partition-independent:
+//!
+//! 1. **time** — the firing instant;
+//! 2. **source node id** — the node whose callback scheduled the event
+//!    (the transmitter for `Deliver`/`TxDone`, the owner for `Timer`);
+//! 3. **per-source sequence** — a counter private to that source,
+//!    incremented on every event it schedules.
+//!
+//! Each node's callbacks execute in the same order under any
+//! partitioning (a partition executes the restriction of the key-sorted
+//! global order), so each node assigns the same sequence numbers to the
+//! same events — the key is reproducible no matter how the topology is
+//! sharded, which is what makes partitioned runs bit-identical to
+//! single-threaded ones (`tests/partition_properties.rs` pins this).
+//!
+//! Causality makes the key safe to execute in sorted order: an event
+//! pushed from inside node `s`'s callback at time `t` carries source `s`
+//! and a fresh (strictly larger) sequence number, so its key is strictly
+//! greater than the key currently executing — the sorted order can never
+//! be violated retroactively.
 //!
 //! # Layout
 //!
 //! Event payloads ([`EventKind`]) live in a slab (`Vec<Option<EventKind>>`
 //! with a free list) and never move after insertion; the heap itself holds
-//! only 24-byte `(time, seq, slot)` entries, so every sift-up/down moves a
-//! small POD instead of a payload carrying a [`Frame`]. Slab slots are
-//! recycled, so a steady-state simulation stops allocating entirely.
-//!
-//! # Same-tick batching
-//!
-//! Events scheduled *for the current instant* (zero-delay timers,
-//! cut-through deliveries) bypass the heap and land in a FIFO ready
-//! queue: `O(1)` push/pop instead of two `O(log n)` heap operations.
-//! This is safe for determinism because every heap entry at the current
-//! instant was necessarily pushed *earlier* (while `now` was still in the
-//! future for it) and therefore carries a smaller sequence number than
-//! any ready-queue entry; [`EventQueue::pop`] drains same-time heap
-//! entries first, then the FIFO, which is exactly global `(time, seq)`
-//! order. [`crate::Simulator::run_until`] additionally drains all events
-//! of one instant in an inner batch, checking its deadline once per
-//! instant rather than once per event.
+//! only 24-byte `(time, src, seq, slot)` entries, so every sift-up/down
+//! moves a small POD instead of a payload carrying a [`Frame`]. Slab slots
+//! are recycled, so a steady-state simulation stops allocating entirely.
 
 use crate::frame::Frame;
 use crate::node::{NodeId, PortId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
 #[derive(Debug, Clone)]
@@ -65,10 +78,33 @@ pub enum EventKind {
 pub struct Event {
     /// Firing time.
     pub time: SimTime,
-    /// Global insertion sequence; breaks ties at equal `time`.
+    /// The node whose callback scheduled this event.
+    pub src: NodeId,
+    /// Per-source sequence; third component of the ordering key.
     pub seq: u64,
     /// Payload.
     pub kind: EventKind,
+}
+
+/// A frame delivery crossing a partition boundary: only plain bytes cross
+/// threads (pooled `Rc` frames stay partition-local — see the `frame`
+/// module docs). Carries the full ordering key assigned by the sending
+/// partition so the receiving partition's heap merges it exactly where a
+/// single-threaded run would have placed it.
+#[derive(Debug)]
+pub(crate) struct RemoteEvent {
+    /// Arrival time at the receiving node.
+    pub time: SimTime,
+    /// The transmitting node (ordering-key source).
+    pub src: NodeId,
+    /// The sequence the source's partition allocated for this delivery.
+    pub seq: u64,
+    /// Receiving node.
+    pub node: NodeId,
+    /// Ingress port on the receiving node.
+    pub port: PortId,
+    /// The frame's wire bytes, copied out of the source partition's pool.
+    pub bytes: Vec<u8>,
 }
 
 /// A heap entry: ordering key plus the slab slot of its payload.
@@ -76,6 +112,7 @@ pub struct Event {
 struct HeapEntry {
     time: SimTime,
     seq: u64,
+    src: u32,
     slot: u32,
 }
 
@@ -87,25 +124,26 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert so the smallest key pops first.
+        (other.time, other.src, other.seq).cmp(&(self.time, self.src, self.seq))
     }
 }
 
-/// A deterministic priority queue of events.
+/// A deterministic priority queue of events, ordered by
+/// `(time, source node, per-source seq)` — see the module docs for why
+/// this key (and not insertion order) is the tie-breaking rule.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<HeapEntry>,
-    /// Payload slab; `heap` and `ready` index into it.
+    /// Payload slab; `heap` indexes into it.
     slots: Vec<Option<EventKind>>,
     /// Recycled slab indices.
     free: Vec<u32>,
-    /// Same-tick FIFO: events pushed for the current instant.
-    ready: VecDeque<(u64, u32)>,
     /// The instant of the most recently popped event — the queue's notion
-    /// of "now", used to route same-tick pushes to `ready`.
+    /// of "now"; pushes at or before it are clamped to it.
     now: SimTime,
-    next_seq: u64,
+    /// Per-source sequence counters, indexed by source node id.
+    next_seq: Vec<u64>,
 }
 
 impl EventQueue {
@@ -127,18 +165,36 @@ impl EventQueue {
         }
     }
 
-    /// Schedules `kind` at absolute time `time`. A `time` at or before the
-    /// current instant fires at the current instant, after everything
-    /// already scheduled for it.
-    pub fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let slot = self.store(kind);
-        if time <= self.now {
-            self.ready.push_back((seq, slot));
-        } else {
-            self.heap.push(HeapEntry { time, seq, slot });
+    /// Allocates the next sequence number for `src` — the counter every
+    /// event scheduled by `src` consumes, whether it lands in this heap or
+    /// (as a [`RemoteEvent`]) in another partition's. Keeping remote
+    /// deliveries on the *same* counter is what makes the key identical to
+    /// the one a single-threaded run would have assigned.
+    pub(crate) fn alloc_seq(&mut self, src: NodeId) -> u64 {
+        if src.0 >= self.next_seq.len() {
+            self.next_seq.resize(src.0 + 1, 0);
         }
+        let seq = self.next_seq[src.0];
+        self.next_seq[src.0] = seq + 1;
+        seq
+    }
+
+    /// Schedules `kind` at absolute time `time`, sourced by `src` (the
+    /// node whose callback is doing the scheduling). A `time` at or before
+    /// the current instant fires at the current instant; its place among
+    /// other events of that instant follows the `(source, seq)` key, not
+    /// push order.
+    pub fn push(&mut self, time: SimTime, src: NodeId, kind: EventKind) {
+        let seq = self.alloc_seq(src);
+        self.push_keyed(time, src, seq, kind);
+    }
+
+    /// Schedules `kind` under an externally allocated key — used when a
+    /// remote partition already assigned the `(src, seq)` pair.
+    pub(crate) fn push_keyed(&mut self, time: SimTime, src: NodeId, seq: u64, kind: EventKind) {
+        let time = time.max(self.now);
+        let slot = self.store(kind);
+        self.heap.push(HeapEntry { time, seq, src: src.0 as u32, slot });
     }
 
     fn take(&mut self, slot: u32) -> EventKind {
@@ -147,30 +203,25 @@ impl EventQueue {
         kind
     }
 
-    /// Pops the earliest event, if any, in strict `(time, seq)` order.
+    /// Pops the earliest event, if any, in strict
+    /// `(time, source, seq)` order.
     pub fn pop(&mut self) -> Option<Event> {
-        // Heap entries at the current instant predate (seq-wise) anything
-        // in the ready FIFO, so they go first.
-        if let Some(&entry) = self.heap.peek() {
-            if entry.time <= self.now || self.ready.is_empty() {
-                self.heap.pop();
-                debug_assert!(entry.time >= self.now, "time went backwards");
-                self.now = entry.time;
-                let kind = self.take(entry.slot);
-                return Some(Event { time: entry.time, seq: entry.seq, kind });
-            }
-        }
-        if let Some((seq, slot)) = self.ready.pop_front() {
-            let kind = self.take(slot);
-            return Some(Event { time: self.now, seq, kind });
-        }
-        None
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
+        let kind = self.take(entry.slot);
+        Some(Event {
+            time: entry.time,
+            src: NodeId(entry.src as usize),
+            seq: entry.seq,
+            kind,
+        })
     }
 
     /// Pops the next event only if it fires exactly at `time` (the batch
     /// primitive the simulator's inner per-instant loop uses).
     pub fn pop_at(&mut self, time: SimTime) -> Option<Event> {
-        if self.peek_time() == Some(time) {
+        if self.heap.peek().map(|e| e.time) == Some(time) {
             self.pop()
         } else {
             None
@@ -179,22 +230,17 @@ impl EventQueue {
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        match (self.ready.is_empty(), self.heap.peek()) {
-            (false, Some(entry)) => Some(entry.time.min(self.now)),
-            (false, None) => Some(self.now),
-            (true, Some(entry)) => Some(entry.time),
-            (true, None) => None,
-        }
+        self.heap.peek().map(|e| e.time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.ready.len()
+        self.heap.len()
     }
 
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.ready.is_empty()
+        self.heap.is_empty()
     }
 }
 
@@ -216,68 +262,98 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime(30), timer(0, 3));
-        q.push(SimTime(10), timer(0, 1));
-        q.push(SimTime(20), timer(0, 2));
+        q.push(SimTime(30), NodeId(0), timer(0, 3));
+        q.push(SimTime(10), NodeId(0), timer(0, 1));
+        q.push(SimTime(20), NodeId(0), timer(0, 2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
+    fn ties_break_by_source_then_per_source_seq() {
         let mut q = EventQueue::new();
-        for token in 0..100 {
-            q.push(SimTime(42), timer(0, token));
-        }
+        // Interleaved pushes from three sources at one instant: the pop
+        // order must follow (src, per-src seq), not push order.
+        q.push(SimTime(42), NodeId(2), timer(2, 20));
+        q.push(SimTime(42), NodeId(0), timer(0, 0));
+        q.push(SimTime(42), NodeId(1), timer(1, 10));
+        q.push(SimTime(42), NodeId(0), timer(0, 1));
+        q.push(SimTime(42), NodeId(2), timer(2, 21));
+        q.push(SimTime(42), NodeId(1), timer(1, 11));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        assert_eq!(order, vec![0, 1, 10, 11, 20, 21]);
+    }
+
+    /// The partitioning regression: two queues receiving the same events
+    /// in *different push orders* (as different partition interleavings
+    /// would produce) pop identically — the key is the push-order-free
+    /// tie-break. Per-source relative order is preserved (a source's
+    /// events are pushed in its own callback order under any scheduling).
+    #[test]
+    fn insertion_order_does_not_change_pop_order() {
+        // Per-source streams: src3 → [a, b]; src1 → [c, d]; src0 → [e, f];
+        // src2 → [g]. Any interleaving that keeps each source's own order
+        // (as every partition scheduling does) must pop identically.
+        let events: Vec<(usize, u64)> =
+            vec![(3, 0), (1, 0), (1, 1), (0, 0), (2, 0), (3, 1), (0, 1)];
+        let pop_all = |order: &[usize]| {
+            let mut q = EventQueue::new();
+            for &i in order {
+                let (src, token) = events[i];
+                q.push(SimTime(7), NodeId(src), timer(src, token));
+            }
+            std::iter::from_fn(move || q.pop())
+                .map(|e| (e.src.0, token_of(e)))
+                .collect::<Vec<_>>()
+        };
+        // Two different interleavings of the same per-source streams.
+        let a = pop_all(&[0, 1, 2, 3, 4, 5, 6]);
+        let b = pop_all(&[1, 0, 3, 4, 2, 5, 6]);
+        assert_eq!(a, b, "pop order depended on push order");
+        assert_eq!(a, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (3, 0), (3, 1)]);
     }
 
     #[test]
     fn peek_time_tracks_minimum() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.push(SimTime(50), timer(0, 0));
-        q.push(SimTime(5), timer(0, 1));
+        q.push(SimTime(50), NodeId(0), timer(0, 0));
+        q.push(SimTime(5), NodeId(0), timer(0, 1));
         assert_eq!(q.peek_time(), Some(SimTime(5)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
     }
 
     #[test]
-    fn same_tick_pushes_fire_after_pending_heap_entries() {
+    fn past_pushes_clamp_to_the_current_instant() {
         let mut q = EventQueue::new();
-        q.push(SimTime(10), timer(0, 0));
-        q.push(SimTime(10), timer(0, 1));
-        // Pop the first event of t=10; the queue's "now" becomes 10.
-        assert_eq!(token_of(q.pop().unwrap()), 0);
-        // A zero-delay push lands in the ready FIFO…
-        q.push(SimTime(10), timer(0, 2));
-        // …but the remaining heap entry at t=10 has the smaller seq and
-        // must fire first.
-        assert_eq!(q.peek_time(), Some(SimTime(10)));
-        assert_eq!(token_of(q.pop().unwrap()), 1);
-        assert_eq!(token_of(q.pop().unwrap()), 2);
-        assert!(q.pop().is_none());
+        q.push(SimTime(10), NodeId(0), timer(0, 0));
+        assert_eq!(token_of(q.pop().unwrap()), 0); // now = 10
+        q.push(SimTime(3), NodeId(0), timer(0, 1)); // in the past: fires now
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.time, SimTime(10));
+        assert_eq!(token_of(ev), 1);
     }
 
     #[test]
-    fn ready_queue_preserves_fifo_and_interleaves_with_future() {
+    fn same_tick_pushes_merge_by_key_not_arrival() {
         let mut q = EventQueue::new();
-        q.push(SimTime(5), timer(0, 0));
-        assert_eq!(token_of(q.pop().unwrap()), 0); // now = 5
-        q.push(SimTime(5), timer(0, 1));
-        q.push(SimTime(7), timer(0, 2));
-        q.push(SimTime(5), timer(0, 3));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
-        assert_eq!(order, vec![1, 3, 2]);
+        q.push(SimTime(10), NodeId(5), timer(5, 50));
+        q.push(SimTime(10), NodeId(1), timer(1, 10));
+        assert_eq!(token_of(q.pop().unwrap()), 10); // now = 10, src 1 first
+        // A same-tick push from a source *below* the pending one fires
+        // before it — key order, not FIFO.
+        q.push(SimTime(10), NodeId(2), timer(2, 20));
+        assert_eq!(token_of(q.pop().unwrap()), 20);
+        assert_eq!(token_of(q.pop().unwrap()), 50);
+        assert!(q.pop().is_none());
     }
 
     #[test]
     fn pop_at_only_pops_matching_instant() {
         let mut q = EventQueue::new();
-        q.push(SimTime(10), timer(0, 0));
-        q.push(SimTime(20), timer(0, 1));
+        q.push(SimTime(10), NodeId(0), timer(0, 0));
+        q.push(SimTime(20), NodeId(0), timer(0, 1));
         assert!(q.pop_at(SimTime(5)).is_none());
         assert_eq!(token_of(q.pop_at(SimTime(10)).unwrap()), 0);
         assert!(q.pop_at(SimTime(10)).is_none());
@@ -285,11 +361,22 @@ mod tests {
     }
 
     #[test]
+    fn keyed_pushes_merge_exactly_where_local_ones_would() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), NodeId(1), timer(1, 10)); // local: (10, 1, 0)
+        q.push(SimTime(10), NodeId(3), timer(3, 30)); // local: (10, 3, 0)
+        // A remote partition assigned (10, 2, 0) to this delivery.
+        q.push_keyed(SimTime(10), NodeId(2), 0, timer(2, 20));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
     fn slab_slots_are_recycled() {
         let mut q = EventQueue::new();
         for round in 0..10 {
             for t in 0..100u64 {
-                q.push(SimTime(round * 1000 + t + 1), timer(0, t));
+                q.push(SimTime(round * 1000 + t + 1), NodeId(0), timer(0, t));
             }
             while q.pop().is_some() {}
         }

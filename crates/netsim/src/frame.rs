@@ -22,9 +22,14 @@
 //!   created it. A frame may outlive its pool; the buffer is then simply
 //!   freed.
 //!
-//! Frames are single-threaded by design (the simulator is a
-//! single-threaded event loop; see the crate docs), which is what lets
-//! the pool use `Rc`/`RefCell` instead of atomics.
+//! Frames are single-threaded by design, which is what lets the pool use
+//! `Rc`/`RefCell` instead of atomics — and the partitioned engine keeps
+//! it that way: each partition owns its own `FramePool`, and a `Frame`
+//! (or its `Rc` count) **never crosses a thread**. A cross-partition
+//! delivery is serialized to plain bytes on the sender's side and
+//! re-pooled from the receiving partition's pool on ingest (see the
+//! `sim` module docs, "Partitioned execution"), so every pool stays
+//! strictly partition-local.
 //!
 //! ```
 //! use daiet_netsim::{Frame, FramePool};

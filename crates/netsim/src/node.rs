@@ -1,9 +1,9 @@
 //! The [`Node`] trait implemented by every simulated device (host NIC
 //! stack, switch, middlebox) and the [`Context`] handed to its callbacks.
 
-use crate::event::EventKind;
+use crate::event::{EventKind, RemoteEvent};
 use crate::frame::{Frame, FramePool};
-use crate::link::PortTable;
+use crate::link::{NetCtx, PortTable};
 use crate::stats::StatsTable;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
@@ -54,6 +54,12 @@ pub struct Context<'a> {
     pub(crate) stats: &'a mut StatsTable,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) pool: &'a FramePool,
+    /// node id → owning partition (empty in single-partition runs).
+    pub(crate) part_of: &'a [u32],
+    /// The partition executing this callback.
+    pub(crate) my_part: u32,
+    /// Per-target-partition outboxes for cross-partition deliveries.
+    pub(crate) outboxes: &'a mut Vec<Vec<RemoteEvent>>,
 }
 
 impl Context<'_> {
@@ -75,9 +81,15 @@ impl Context<'_> {
     /// the topology is static, so a bad port can never be data-dependent.
     pub fn send(&mut self, port: PortId, frame: Frame) {
         self.stats.node_sent(self.node, frame.len());
-        self.ports.transmit(
-            self.node, port, frame, self.now, self.queue, self.rng, self.stats, self.pool,
-        );
+        let mut net = NetCtx {
+            queue: &mut *self.queue,
+            stats: &mut *self.stats,
+            pool: self.pool,
+            part_of: self.part_of,
+            my_part: self.my_part,
+            outboxes: &mut *self.outboxes,
+        };
+        self.ports.transmit(self.node, port, frame, self.now, &mut net);
     }
 
     /// The simulation's [`FramePool`]: build outgoing frames from
@@ -92,6 +104,7 @@ impl Context<'_> {
     pub fn schedule(&mut self, delay: SimDuration, token: u64) {
         self.queue.push(
             self.now + delay,
+            self.node,
             EventKind::Timer { node: self.node, token },
         );
     }
@@ -101,8 +114,10 @@ impl Context<'_> {
         self.ports.port_count(self.node)
     }
 
-    /// The deterministic simulation RNG (shared; draws interleave with
-    /// other nodes', but the global sequence is seed-stable).
+    /// This node's private deterministic random stream, derived from the
+    /// simulation seed and the node id. Streams are per-node (never
+    /// shared) so one node's draws cannot shift another's — a requirement
+    /// for partitioned runs to match single-threaded ones bit-for-bit.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
     }

@@ -1,15 +1,377 @@
-//! The simulator: owns nodes, links, the event queue and the clock, and
-//! runs the event loop to completion.
+//! The simulator: owns nodes, links, event queues and the clock, and runs
+//! the event loop to completion — on one thread, or sharded across worker
+//! threads by a [`PartitionMap`].
+//!
+//! # Partitioned execution
+//!
+//! [`Simulator::with_partitions`] splits the topology into partitions
+//! (typically one per switch/rack — see
+//! [`TopologyPlan::partition_map`](crate::TopologyPlan::partition_map)).
+//! Each partition owns its own event heap, [`FramePool`], stats table and
+//! node set, and runs on its own worker thread during `run_until`.
+//!
+//! Synchronization is conservative lookahead (classic
+//! Chandy–Misra–Bryant-style windows): let `L` be the minimum propagation
+//! latency over links that cross a partition boundary. A frame transmitted
+//! by partition `q` at time `t` cannot arrive in another partition before
+//! `t + L`, so every partition may safely execute all events strictly below
+//! `T_min + L`, where `T_min` is the minimum next-event time over **all**
+//! partitions — including its own. (The bound must be global: a
+//! partition's own transmissions can return to it through a relay
+//! partition, so "min over the *others*" is unsound — an idle-looking
+//! relay would let its neighbours run arbitrarily far ahead of frames
+//! still to be forwarded.) Workers run barrier-to-barrier: ingest
+//! cross-partition deliveries, publish their next event time, agree on the
+//! window, process it, deposit outgoing deliveries, repeat.
+//!
+//! Only plain bytes cross threads: pooled `Rc` frames stay strictly
+//! partition-local, and a cross-partition delivery is serialized into a
+//! `RemoteEvent` and re-pooled on the receiving side. Determinism across
+//! partition counts rests on the explicit `(time, source, per-source seq)`
+//! event key (see the `event` module) and on per-direction fault streams
+//! (see the `link` module): partitioned runs are bit-identical to
+//! single-threaded ones, which `tests/partition_properties.rs` pins.
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue, RemoteEvent};
 use crate::frame::{Frame, FramePool};
-use crate::link::{LinkSpec, PortTable};
+use crate::link::{stream_seed, LinkSpec, PortTable};
 use crate::node::{Context, Node, NodeId, PortId};
-use crate::stats::{LinkStats, NodeStats, StatsTable};
+use crate::stats::{LinkStats, NodeStats, StatsSnapshot, StatsTable};
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Stream tag for per-node `Context::rng` streams (see
+/// [`stream_seed`]).
+const STREAM_NODE_RNG: u64 = 2;
+
+/// Assigns every node to a partition. Build one by hand with
+/// [`PartitionMap::new`], or derive one from a topology with
+/// [`TopologyPlan::partition_map`](crate::TopologyPlan::partition_map).
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    parts: u32,
+    assign: Vec<u32>,
+}
+
+impl PartitionMap {
+    /// Everything in one partition — the single-threaded simulator.
+    pub fn single() -> PartitionMap {
+        PartitionMap { parts: 1, assign: Vec::new() }
+    }
+
+    /// `assign[node] = partition`; nodes beyond the assignment default to
+    /// partition 0. Panics if an assignment references a partition ≥
+    /// `parts`.
+    pub fn new(parts: usize, assign: Vec<u32>) -> PartitionMap {
+        assert!(parts >= 1, "at least one partition required");
+        assert!(
+            assign.iter().all(|&p| (p as usize) < parts),
+            "assignment references a partition out of range"
+        );
+        PartitionMap { parts: parts as u32, assign }
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.parts as usize
+    }
+
+    /// The partition owning `node`.
+    pub fn part_of(&self, node: usize) -> u32 {
+        self.assign.get(node).copied().unwrap_or(0)
+    }
+}
+
+/// One shard of the simulation: the nodes it owns, their events, frames,
+/// counters and random streams. Everything `Rc`-backed stays inside.
+struct Partition {
+    /// Global-indexed; `Some` only for nodes this partition owns.
+    nodes: Vec<Option<Box<dyn Node>>>,
+    queue: EventQueue,
+    /// Full mirror of the wiring (identical indices/seeds in every
+    /// partition); only directions transmitted by owned nodes ever
+    /// advance their state.
+    ports: PortTable,
+    stats: StatsTable,
+    pool: FramePool,
+    /// Per-node deterministic streams (global-indexed; only owned nodes'
+    /// streams advance).
+    node_rngs: Vec<SmallRng>,
+    now: SimTime,
+    events_processed: u64,
+    /// Cross-partition deliveries staged per target partition, drained
+    /// into the shared mailboxes at each synchronization.
+    outboxes: Vec<Vec<RemoteEvent>>,
+}
+
+impl Partition {
+    fn dispatch<F>(&mut self, me: u32, part_of: &[u32], node_id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Context<'_>),
+    {
+        // Temporarily take the node out of its slot so it can borrow both
+        // itself and the world.
+        let mut node = match self.nodes.get_mut(node_id.0).and_then(Option::take) {
+            Some(n) => n,
+            None => return, // node removed or not owned here: drop the event
+        };
+        {
+            let mut ctx = Context {
+                node: node_id,
+                now: self.now,
+                queue: &mut self.queue,
+                ports: &mut self.ports,
+                stats: &mut self.stats,
+                rng: &mut self.node_rngs[node_id.0],
+                pool: &self.pool,
+                part_of,
+                my_part: me,
+                outboxes: &mut self.outboxes,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[node_id.0] = Some(node);
+    }
+
+    /// Fires `on_start` for every owned node, in node-id order.
+    fn start_nodes(&mut self, me: u32, part_of: &[u32]) {
+        for i in 0..self.nodes.len() {
+            self.dispatch(me, part_of, NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn handle(&mut self, me: u32, part_of: &[u32], ev: Event) {
+        match ev.kind {
+            EventKind::Deliver { node, port, frame } => {
+                self.stats.node_received(node, frame.len());
+                self.dispatch(me, part_of, node, |n, ctx| n.on_packet(ctx, port, frame));
+            }
+            EventKind::Timer { node, token } => {
+                self.dispatch(me, part_of, node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::TxDone { link, dir, bytes } => {
+                self.ports.tx_done(link, dir, bytes);
+            }
+        }
+    }
+
+    /// Processes every local event with `time < horizon` (exclusive).
+    /// Events sharing one instant are drained as a batch. The per-event
+    /// count check is a local backstop; the authoritative global
+    /// `max_events` check sums all partitions at each barrier.
+    fn process_window(&mut self, me: u32, part_of: &[u32], horizon: u64, max_events: u64) {
+        while let Some(t) = self.queue.peek_time() {
+            if t.0 >= horizon {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            while let Some(ev) = self.queue.pop_at(t) {
+                self.events_processed += 1;
+                assert!(
+                    self.events_processed <= max_events,
+                    "simulation exceeded {max_events} events — runaway?"
+                );
+                self.handle(me, part_of, ev);
+            }
+        }
+    }
+
+    /// Merges deliveries from other partitions into the local heap,
+    /// re-homing the bytes in this partition's pool. The carried
+    /// `(src, seq)` keys place each event exactly where a single-threaded
+    /// run would have.
+    fn ingest(&mut self, remotes: Vec<RemoteEvent>) {
+        for r in remotes {
+            // The lookahead window guarantees arrival ≥ t_min + L > now;
+            // a violation means the synchronization protocol is broken,
+            // and clamping it forward would silently corrupt timing.
+            assert!(
+                r.time >= self.now,
+                "cross-partition frame arrived in the receiver's past \
+                 ({:?} < {:?}) — lookahead window too wide",
+                r.time,
+                self.now
+            );
+            let frame = self.pool.copy_from_slice(&r.bytes);
+            self.queue.push_keyed(
+                r.time,
+                r.src,
+                r.seq,
+                EventKind::Deliver { node: r.node, port: r.port, frame },
+            );
+        }
+    }
+}
+
+/// A reusable barrier that can be poisoned: a panicking worker marks it,
+/// and every current and future waiter returns `false` instead of
+/// blocking forever on a thread that will never arrive.
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> PoisonBarrier {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(BarrierState { arrived: 0, generation: 0, poisoned: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `n` workers arrive; returns `false` if the
+    /// barrier was poisoned instead.
+    fn wait(&self) -> bool {
+        let mut g = self.state.lock().unwrap();
+        if g.poisoned {
+            return false;
+        }
+        let gen = g.generation;
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        while g.generation == gen && !g.poisoned {
+            g = self.cv.wait(g).unwrap();
+        }
+        if g.generation == gen {
+            g.arrived -= 1; // poisoned before release: withdraw arrival
+            return false;
+        }
+        true
+    }
+
+    fn poison(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Cross-thread synchronization state for one `run_until` call.
+struct SyncState {
+    barrier: PoisonBarrier,
+    /// Each partition's next pending event time (`u64::MAX` when idle),
+    /// republished at every barrier.
+    next_time: Vec<AtomicU64>,
+    /// Each partition's cumulative event count, for the global
+    /// `max_events` check.
+    processed: Vec<AtomicU64>,
+    /// Per-partition inbound mailboxes of cross-partition deliveries.
+    mailboxes: Vec<Mutex<Vec<RemoteEvent>>>,
+}
+
+impl SyncState {
+    fn new(k: usize) -> SyncState {
+        SyncState {
+            barrier: PoisonBarrier::new(k),
+            next_time: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            processed: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            mailboxes: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+/// Moves one partition's `&mut` into its worker thread. Safety: each
+/// pointer is handed to exactly one thread, the partitions are distinct
+/// elements of one `Vec`, and the main thread does not touch them while
+/// the scope runs — so the `Rc`-backed internals never cross threads.
+struct PartCell(*mut Partition);
+#[allow(unsafe_code)]
+unsafe impl Send for PartCell {}
+
+fn flush_outboxes(part: &mut Partition, sync: &SyncState) {
+    for (q, out) in part.outboxes.iter_mut().enumerate() {
+        if !out.is_empty() {
+            sync.mailboxes[q].lock().unwrap().append(out);
+        }
+    }
+}
+
+/// The per-partition worker loop: barrier-synchronized conservative
+/// lookahead windows (module docs). Every worker computes the identical
+/// exit/window decision from the identical published snapshot, so exits
+/// are unanimous and no worker is left at a barrier.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    part: &mut Partition,
+    me: usize,
+    sync: &SyncState,
+    part_of: &[u32],
+    deadline: SimTime,
+    lookahead_ns: u64,
+    max_events: u64,
+    do_start: bool,
+) {
+    if do_start {
+        part.start_nodes(me as u32, part_of);
+        flush_outboxes(part, sync);
+    }
+    loop {
+        // Barrier A: all deposits from the previous window are in the
+        // mailboxes; ingest ours and publish our horizon inputs.
+        if !sync.barrier.wait() {
+            return;
+        }
+        let incoming = std::mem::take(&mut *sync.mailboxes[me].lock().unwrap());
+        part.ingest(incoming);
+        let next = part.queue.peek_time().map_or(u64::MAX, |t| t.0);
+        sync.next_time[me].store(next, Ordering::SeqCst);
+        sync.processed[me].store(part.events_processed, Ordering::SeqCst);
+
+        // Barrier B: all inputs published; everyone computes the same
+        // global decision.
+        if !sync.barrier.wait() {
+            return;
+        }
+        let k = sync.next_time.len();
+        let mut t_min = u64::MAX;
+        let mut total: u64 = 0;
+        for q in 0..k {
+            let t = sync.next_time[q].load(Ordering::SeqCst);
+            total = total.saturating_add(sync.processed[q].load(Ordering::SeqCst));
+            t_min = t_min.min(t);
+        }
+        // The runaway valve sums events across partitions at the barrier
+        // — a per-partition check would let k partitions run to k times
+        // the budget.
+        assert!(
+            total <= max_events,
+            "simulation exceeded {max_events} events across {k} partitions — runaway?"
+        );
+        if t_min == u64::MAX || t_min > deadline.0 {
+            return; // drained, or nothing left inside the deadline
+        }
+        // Conservative window: every frame generated anywhere from here on
+        // is generated at ≥ t_min and arrives at ≥ t_min + L (L = minimum
+        // cross-partition latency). The bound must use the *global* min —
+        // not the min over other partitions — because our own sends can
+        // come back to us through a relay partition (A→B→A takes 2L, but
+        // B's forward is generated at ≥ t_min + L and could target any
+        // partition, including one whose own queue looked idle).
+        let horizon = t_min
+            .saturating_add(lookahead_ns)
+            .min(deadline.0.saturating_add(1));
+        part.process_window(me as u32, part_of, horizon, max_events);
+        flush_outboxes(part, sync);
+    }
+}
 
 /// A discrete-event network simulator.
 ///
@@ -40,122 +402,229 @@ use std::any::Any;
 /// assert_eq!(sim.node_ref::<Sink>(sink).unwrap().0, 2);
 /// assert_eq!(sim.node_stats(sink).frames_in, 2);
 /// ```
+///
+/// [`with_partitions`](Self::with_partitions) shards the same simulation
+/// across worker threads with bit-identical results (module docs).
 pub struct Simulator {
-    nodes: Vec<Option<Box<dyn Node>>>,
-    queue: EventQueue,
-    ports: PortTable,
-    stats: StatsTable,
-    rng: SmallRng,
-    pool: FramePool,
+    seed: u64,
+    map: PartitionMap,
+    parts: Vec<Partition>,
+    /// node id → owning partition, for every node added so far.
+    part_of: Vec<u32>,
     now: SimTime,
     started: bool,
-    events_processed: u64,
-    /// Safety valve against runaway simulations; `run` panics past this.
+    /// Safety valve against runaway simulations; `run` panics past this
+    /// (summed across partitions).
     pub max_events: u64,
 }
 
 impl Simulator {
-    /// Creates an empty simulator; all randomness derives from `seed`.
+    /// Creates an empty single-threaded simulator; all randomness derives
+    /// from `seed`.
     pub fn new(seed: u64) -> Simulator {
+        Simulator::with_partitions(seed, PartitionMap::single())
+    }
+
+    /// Creates an empty simulator sharded by `map`: each partition gets
+    /// its own event heap, frame pool, stats table and (during runs)
+    /// worker thread. Results are bit-identical to [`Simulator::new`] with
+    /// the same seed — partitioning is an execution strategy, not a model
+    /// change.
+    pub fn with_partitions(seed: u64, map: PartitionMap) -> Simulator {
+        let k = map.parts();
+        let parts = (0..k)
+            .map(|_| Partition {
+                nodes: Vec::new(),
+                queue: EventQueue::new(),
+                ports: PortTable::with_seed(seed),
+                stats: StatsTable::default(),
+                pool: FramePool::new(),
+                node_rngs: Vec::new(),
+                now: SimTime::ZERO,
+                events_processed: 0,
+                outboxes: (0..k).map(|_| Vec::new()).collect(),
+            })
+            .collect();
         Simulator {
-            nodes: Vec::new(),
-            queue: EventQueue::new(),
-            ports: PortTable::default(),
-            stats: StatsTable::default(),
-            rng: SmallRng::seed_from_u64(seed),
-            pool: FramePool::new(),
+            seed,
+            map,
+            parts,
+            part_of: Vec::new(),
             now: SimTime::ZERO,
             started: false,
-            events_processed: 0,
             max_events: 2_000_000_000,
         }
     }
 
+    /// Number of partitions (1 for [`Simulator::new`]).
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
     /// Registers a node, returning its id. Ids are dense and start at 0.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(Some(node));
+        let id = NodeId(self.part_of.len());
+        let owner = self.map.part_of(id.0);
+        let rng_seed = stream_seed(self.seed, [STREAM_NODE_RNG, id.0 as u64, 0, 0]);
+        for part in &mut self.parts {
+            part.nodes.push(None);
+            part.node_rngs.push(SmallRng::seed_from_u64(rng_seed));
+        }
+        self.parts[owner as usize].nodes[id.0] = Some(node);
+        self.part_of.push(owner);
         id
     }
 
     /// Connects two nodes with a link, assigning the next free port on
-    /// each side; returns `(port on a, port on b)`.
+    /// each side; returns `(port on a, port on b)`. Every partition
+    /// mirrors the wiring (identical link indices and fault streams);
+    /// only the partition owning a direction's transmitter ever uses it.
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "connect before add_node");
+        assert!(a.0 < self.part_of.len() && b.0 < self.part_of.len(), "connect before add_node");
         assert_ne!(a, b, "self-links are not supported");
-        self.ports.connect(a, b, spec)
+        let mut result = None;
+        for part in &mut self.parts {
+            let r = part.ports.connect(a, b, spec);
+            debug_assert!(result.is_none() || result == Some(r), "partition wiring diverged");
+            result = Some(r);
+        }
+        result.expect("at least one partition")
     }
 
     /// The peer `(node, port)` across the link attached at `(node, port)`.
     pub fn peer(&self, node: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
-        self.ports.peer(node, port)
+        self.parts[0].ports.peer(node, port)
     }
 
-    /// Current simulated time.
+    /// Current simulated time (the furthest any partition has reached;
+    /// all partitions agree at run boundaries).
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// The simulation's frame pool. Clone the handle to build pooled
-    /// frames outside node callbacks (e.g. preloading sender queues).
+    /// The frame pool of partition 0. Single-partition callers (the
+    /// common case) use this to build pooled frames outside node
+    /// callbacks; partitioned harnesses must use
+    /// [`pool_for`](Self::pool_for) so preloaded frames live in the pool
+    /// of the partition that will transmit them.
     pub fn pool(&self) -> &FramePool {
-        &self.pool
+        &self.parts[0].pool
+    }
+
+    /// The frame pool of the partition owning `node` — frames preloaded
+    /// into a node from outside callbacks must come from here, because
+    /// pooled buffers are `Rc`-backed and strictly partition-local.
+    pub fn pool_for(&self, node: NodeId) -> &FramePool {
+        let owner = self.part_of.get(node.0).copied().unwrap_or(0);
+        &self.parts[owner as usize].pool
+    }
+
+    /// The frame pool of partition `part`.
+    pub fn partition_pool(&self, part: u32) -> &FramePool {
+        &self.parts[part as usize].pool
     }
 
     /// Replaces the frame pool — pass [`FramePool::disabled`] to force
     /// every frame onto the global allocator (used by the determinism
-    /// cross-check tests).
+    /// cross-check tests). Single-partition simulators only; partitioned
+    /// ones must use [`set_frame_pool_for`](Self::set_frame_pool_for) per
+    /// partition (one pool must never be shared across worker threads).
     pub fn set_frame_pool(&mut self, pool: FramePool) {
-        self.pool = pool;
+        assert_eq!(self.parts.len(), 1, "use set_frame_pool_for on a partitioned simulator");
+        self.parts[0].pool = pool;
     }
 
-    /// Number of events processed so far.
+    /// Replaces the frame pool of one partition.
+    pub fn set_frame_pool_for(&mut self, part: usize, pool: FramePool) {
+        self.parts[part].pool = pool;
+    }
+
+    /// Number of events processed so far, summed over partitions.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.parts.iter().map(|p| p.events_processed).sum()
     }
 
     /// Counters for `node`.
     pub fn node_stats(&self, node: NodeId) -> NodeStats {
-        self.stats.node(node)
+        let mut total = NodeStats::default();
+        for p in &self.parts {
+            let s = p.stats.node(node);
+            total.frames_in += s.frames_in;
+            total.bytes_in += s.bytes_in;
+            total.frames_out += s.frames_out;
+            total.bytes_out += s.bytes_out;
+        }
+        total
     }
 
     /// Counters for link `idx` (links are numbered in connect order).
     pub fn link_stats(&self, idx: usize) -> LinkStats {
-        self.stats.link(idx)
+        let mut total = LinkStats::default();
+        for p in &self.parts {
+            let s = p.stats.link(idx);
+            for d in 0..2 {
+                let a = &mut total.dirs[d];
+                let b = &s.dirs[d];
+                a.tx_frames += b.tx_frames;
+                a.tx_bytes += b.tx_bytes;
+                a.drops_overflow += b.drops_overflow;
+                a.drops_fault += b.drops_fault;
+                a.corrupted += b.corrupted;
+                a.duplicated += b.duplicated;
+                a.reordered += b.reordered;
+            }
+        }
+        total
     }
 
     /// Installs a deterministic per-frame fault script on one direction of
     /// link `idx` (`dir` 0 = the a→b direction of [`Simulator::connect`]).
     /// Each admitted frame consumes one decision; after the script runs
     /// out, the link reverts to its probabilistic
-    /// [`FaultProfile`](crate::FaultProfile).
+    /// [`FaultProfile`](crate::FaultProfile). The script lands in the
+    /// partition owning the transmitting endpoint — the only place it can
+    /// be consumed.
     pub fn script_link(&mut self, idx: usize, dir: usize, script: crate::LinkScript) {
-        assert!(idx < self.ports.link_count(), "script_link on unknown link {idx}");
+        assert!(idx < self.link_count(), "script_link on unknown link {idx}");
         assert!(dir < 2, "link direction must be 0 or 1");
-        self.ports.set_script(idx, dir, script);
+        let tx = self.parts[0].ports.transmitter(idx, dir);
+        let owner = self.part_of[tx.0] as usize;
+        self.parts[owner].ports.set_script(idx, dir, script);
     }
 
     /// Number of links created.
     pub fn link_count(&self) -> usize {
-        self.ports.link_count()
+        self.parts[0].ports.link_count()
     }
 
     /// Borrows a node downcast to its concrete type.
     pub fn node_ref<T: Any>(&self, id: NodeId) -> Option<&T> {
-        let node = self.nodes.get(id.0)?.as_deref()?;
+        let owner = *self.part_of.get(id.0)? as usize;
+        let node = self.parts[owner].nodes.get(id.0)?.as_deref()?;
         (node as &dyn Any).downcast_ref::<T>()
     }
 
     /// Mutably borrows a node downcast to its concrete type.
     pub fn node_mut<T: Any>(&mut self, id: NodeId) -> Option<&mut T> {
-        let node = self.nodes.get_mut(id.0)?.as_deref_mut()?;
+        let owner = *self.part_of.get(id.0)? as usize;
+        let node = self.parts[owner].nodes.get_mut(id.0)?.as_deref_mut()?;
         (node as &mut dyn Any).downcast_mut::<T>()
     }
 
     /// Injects a frame delivery from outside the topology (useful in unit
-    /// tests that exercise a single node without links).
+    /// tests that exercise a single node without links). The event is
+    /// attributed to the receiving node's own source counter, so the
+    /// resulting ordering key is the same under any partitioning.
     pub fn inject(&mut self, at: SimTime, node: NodeId, port: PortId, frame: Frame) {
-        self.queue.push(at, EventKind::Deliver { node, port, frame });
+        let owner = self.part_of.get(node.0).copied().unwrap_or(0) as usize;
+        let frame = if self.parts.len() > 1 {
+            // Rc-backed frames are partition-local; re-home the bytes in
+            // the owning partition's pool.
+            self.parts[owner].pool.copy_from_slice(&frame)
+        } else {
+            frame
+        };
+        self.parts[owner].queue.push(at, node, EventKind::Deliver { node, port, frame });
     }
 
     /// Arms a timer on `node` from outside the topology — the external
@@ -166,50 +635,27 @@ impl Simulator {
     /// `at` must not lie in the simulator's past.
     pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
         assert!(at >= self.now, "timer scheduled in the past");
-        self.queue.push(at, EventKind::Timer { node, token });
+        let owner = self.part_of.get(node.0).copied().unwrap_or(0) as usize;
+        self.parts[owner].queue.push(at, node, EventKind::Timer { node, token });
     }
 
-    /// A copy of every per-node and per-link counter at this instant —
-    /// subtract two with [`crate::stats::StatsSnapshot::delta`] to read
-    /// one round's traffic out of a long-running simulation (counters
-    /// themselves are cumulative for the simulator's whole life).
-    pub fn snapshot(&self) -> crate::stats::StatsSnapshot {
-        self.stats.snapshot(self.nodes.len(), self.ports.link_count())
-    }
-
-    fn dispatch<F>(&mut self, node_id: NodeId, f: F)
-    where
-        F: FnOnce(&mut dyn Node, &mut Context<'_>),
-    {
-        // Temporarily take the node out of its slot so it can borrow both
-        // itself and the world.
-        let mut node = match self.nodes.get_mut(node_id.0).and_then(Option::take) {
-            Some(n) => n,
-            None => return, // node removed or unknown: drop the event
+    /// A copy of every per-node and per-link counter at this instant,
+    /// merged across partitions (whose tables are disjoint — each counter
+    /// is only ever written by its owner, so the merge is an element-wise
+    /// sum and equals the single-threaded table exactly). Subtract two
+    /// with [`crate::stats::StatsSnapshot::delta`] to read one round's
+    /// traffic out of a long-running simulation; the snapshot remembers
+    /// its partition count and `delta` refuses to mix different ones.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot {
+            nodes: vec![NodeStats::default(); self.part_of.len()],
+            links: vec![LinkStats::default(); self.link_count()],
+            partitions: self.parts.len(),
         };
-        {
-            let mut ctx = Context {
-                node: node_id,
-                now: self.now,
-                queue: &mut self.queue,
-                ports: &mut self.ports,
-                stats: &mut self.stats,
-                rng: &mut self.rng,
-                pool: &self.pool,
-            };
-            f(node.as_mut(), &mut ctx);
+        for p in &self.parts {
+            p.stats.accumulate_into(&mut snap);
         }
-        self.nodes[node_id.0] = Some(node);
-    }
-
-    fn start_nodes(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for i in 0..self.nodes.len() {
-            self.dispatch(NodeId(i), |node, ctx| node.on_start(ctx));
-        }
+        snap
     }
 
     /// Runs until the event queue drains; returns the final time.
@@ -217,41 +663,96 @@ impl Simulator {
         self.run_until(SimTime(u64::MAX))
     }
 
-    /// Runs until the queue drains or the next event lies beyond
+    /// Runs until every queue drains or the next event lies beyond
     /// `deadline`; returns the time reached.
-    ///
-    /// Events sharing one instant are drained as a batch: the deadline is
-    /// checked once per instant, and zero-delay events scheduled while the
-    /// batch runs join it through the queue's same-tick fast path.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        self.start_nodes();
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            while let Some(ev) = self.queue.pop_at(t) {
-                self.events_processed += 1;
+        if self.parts.len() == 1 {
+            self.run_until_single(deadline)
+        } else {
+            self.run_until_parallel(deadline)
+        }
+    }
+
+    /// The single-partition fast path: the classic in-thread event loop,
+    /// no barriers, no byte copies.
+    fn run_until_single(&mut self, deadline: SimTime) -> SimTime {
+        let part = &mut self.parts[0];
+        let part_of = self.part_of.as_slice();
+        if !self.started {
+            self.started = true;
+            part.start_nodes(0, part_of);
+        }
+        let max_events = self.max_events;
+        part.process_window(0, part_of, deadline.0.saturating_add(1), max_events);
+        self.now = self.now.max(part.now);
+        self.now
+    }
+
+    /// The parallel path: one worker thread per partition, synchronized
+    /// with conservative-lookahead windows (module docs).
+    fn run_until_parallel(&mut self, deadline: SimTime) -> SimTime {
+        let lookahead_ns = match self.parts[0].ports.min_cross_latency(&self.part_of) {
+            Some(d) => {
                 assert!(
-                    self.events_processed <= self.max_events,
-                    "simulation exceeded {} events — runaway?",
-                    self.max_events
+                    d.as_nanos() > 0,
+                    "cross-partition links must have positive latency (zero lookahead cannot make progress)"
                 );
-                match ev.kind {
-                    EventKind::Deliver { node, port, frame } => {
-                        self.stats.node_received(node, frame.len());
-                        self.dispatch(node, |n, ctx| n.on_packet(ctx, port, frame));
-                    }
-                    EventKind::Timer { node, token } => {
-                        self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
-                    }
-                    EventKind::TxDone { link, dir, bytes } => {
-                        self.ports.tx_done(link, dir, bytes);
-                    }
+                d.as_nanos()
+            }
+            // No link crosses a partition: every partition is independent
+            // and may run straight to the deadline.
+            None => u64::MAX,
+        };
+        let do_start = !self.started;
+        self.started = true;
+        let max_events = self.max_events;
+        let sync = SyncState::new(self.parts.len());
+        let part_of = self.part_of.as_slice();
+        let parts = &mut self.parts;
+        let panic_payload = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .iter_mut()
+                .enumerate()
+                .map(|(me, part)| {
+                    let cell = PartCell(part);
+                    let sync = &sync;
+                    s.spawn(move || {
+                        // Capture the whole `PartCell` (not just its field)
+                        // so the closure is `Send`.
+                        let cell = cell;
+                        #[allow(unsafe_code)]
+                        // Safety: see `PartCell` — exclusive handoff of one
+                        // partition to exactly one thread for the scope.
+                        let part = unsafe { &mut *cell.0 };
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_worker(
+                                part, me, sync, part_of, deadline, lookahead_ns, max_events,
+                                do_start,
+                            );
+                        }));
+                        if let Err(payload) = result {
+                            // Unblock peers before propagating, or they
+                            // wait forever for our barrier arrival.
+                            sync.barrier.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    })
+                })
+                .collect();
+            let mut first_panic = None;
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    first_panic.get_or_insert(payload);
                 }
             }
+            first_panic
+        });
+        if let Some(payload) = panic_payload {
+            // Re-raise with the original payload so `should_panic`
+            // expectations and error messages survive partitioning.
+            std::panic::resume_unwind(payload);
         }
+        self.now = self.parts.iter().map(|p| p.now).max().unwrap_or(self.now).max(self.now);
         self.now
     }
 }
@@ -266,6 +767,12 @@ mod tests {
         count: usize,
         sent: usize,
         frame_len: usize,
+    }
+
+    impl Blaster {
+        fn new(count: usize, frame_len: usize) -> Blaster {
+            Blaster { count, sent: 0, frame_len }
+        }
     }
 
     impl Node for Blaster {
@@ -285,7 +792,7 @@ mod tests {
         }
     }
 
-    /// Records arrival times.
+    /// Records arrival times and first payload bytes.
     #[derive(Default)]
     struct Sink {
         arrivals: Vec<SimTime>,
@@ -300,7 +807,7 @@ mod tests {
     #[test]
     fn frames_flow_end_to_end() {
         let mut sim = Simulator::new(42);
-        let src = sim.add_node(Box::new(Blaster { count: 5, sent: 0, frame_len: 500 }));
+        let src = sim.add_node(Box::new(Blaster::new(5, 500)));
         let dst = sim.add_node(Box::new(Sink::default()));
         sim.connect(src, dst, LinkSpec::fast());
         sim.run();
@@ -317,7 +824,7 @@ mod tests {
     fn identical_seeds_reproduce_runs() {
         let run = |seed| {
             let mut sim = Simulator::new(seed);
-            let src = sim.add_node(Box::new(Blaster { count: 50, sent: 0, frame_len: 700 }));
+            let src = sim.add_node(Box::new(Blaster::new(50, 700)));
             let dst = sim.add_node(Box::new(Sink::default()));
             sim.connect(
                 src,
@@ -334,7 +841,7 @@ mod tests {
     #[test]
     fn run_until_stops_at_deadline() {
         let mut sim = Simulator::new(0);
-        let src = sim.add_node(Box::new(Blaster { count: 100, sent: 0, frame_len: 100 }));
+        let src = sim.add_node(Box::new(Blaster::new(100, 100)));
         let dst = sim.add_node(Box::new(Sink::default()));
         sim.connect(src, dst, LinkSpec::fast());
         let reached = sim.run_until(SimTime(10_000)); // 10 us
@@ -368,5 +875,106 @@ mod tests {
         let mut sim = Simulator::new(0);
         let n = sim.add_node(Box::new(Sink::default()));
         sim.connect(n, n, LinkSpec::fast());
+    }
+
+    /// The tie-break regression at the simulator level: two nodes whose
+    /// timers are armed at the same instant in *different call orders*
+    /// fire in node-id order either way, so their same-tick transmissions
+    /// toward a shared sink arrive identically. (Insertion-order
+    /// tie-breaking made the firing order follow the `schedule_timer`
+    /// call order instead.)
+    #[test]
+    fn same_tick_firing_order_ignores_scheduling_order() {
+        /// Sends one tagged frame when its timer fires.
+        struct Tagged(u8);
+        impl Node for Tagged {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+                ctx.send(PortId(0), Frame::from(vec![self.0; 64]));
+            }
+        }
+        /// Records the first byte of each arrival.
+        #[derive(Default)]
+        struct TagSink(Vec<u8>);
+        impl Node for TagSink {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+                self.0.push(frame[0]);
+            }
+        }
+        let run = |swap: bool| {
+            let mut sim = Simulator::new(3);
+            let a = sim.add_node(Box::new(Tagged(b'a')));
+            let b = sim.add_node(Box::new(Tagged(b'b')));
+            let sink = sim.add_node(Box::new(TagSink::default()));
+            sim.connect(a, sink, LinkSpec::fast());
+            sim.connect(b, sink, LinkSpec::fast());
+            let t = SimTime(1_000);
+            if swap {
+                sim.schedule_timer(t, b, 0);
+                sim.schedule_timer(t, a, 0);
+            } else {
+                sim.schedule_timer(t, a, 0);
+                sim.schedule_timer(t, b, 0);
+            }
+            sim.run();
+            sim.node_ref::<TagSink>(sink).unwrap().0.clone()
+        };
+        let forward = run(false);
+        let swapped = run(true);
+        assert_eq!(forward, vec![b'a', b'b']);
+        assert_eq!(forward, swapped, "delivery order depended on scheduling order");
+    }
+
+    /// Two flows with lossy links, run single-threaded and split across
+    /// two partitions (both links crossing the boundary): arrivals,
+    /// counters and event totals must be bit-identical.
+    #[test]
+    fn partitioned_run_is_bit_identical_to_single() {
+        let run = |parts: usize, assign: Vec<u32>| {
+            let mut sim = Simulator::with_partitions(9, PartitionMap::new(parts, assign));
+            let lossy = LinkSpec::fast().with_faults(crate::FaultProfile::loss(0.2));
+            let src0 = sim.add_node(Box::new(Blaster::new(30, 400)));
+            let dst0 = sim.add_node(Box::new(Sink::default()));
+            let src1 = sim.add_node(Box::new(Blaster::new(20, 200)));
+            let dst1 = sim.add_node(Box::new(Sink::default()));
+            sim.connect(src0, dst0, lossy);
+            sim.connect(src1, dst1, lossy);
+            sim.run();
+            let snap = sim.snapshot();
+            (
+                sim.node_ref::<Sink>(dst0).unwrap().arrivals.clone(),
+                sim.node_ref::<Sink>(dst1).unwrap().arrivals.clone(),
+                snap.nodes,
+                snap.links,
+                sim.events_processed(),
+                sim.now(),
+            )
+        };
+        let single = run(1, vec![0, 0, 0, 0]);
+        // Both links cross the boundary: src0→dst0 spans 0→1, src1→dst1
+        // spans 1→0.
+        let dual = run(2, vec![0, 1, 1, 0]);
+        assert!(!single.0.is_empty() && single.0.len() < 30, "loss should be partial");
+        assert_eq!(single, dual);
+    }
+
+    /// The runaway valve fires on the *global* event count: two
+    /// partitions may each stay under the budget while their sum exceeds
+    /// it.
+    #[test]
+    #[should_panic(expected = "events across 2 partitions")]
+    fn max_events_sums_across_partitions() {
+        let mut sim = Simulator::with_partitions(1, PartitionMap::new(2, vec![0, 0, 1, 1]));
+        let src0 = sim.add_node(Box::new(Blaster::new(60, 64)));
+        let dst0 = sim.add_node(Box::new(Sink::default()));
+        let src1 = sim.add_node(Box::new(Blaster::new(60, 64)));
+        let dst1 = sim.add_node(Box::new(Sink::default()));
+        sim.connect(src0, dst0, LinkSpec::fast());
+        sim.connect(src1, dst1, LinkSpec::fast());
+        // Each flow costs ~121 events — under the budget per partition,
+        // so only the summed check at the barrier can catch the total
+        // (~242) blowing through it.
+        sim.max_events = 150;
+        sim.run();
     }
 }

@@ -1,0 +1,253 @@
+//! Partitioned execution is an execution strategy, not a model change:
+//! sharding the simulator across 2 or 4 worker threads must leave every
+//! workload's results **bit-identical** to the single-threaded run —
+//! loss-free and under every-link chaos at k = 1. These are the proof
+//! obligations for the partitioned engine (see `ARCHITECTURE.md`,
+//! "Partitioned execution"); `tests/pool_properties.rs` plays the same
+//! role for the frame pool.
+
+use daiet_repro::mapreduce::runner::{Runner, ShuffleMode};
+use daiet_repro::mapreduce::wordcount::{Corpus, CorpusSpec};
+use daiet_repro::mlsim::NetTrainSpec;
+use daiet_repro::netsim::FaultProfile;
+use daiet_repro::querysim::{Aggregate, Query, QueryMode, QueryOutcome, QueryRunner, Table, TableSpec};
+
+/// The partition counts every workload is checked at (1 = the
+/// single-threaded reference).
+const PARTITION_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn small_corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec {
+        n_mappers: 6,
+        n_reducers: 3,
+        register_cells: 256,
+        ..CorpusSpec::paper_scaled(3 * 64, 7)
+    })
+}
+
+fn fig3_runner(corpus: Corpus, partitions: usize) -> Runner {
+    let mut runner = Runner::new(corpus);
+    runner.daiet_config.register_cells = 256;
+    runner.partitions = partitions;
+    runner
+}
+
+/// The fig3 WordCount shuffle, all three modes, loss-free: identical
+/// outcomes at 1, 2 and 4 partitions.
+#[test]
+fn fig3_wordcount_is_partition_invariant() {
+    let corpus = small_corpus();
+    for mode in [ShuffleMode::TcpBaseline, ShuffleMode::UdpNoAgg, ShuffleMode::DaietAgg] {
+        let reference = fig3_runner(corpus.clone(), 1).run(mode);
+        assert!(reference.all_correct(), "{mode:?} reference run incorrect");
+        for parts in [2, 4] {
+            let sharded = fig3_runner(corpus.clone(), parts).run(mode);
+            assert_eq!(
+                reference.finished_at, sharded.finished_at,
+                "{mode:?} timing diverged at {parts} partitions"
+            );
+            assert_eq!(reference.frames_dropped, sharded.frames_dropped);
+            assert_eq!(
+                format!("{:?}", reference.reducers),
+                format!("{:?}", sharded.reducers),
+                "{mode:?} reducer metrics diverged at {parts} partitions"
+            );
+        }
+    }
+}
+
+/// Fig3 with the full reliability story — chaos (loss + corruption +
+/// duplication) on **every** link at k = 1, NACK recovery carrying the
+/// run: fault draws, retransmissions and recovery timing must all land
+/// identically under any partitioning.
+#[test]
+fn fig3_recovery_under_chaos_is_partition_invariant() {
+    let chaos = FaultProfile::chaos(0.06, 0.06, 0.06, 20_000);
+    let run = |parts: usize| {
+        let mut runner = fig3_runner(small_corpus(), parts).with_recovery(chaos);
+        runner.partitions = parts; // with_recovery consumed the runner
+        runner.run(ShuffleMode::DaietAgg)
+    };
+    let reference = run(1);
+    assert!(reference.all_correct(), "recovery must carry the chaos run");
+    assert!(reference.frames_dropped > 0, "chaos should actually bite");
+    for parts in [2, 4] {
+        let sharded = run(parts);
+        assert_eq!(reference.finished_at, sharded.finished_at, "{parts} partitions");
+        assert_eq!(reference.frames_dropped, sharded.frames_dropped);
+        assert_eq!(
+            format!("{:?}", reference.reducers),
+            format!("{:?}", sharded.reducers)
+        );
+    }
+}
+
+fn group_by_query() -> Query {
+    Query::new(vec![
+        Aggregate::Count,
+        Aggregate::Sum(0),
+        Aggregate::Min(1),
+        Aggregate::Max(1),
+        Aggregate::Avg(2),
+    ])
+}
+
+fn assert_outcomes_identical(a: &QueryOutcome, b: &QueryOutcome, what: &str) {
+    assert_eq!(a.result, b.result, "{what}: GROUP BY result diverged");
+    assert_eq!(a.complete, b.complete, "{what}");
+    assert_eq!(a.coord_app_bytes, b.coord_app_bytes, "{what}");
+    assert_eq!(a.coord_nic, b.coord_nic, "{what}: coordinator NIC counters diverged");
+    assert_eq!(a.records_received, b.records_received, "{what}");
+    assert_eq!(a.frames_dropped, b.frames_dropped, "{what}");
+    assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed, "{what}");
+    assert_eq!(a.completed_at, b.completed_at, "{what}");
+    assert_eq!(a.finished_at, b.finished_at, "{what}");
+}
+
+/// The SQL-style GROUP BY workload, all three modes, loss-free.
+#[test]
+fn group_by_query_is_partition_invariant() {
+    let table = Table::generate(&TableSpec::tiny(7));
+    let truth = group_by_query().reference(&table);
+    for mode in [QueryMode::TcpBaseline, QueryMode::UdpNoAgg, QueryMode::DaietAgg] {
+        let mut outcomes = PARTITION_COUNTS.iter().map(|&parts| {
+            let mut runner = QueryRunner::new(table.clone(), group_by_query());
+            runner.partitions = parts;
+            runner.run(mode)
+        });
+        let reference = outcomes.next().unwrap();
+        assert!(reference.complete, "{mode:?} did not complete");
+        assert_eq!(reference.result, truth, "{mode:?} diverged from the reference");
+        for (i, sharded) in outcomes.enumerate() {
+            let what = format!("{mode:?} at {} partitions", PARTITION_COUNTS[i + 1]);
+            assert_outcomes_identical(&reference, &sharded, &what);
+        }
+    }
+}
+
+/// GROUP BY under the full reliability story: chaos on every link at
+/// k = 1, dedup + NACK recovery end to end.
+#[test]
+fn group_by_under_chaos_is_partition_invariant() {
+    let chaos = FaultProfile::chaos(0.05, 0.05, 0.05, 20_000);
+    let truth = group_by_query().reference(&Table::generate(&TableSpec::tiny(29)));
+    let run = |parts: usize| {
+        let table = Table::generate(&TableSpec::tiny(29));
+        let mut runner =
+            QueryRunner::new(table, group_by_query()).with_full_reliability(chaos);
+        runner.partitions = parts;
+        runner.run(QueryMode::DaietAgg)
+    };
+    let reference = run(1);
+    assert!(reference.complete, "recovery must carry the chaos query");
+    assert_eq!(reference.result, truth);
+    assert!(reference.frames_dropped > 0, "chaos should actually bite");
+    for parts in [2, 4] {
+        assert_outcomes_identical(&reference, &run(parts), &format!("{parts} partitions"));
+    }
+}
+
+/// The 10-step iterative SGD training run (gradient aggregation over the
+/// leaf-spine dataplane, one DAIET round per step): the per-step model
+/// digest trace — the most compressed possible witness of every
+/// aggregated sum — must be identical at any partition count, loss-free
+/// and under every-link chaos at k = 1.
+#[test]
+fn sgd_training_is_partition_invariant() {
+    for faults in [FaultProfile::NONE, FaultProfile::chaos(0.05, 0.05, 0.05, 20_000)] {
+        let run = |parts: usize| {
+            let spec = NetTrainSpec { faults, partitions: parts, ..NetTrainSpec::default() };
+            spec.run_packet().expect("recovery must complete every round")
+        };
+        let reference = run(1);
+        assert_eq!(reference.digests.len(), 10);
+        for parts in [2, 4] {
+            let sharded = run(parts);
+            assert_eq!(
+                reference.digests, sharded.digests,
+                "per-step model divergence at {parts} partitions"
+            );
+            assert_eq!(reference.accuracy, sharded.accuracy);
+            assert_eq!(reference.fault_drops, sharded.fault_drops);
+            assert_eq!(reference.nacks_emitted, sharded.nacks_emitted);
+            assert_eq!(
+                reference.server_frames_per_round,
+                sharded.server_frames_per_round
+            );
+        }
+    }
+}
+
+/// Satellite of the partitioned engine: partition stats tables are
+/// disjoint, and their merged snapshot must equal the single-threaded
+/// table **field for field** — checked here through a full workload run
+/// via every per-node and per-link counter the runner can observe.
+#[test]
+fn merged_partition_snapshots_match_single_threaded_counters() {
+    use daiet_repro::netsim::{PartitionMap, SimTime, Simulator};
+
+    let build = |parts: usize| {
+        let corpus = small_corpus();
+        let runner = fig3_runner(corpus, parts);
+        let plan = runner.star_plan();
+        (runner, plan)
+    };
+    // Drive the same DaietAgg run at 1 and 2 partitions and compare raw
+    // snapshots (the runner's outcome only summarizes them).
+    let snapshots: Vec<_> = [1usize, 2]
+        .into_iter()
+        .map(|parts| {
+            let (runner, _plan) = build(parts);
+            let out = runner.run(ShuffleMode::DaietAgg);
+            assert!(out.all_correct());
+            out
+        })
+        .collect();
+    assert_eq!(
+        format!("{:?}", snapshots[0].reducers),
+        format!("{:?}", snapshots[1].reducers)
+    );
+
+    // And at the simulator level, where the snapshot itself is reachable:
+    // node and link tables must match element-wise (`partitions` is the
+    // only field allowed to differ).
+    let sim_snapshot = |parts: usize| {
+        let mut sim = if parts == 1 {
+            Simulator::new(5)
+        } else {
+            Simulator::with_partitions(5, PartitionMap::new(parts, vec![0, 1]))
+        };
+        let a = sim.add_node(Box::new(Echo));
+        let b = sim.add_node(Box::new(Echo));
+        sim.connect(a, b, daiet_repro::netsim::LinkSpec::fast());
+        sim.inject(
+            SimTime(10),
+            a,
+            daiet_repro::netsim::PortId(0),
+            daiet_repro::netsim::Frame::from_slice(&[0u8; 64]),
+        );
+        sim.run_until(SimTime(100_000));
+        sim.snapshot()
+    };
+    struct Echo;
+    impl daiet_repro::netsim::Node for Echo {
+        fn on_packet(
+            &mut self,
+            ctx: &mut daiet_repro::netsim::Context<'_>,
+            port: daiet_repro::netsim::PortId,
+            frame: daiet_repro::netsim::Frame,
+        ) {
+            // Bounce a bounded number of times so the run terminates.
+            if ctx.now() < SimTime(50_000) {
+                ctx.send(port, frame);
+            }
+        }
+    }
+    let single = sim_snapshot(1);
+    let merged = sim_snapshot(2);
+    assert_eq!(single.partitions, 1);
+    assert_eq!(merged.partitions, 2);
+    assert_eq!(single.nodes, merged.nodes, "merged node counters diverged");
+    assert_eq!(single.links, merged.links, "merged link counters diverged");
+    assert!(single.nodes.iter().any(|n| n.frames_in > 1), "echo traffic should flow");
+}
