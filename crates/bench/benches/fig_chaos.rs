@@ -1,0 +1,85 @@
+//! Completion time vs failure-injection rate: the chaos figure.
+//!
+//! Sweeps a symmetric fault profile (drop = duplicate = reorder = rate,
+//! on every link) over the fig3 WordCount shuffle and times the two
+//! transports that survive it — `tcp_baseline` (retransmission +
+//! congestion control) and `daiet_agg` (in-network aggregation with
+//! NACK recovery). Two readouts per point:
+//!
+//! * wall-clock per run (the criterion samples, recorded to
+//!   `BENCH_JSON_DIR` like every other figure), and
+//! * **simulated completion time** (`data_done_at`: last reducer's
+//!   complete input, not trailing retransmission-timer tails) — the
+//!   actual figure: how much longer the job takes as the network
+//!   degrades, printed as a table after the timed entries.
+//!
+//! Every run is checked for correctness: a transport that survives
+//! chaos by dropping data doesn't get to look fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daiet_mapreduce::runner::{Runner, ShuffleMode};
+use daiet_mapreduce::wordcount::{Corpus, CorpusSpec};
+use daiet_netsim::FaultProfile;
+use std::hint::black_box;
+
+/// The failure-injection sweep: loss-free through heavily degraded.
+const RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+
+fn profile(rate: f64) -> FaultProfile {
+    if rate == 0.0 {
+        FaultProfile::NONE
+    } else {
+        FaultProfile::chaos(rate, rate, rate, 20_000)
+    }
+}
+
+fn chaos_runner(rate: f64) -> Runner {
+    let spec = CorpusSpec { register_cells: 512, ..CorpusSpec::paper_scaled(12 * 256, 42) };
+    let corpus = Corpus::generate(&spec);
+    let mut runner = Runner::new(corpus);
+    runner.daiet_config.register_cells = 512;
+    // Recovery armed at every rate (including 0.0) so the sweep varies
+    // exactly one thing: the injected failure rate.
+    runner.with_recovery(profile(rate))
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    let modes = [("tcp_baseline", ShuffleMode::TcpBaseline), ("daiet_agg", ShuffleMode::DaietAgg)];
+
+    let mut group = c.benchmark_group("fig_chaos");
+    group.sample_size(10);
+    for rate in RATES {
+        for (name, mode) in modes {
+            let runner = chaos_runner(rate);
+            group.bench_function(format!("{name}/rate_{rate:.2}"), move |b| {
+                b.iter(|| black_box(runner.run(mode)))
+            });
+        }
+    }
+    group.finish();
+
+    // The figure itself: simulated completion time vs injection rate.
+    println!("fig_chaos: simulated completion time vs failure-injection rate");
+    println!("{:>6}  {:>16}  {:>16}  {:>8}", "rate", "tcp_baseline", "daiet_agg", "speedup");
+    for rate in RATES {
+        let runner = chaos_runner(rate);
+        let mut finished = Vec::new();
+        for (name, mode) in modes {
+            let out = runner.run(mode);
+            assert!(
+                out.all_correct(),
+                "{name} at rate {rate} survived by losing data — figure void"
+            );
+            finished.push(out.data_done_at.as_nanos() as f64 / 1e6);
+        }
+        println!(
+            "{rate:>6.2}  {:>13.3} ms  {:>13.3} ms  {:>7.2}x",
+            finished[0],
+            finished[1],
+            finished[0] / finished[1],
+        );
+    }
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

@@ -255,6 +255,21 @@ impl DaietEngine {
         self.trees.insert(cfg.tree_id, TreeState::new(cfg, cells, rtx));
     }
 
+    /// Uninstalls a tree: drops its registers, retransmit ring, and any
+    /// dedup/gap-tracker flows. Used when the controller re-plans a job
+    /// around a dead switch and this device is no longer on the tree's
+    /// path (stale state would otherwise consume SRAM and, with NACK
+    /// recovery, chase children that no longer send this way).
+    pub fn remove_tree(&mut self, tree_id: u16) {
+        if let Some(dedup) = self.dedup.as_mut() {
+            dedup.clear_tree(tree_id);
+        }
+        if let Some(nack) = self.nack.as_mut() {
+            nack.clear_tree(tree_id);
+        }
+        self.trees.remove(&tree_id);
+    }
+
     /// The NACK gap tracker, when recovery is enabled.
     pub fn nack_tracker(&self) -> Option<&NackTracker> {
         self.nack.as_ref()
@@ -673,6 +688,23 @@ impl SwitchExtern for DaietEngine {
             );
         });
         out
+    }
+
+    fn on_node_fail(&mut self) {
+        // Power cycle: every tree's registers, spillover, retransmit ring
+        // and the dedup/gap-tracker SRAM vanish. The engine comes back
+        // with *no* trees — frames for formerly-configured trees forward
+        // unaggregated via L2 until the controller reinstalls or re-plans
+        // (the silent-corruption vector the chaos tests pin). Host-side
+        // diagnostic counters survive; they are not switch SRAM.
+        self.trees.clear();
+        if self.dedup.is_some() {
+            self.dedup =
+                Some(crate::reliability::DedupWindow::with_capacity(self.config.dedup_flows));
+        }
+        if self.nack.is_some() {
+            self.nack = Some(NackTracker::with_capacity(self.config.dedup_flows));
+        }
     }
 
     fn name(&self) -> String {

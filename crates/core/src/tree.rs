@@ -69,7 +69,26 @@ impl AggregationTree {
         reducer: usize,
         mappers: &[usize],
     ) -> Result<AggregationTree, TreeError> {
-        let next = plan.next_hops_toward(reducer);
+        Self::build_avoiding(plan, tree_id, reducer, mappers, &[])
+    }
+
+    /// [`AggregationTree::build`], but routing around the `dead` nodes —
+    /// the controller's re-planning primitive after a switch failure. A
+    /// mapper whose every path to the reducer crosses a dead node is
+    /// [`TreeError::Unreachable`]; the caller decides whether that aborts
+    /// the job or evicts the mapper from the roster.
+    pub fn build_avoiding(
+        plan: &TopologyPlan,
+        tree_id: u16,
+        reducer: usize,
+        mappers: &[usize],
+        dead: &[usize],
+    ) -> Result<AggregationTree, TreeError> {
+        let next = if dead.is_empty() {
+            plan.next_hops_toward(reducer)
+        } else {
+            plan.next_hops_toward_avoiding(reducer, dead)
+        };
         let mut parent: BTreeMap<usize, Adjacency> = BTreeMap::new();
         let mut on_tree: BTreeSet<usize> = BTreeSet::new();
         on_tree.insert(reducer);
@@ -260,6 +279,34 @@ mod tests {
         plan.link(b, sw, LinkSpec::fast());
         let err = AggregationTree::build(&plan, 1, a, &[b, 2]).unwrap_err();
         assert_eq!(err, TreeError::Unreachable { mapper: 2 });
+    }
+
+    #[test]
+    fn avoiding_a_spine_reroutes_the_tree() {
+        // 2 leaves × 2 hosts, 2 spines: hosts 0-3, leaves 4-5, spines 6-7.
+        let plan = TopologyPlan::leaf_spine(2, 2, 2, LinkSpec::fast());
+        let base = AggregationTree::build(&plan, 1, 3, &[0, 1]).unwrap();
+        let spine: Vec<usize> = base.switches().filter(|&s| s >= 6).collect();
+        assert_eq!(spine.len(), 1, "one spine carries the cross-leaf branch");
+        let alt = AggregationTree::build_avoiding(&plan, 1, 3, &[0, 1], &spine).unwrap();
+        alt.validate().unwrap();
+        assert!(
+            !alt.switches().any(|s| s == spine[0]),
+            "the dead spine must not appear in the re-planned tree"
+        );
+        let other: Vec<usize> = alt.switches().filter(|&s| s >= 6).collect();
+        assert_eq!(other.len(), 1);
+        assert_ne!(other[0], spine[0]);
+        // Same leaves, same child structure — only the spine moved.
+        assert_eq!(alt.reducer_children, base.reducer_children);
+    }
+
+    #[test]
+    fn fully_partitioned_mapper_is_unreachable() {
+        // One spine only: killing it cuts every cross-leaf path.
+        let plan = TopologyPlan::leaf_spine(2, 2, 1, LinkSpec::fast());
+        let err = AggregationTree::build_avoiding(&plan, 1, 3, &[0], &[6]).unwrap_err();
+        assert_eq!(err, TreeError::Unreachable { mapper: 0 });
     }
 
     #[test]

@@ -245,6 +245,27 @@ pub struct PacedSenderNode {
     /// Per-tree replay retention (None when recovery is off — then
     /// incoming frames are ignored, as before).
     replay: Option<FnvHashMap<u16, ReplaySchedule>>,
+    /// Straggler throttle: the pacing gap is multiplied by this factor
+    /// (1 = full speed). Scripted by chaos harnesses to model a slow
+    /// worker without changing its transmit schedule.
+    slowdown: u32,
+    /// Congestion backoff multiplier on top of `slowdown`, driven by
+    /// NACKs when [`enable_nack_backoff`](Self::enable_nack_backoff) was
+    /// called; reset to 1 at each round barrier.
+    backoff: u32,
+    /// Whether receiving a NACK doubles `backoff` — the DAIET-side
+    /// response to queue-buildup loss (ECN-marked TCP has its own, see
+    /// `daiet-transport`). Off by default: the paper's sender is
+    /// open-loop. The closed-loop sender also *paces* its replays (they
+    /// join the transmit queue at the backed-off gap) instead of
+    /// bursting them — a burst into the very queue that just overflowed
+    /// only compounds the loss.
+    nack_backoff: bool,
+    /// Whether a pacing timer is currently in flight, so a paced replay
+    /// arriving after the queue ran dry can restart the chain exactly
+    /// once. Maintained here and by [`enqueue_round`](Self::enqueue_round)
+    /// (whose caller schedules the round's first tick).
+    timer_armed: bool,
     /// Frames re-sent in response to NACKs.
     pub frames_replayed: u64,
     /// NACK frames received and honored.
@@ -263,10 +284,48 @@ impl PacedSenderNode {
             gap,
             label,
             replay: None,
+            slowdown: 1,
+            backoff: 1,
+            nack_backoff: false,
+            timer_armed: false,
             frames_replayed: 0,
             nacks_received: 0,
             frames_retired: 0,
         }
+    }
+
+    /// The pacing gap with the straggler throttle and congestion backoff
+    /// applied.
+    fn effective_gap(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.gap
+                .as_nanos()
+                .saturating_mul(u64::from(self.slowdown.max(1)))
+                .saturating_mul(u64::from(self.backoff.max(1))),
+        )
+    }
+
+    /// Throttles (or restores) this sender: the pacing gap is multiplied
+    /// by `factor` from the next timer tick on. `1` restores full speed.
+    pub fn set_slowdown(&mut self, factor: u32) {
+        self.slowdown = factor.max(1);
+    }
+
+    /// The current straggler throttle factor.
+    pub fn slowdown(&self) -> u32 {
+        self.slowdown
+    }
+
+    /// Makes NACKs double the pacing gap (capped at 64×) until the next
+    /// round barrier — a minimal closed-loop response to queue-buildup
+    /// loss, off by default to keep the paper's open-loop sender.
+    pub fn enable_nack_backoff(&mut self) {
+        self.nack_backoff = true;
+    }
+
+    /// The current congestion backoff multiplier (1 = none).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
     }
 
     /// Arms NACK replay: `per_tree[tree][seq]` must be the frame the
@@ -297,6 +356,10 @@ impl PacedSenderNode {
         transmit: Vec<Frame>,
         replay_parts: Vec<(u16, u32, Vec<Frame>)>,
     ) {
+        // The caller restarts the pacing chain for this round (see
+        // `IterativeRunner::run_round`); record that so paced replays
+        // don't double-arm it.
+        self.timer_armed = true;
         self.frames.extend(transmit);
         if let Some(store) = self.replay.as_mut() {
             for (tree, base, frames) in replay_parts {
@@ -323,6 +386,9 @@ impl PacedSenderNode {
     pub fn retire_round(&mut self, cutoffs: &[(u16, u32)]) {
         self.frames.drain(..self.next);
         self.next = 0;
+        // The round completed: whatever congestion triggered the backoff
+        // has drained with it.
+        self.backoff = 1;
         if let Some(store) = self.replay.as_mut() {
             for &(tree, cutoff) in cutoffs {
                 if let Some(sched) = store.get_mut(&tree) {
@@ -333,6 +399,21 @@ impl PacedSenderNode {
                     }
                 }
             }
+        }
+    }
+
+    /// Epoch reset for a live re-plan: drops the transmit queue and every
+    /// tree's replay retention, so the next
+    /// [`enqueue_round`](Self::enqueue_round) starts a fresh sequence
+    /// space at 0 (matching the freshly reinstalled switch trees and
+    /// receiver rosters). Only sound at a round barrier, when nothing is
+    /// in flight.
+    pub fn reset_epoch(&mut self) {
+        self.frames.clear();
+        self.next = 0;
+        self.backoff = 1;
+        if let Some(store) = self.replay.as_mut() {
+            store.clear();
         }
     }
 
@@ -359,19 +440,41 @@ impl Node for PacedSenderNode {
         }
         let Some(schedule) = store.get(&hdr.tree_id) else { return };
         self.nacks_received += 1;
+        if self.nack_backoff {
+            // A NACK means the path lost something — most often queue
+            // overflow under this sender's own offered load. Double the
+            // pacing gap (multiplicatively, like any AIMD sender) so the
+            // replay burst below lands on a draining queue.
+            self.backoff = self.backoff.saturating_mul(2).min(64);
+        }
         let tail = hdr.flags.contains(PacketFlags::NACK_TAIL);
         let ranges: Vec<NackRange> =
             parsed.daiet_pairs().filter_map(|p| NackRange::from_pair(&p)).collect();
         // Retention is dense: frame `i` carries seq `base + i`. Replay in
         // original order; receiver dedup absorbs anything it already has.
-        // (A replay burst bypasses the pacing gap — recovery is latency-
-        // critical and the burst is at most one retained round.)
+        // The open-loop sender bursts replays past the pacing gap
+        // (recovery is latency-critical and the burst is at most one
+        // retained round); the closed-loop sender queues them behind the
+        // backed-off gap instead — the loss it is repairing is usually
+        // its own queue overflow, and a burst would recreate it.
+        let mut queued = Vec::new();
         for (i, f) in schedule.frames.iter().enumerate() {
             let seq = schedule.base.wrapping_add(i as u32);
             if ranges.iter().any(|r| r.contains(seq)) || (tail && seq_at_or_after(seq, hdr.seq))
             {
-                ctx.send(PortId(0), f.clone());
+                if self.nack_backoff {
+                    queued.push(f.clone());
+                } else {
+                    ctx.send(PortId(0), f.clone());
+                }
                 self.frames_replayed += 1;
+            }
+        }
+        if !queued.is_empty() {
+            self.frames.extend(queued);
+            if !self.timer_armed {
+                self.timer_armed = true;
+                ctx.schedule(self.effective_gap(), 0);
             }
         }
     }
@@ -380,7 +483,8 @@ impl Node for PacedSenderNode {
         // Iterative senders start with an empty queue; their harness arms
         // the pacing timer itself when it enqueues the first round.
         if !self.frames.is_empty() {
-            ctx.schedule(self.gap, 0);
+            self.timer_armed = true;
+            ctx.schedule(self.effective_gap(), 0);
         }
     }
 
@@ -388,7 +492,9 @@ impl Node for PacedSenderNode {
         if self.next < self.frames.len() {
             ctx.send(PortId(0), self.frames[self.next].clone());
             self.next += 1;
-            ctx.schedule(self.gap, 0);
+            ctx.schedule(self.effective_gap(), 0);
+        } else {
+            self.timer_armed = false;
         }
     }
 
@@ -508,6 +614,15 @@ impl Collector {
     /// True once all expected ENDs arrived.
     pub fn is_complete(&self) -> bool {
         self.ends_seen >= self.expected_ends
+    }
+
+    /// Redefines round completion over a new roster — what a live
+    /// re-plan (tree re-routed, workers joined or left) changes about the
+    /// reducer. Takes effect from the current round; only sound at a
+    /// round barrier, when `ends_seen` has been reset by
+    /// [`take_round`](Self::take_round).
+    pub fn set_expected_ends(&mut self, expected: u32) {
+        self.expected_ends = expected;
     }
 
     /// ENDs seen so far.
@@ -667,6 +782,31 @@ impl ReducerHost {
     ) -> ReducerHost {
         self.guard.arm_nack_recovery(self_id, config, sources);
         self
+    }
+
+    /// Re-rosters the reducer for a live re-plan: round completion is
+    /// redefined over `expected_ends` ENDs, and the reliability guard is
+    /// re-armed from scratch over `sources` — every flow is expected
+    /// anew from sequence 0, matching the epoch restart on the senders
+    /// and switches. Only sound at a round barrier (nothing in flight,
+    /// `take_round` already drained). Cumulative guard counters
+    /// (duplicates, NACKs emitted) restart with the new guard.
+    pub fn reroster(
+        &mut self,
+        self_id: u32,
+        config: &DaietConfig,
+        sources: impl IntoIterator<Item = (u16, u32)>,
+        expected_ends: u32,
+    ) {
+        self.collector.set_expected_ends(expected_ends);
+        self.completed_at = None;
+        if config.nack_recovery {
+            self.guard.arm_nack_recovery(self_id, config, sources);
+        } else if config.reliability {
+            // Fresh window: the new epoch's sequence spaces restart at 0,
+            // which the old windows would misread as stale duplicates.
+            self.guard.enable_dedup();
+        }
     }
 
     /// Frames suppressed as duplicates (by the dedup window or, under
@@ -844,6 +984,11 @@ pub struct IterativeRunner {
     next_seq: Vec<FnvHashMap<u16, u32>>,
     /// END frames each reducer must see per round.
     expected_per_round: Vec<u32>,
+    /// Live roster: `active[i]` is whether sender `i` (spec order) takes
+    /// part in rounds. Toggled by [`set_sender_active`](Self::set_sender_active);
+    /// a toggle only takes effect once [`replan`](Self::replan) has
+    /// redefined trees and END expectations over the new roster.
+    active: Vec<bool>,
     round: u64,
 }
 
@@ -929,6 +1074,7 @@ impl IterativeRunner {
         sim.run_until(daiet_netsim::SimTime::ZERO);
 
         let next_seq = vec![FnvHashMap::default(); spec.senders.len()];
+        let active = vec![true; spec.senders.len()];
         Ok(IterativeRunner {
             spec,
             sim,
@@ -936,6 +1082,7 @@ impl IterativeRunner {
             ids,
             next_seq,
             expected_per_round,
+            active,
             round: 0,
         })
     }
@@ -960,6 +1107,17 @@ impl IterativeRunner {
                 self.spec.reducers.len(),
                 "one shard per reducer per sender"
             );
+            if !self.active[i] {
+                // A departed worker owes the round nothing — but the
+                // caller handing it data is a bug, not a no-op.
+                if sender_shards.iter().any(|pairs| !pairs.is_empty()) {
+                    return Err(format!(
+                        "round {}: sender {i} is inactive but was handed a non-empty shard",
+                        self.round
+                    ));
+                }
+                continue;
+            }
             let slot = self.spec.senders[i];
             let id = self.ids[slot];
             // Preloaded frames come from the pool of the partition that
@@ -1039,6 +1197,9 @@ impl IterativeRunner {
         // free sequence number was delivered and acknowledged-by-silence
         // (every receiver satisfied), so hosts drop it.
         for (i, &slot) in self.spec.senders.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
             let cutoffs: Vec<(u16, u32)> =
                 self.next_seq[i].iter().map(|(&t, &s)| (t, s)).collect();
             let id = self.ids[slot];
@@ -1056,6 +1217,149 @@ impl IterativeRunner {
             reducer_stats,
             net: self.sim.snapshot().delta(&snap_before),
         })
+    }
+
+    /// Marks sender `i` (spec order) as present or departed. The roster
+    /// change is **not live** until [`replan`](Self::replan) runs: the
+    /// trees, switch child counters and reducer END expectations still
+    /// describe the old roster, and a round run in between wedges exactly
+    /// the way an unannounced worker departure wedges a real job.
+    pub fn set_sender_active(&mut self, i: usize, active: bool) {
+        self.active[i] = active;
+    }
+
+    /// Whether sender `i` is on the live roster.
+    pub fn sender_active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// Throttles sender `i`'s pacing by `factor` (1 = full speed) — the
+    /// straggler knob. Takes effect from the sender's next timer tick;
+    /// no re-plan is needed, a straggler is merely slow.
+    pub fn set_sender_slowdown(&mut self, i: usize, factor: u32) {
+        let id = self.ids[self.spec.senders[i]];
+        self.sim
+            .node_mut::<PacedSenderNode>(id)
+            .expect("sender slots hold PacedSenderNodes")
+            .set_slowdown(factor);
+    }
+
+    /// Arms NACK-driven pacing backoff on sender `i` (see
+    /// [`PacedSenderNode::enable_nack_backoff`]).
+    pub fn enable_sender_backoff(&mut self, i: usize) {
+        let id = self.ids[self.spec.senders[i]];
+        self.sim
+            .node_mut::<PacedSenderNode>(id)
+            .expect("sender slots hold PacedSenderNodes")
+            .enable_nack_backoff();
+    }
+
+    /// Live re-plan around failures and roster changes, at a round
+    /// barrier: rebuilds every aggregation tree over the **active**
+    /// senders while routing around the `dead_switches` (plan slots),
+    /// reconfigures every surviving switch in place (tables cleared and
+    /// rebuilt, engine tree state reinstalled), and re-rosters every
+    /// reducer (END expectations and NACK/dedup guards over the new
+    /// children).
+    ///
+    /// The re-plan starts a fresh **epoch**: every per-tree sequence
+    /// space — sender, switch egress, receiver tracker — restarts at 0,
+    /// which is sound exactly because the previous round completed
+    /// end-to-end (nothing in flight, nothing NACKable below the
+    /// barrier). Dead switches are left untouched (they are down; a
+    /// later re-plan that no longer lists them reconfigures them from
+    /// scratch, which their power-cycled state requires anyway).
+    ///
+    /// Errors if a reducer is unreachable from an active sender with the
+    /// dead switches removed (the fabric is partitioned), or if no
+    /// sender is active.
+    pub fn replan(&mut self, dead_switches: &[usize]) -> Result<(), String> {
+        use crate::controller::{Controller, JobPlacement};
+
+        let live_mappers: Vec<usize> = self
+            .spec
+            .senders
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.active[i])
+            .map(|(_, &slot)| slot)
+            .collect();
+        if live_mappers.is_empty() {
+            return Err("re-plan needs at least one active sender".into());
+        }
+        let controller = Controller::new(self.spec.config, self.spec.agg);
+        let placement = JobPlacement {
+            mappers: live_mappers.clone(),
+            reducers: self.spec.reducers.clone(),
+        };
+        let trees = controller
+            .replan_trees(&self.spec.plan, &placement, dead_switches)
+            .map_err(|e| e.to_string())?;
+
+        // Reconfigure every surviving switch in place.
+        let switch_slots: Vec<usize> = self.spec.plan.switches();
+        for slot in switch_slots {
+            if dead_switches.contains(&slot) {
+                continue;
+            }
+            let ext = *self
+                .deployment
+                .engine_externs
+                .get(&slot)
+                .ok_or_else(|| format!("switch {slot} has no registered engine"))?;
+            let mode = self.deployment.mode;
+            let id = self.ids[slot];
+            let switch = self
+                .sim
+                .node_mut::<daiet_dataplane::Switch>(id)
+                .ok_or_else(|| format!("slot {slot} does not hold a Switch"))?;
+            controller
+                .replan_switch(&self.spec.plan, &trees, dead_switches, slot, switch, ext, mode)
+                .map_err(|e| e.to_string())?;
+        }
+        self.deployment.trees = trees;
+
+        // Host-side epoch restart, reducers first: END expectations and
+        // guard rosters over the new trees.
+        self.expected_per_round = (0..self.spec.reducers.len())
+            .map(|r| self.deployment.expected_ends(r, live_mappers.len()))
+            .collect();
+        let config = self.spec.config;
+        for r in 0..self.spec.reducers.len() {
+            let slot = self.spec.reducers[r];
+            let tree = self.deployment.tree_id(r);
+            let sources: Vec<(u16, u32)> = self
+                .deployment
+                .reducer_sources(r, &live_mappers)
+                .into_iter()
+                .map(|src| (tree, src))
+                .collect();
+            let expected = self.expected_per_round[r];
+            let id = self.ids[slot];
+            let reducer = self
+                .sim
+                .node_mut::<ReducerHost>(id)
+                .expect("reducer slots hold ReducerHosts");
+            // Discard whatever a wedged round managed to deliver: the
+            // epoch restart re-delivers that round in full from the
+            // caller's re-submitted shards, so keeping partial pairs
+            // would double-count them.
+            let _ = reducer.take_round();
+            reducer.reroster(slot as u32, &config, sources, expected);
+        }
+
+        // Senders: sequence spaces and replay retention restart at 0
+        // (inactive ones included — if they rejoin later, they rejoin the
+        // current epoch cleanly).
+        for (i, &slot) in self.spec.senders.iter().enumerate() {
+            self.next_seq[i].clear();
+            let id = self.ids[slot];
+            self.sim
+                .node_mut::<PacedSenderNode>(id)
+                .expect("sender slots hold PacedSenderNodes")
+                .reset_epoch();
+        }
+        Ok(())
     }
 
     /// Rounds completed so far.

@@ -164,6 +164,13 @@ pub trait SwitchExtern: std::any::Any {
         Vec::new()
     }
 
+    /// The switch hosting this extern lost power (a scripted node
+    /// failure — see [`daiet_netsim::NodeScript`]): every piece of
+    /// volatile state (registers, rings, trackers) must be dropped, as
+    /// SRAM contents do not survive a power cycle. Default: stateless,
+    /// nothing to drop.
+    fn on_node_fail(&mut self) {}
+
     /// Diagnostic name.
     fn name(&self) -> String {
         "extern".into()

@@ -250,6 +250,28 @@ impl Node for Switch {
         self.arm_ticks(ctx);
     }
 
+    fn on_fail(&mut self) {
+        // Power cycle: every extern's volatile state (registers, rings,
+        // trackers) is lost. Match-action tables survive in this model —
+        // the controller re-installs rules or re-plans around the node
+        // either way, and table state without extern state still forwards
+        // (unknown trees fall through to L2).
+        for ext in &mut self.externs {
+            ext.on_node_fail();
+        }
+        // The armed flags must be cleared by hand: the pending tick
+        // timers are discarded by the simulator while the node is down,
+        // so a stale `true` here would keep ticks from ever re-arming
+        // after revival.
+        for armed in &mut self.tick_armed {
+            *armed = false;
+        }
+    }
+
+    fn on_revive(&mut self, ctx: &mut Context<'_>) {
+        self.arm_ticks(ctx);
+    }
+
     fn name(&self) -> String {
         self.name.clone()
     }

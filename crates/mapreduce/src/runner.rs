@@ -56,8 +56,14 @@ pub struct RunOutcome {
     /// Frames dropped anywhere in the network (must be 0 in the loss-free
     /// configurations for the UDP modes to be meaningful).
     pub frames_dropped: u64,
-    /// Simulated completion time.
+    /// Simulated quiescence time: when the last event of any kind fired.
+    /// Under injected faults this includes trailing retransmission-timer
+    /// tails long after the data landed.
     pub finished_at: SimTime,
+    /// Simulated time the last reducer received its complete input — the
+    /// application-level completion the figures plot. Falls back to
+    /// `finished_at` when a receiver never tracked it.
+    pub data_done_at: SimTime,
 }
 
 impl RunOutcome {
@@ -267,11 +273,22 @@ impl Runner {
                 correct,
             });
         }
+        let data_done_at = placement
+            .reducers
+            .iter()
+            .map(|&slot| {
+                sim.node_ref::<SinkReceiverNode>(ids[slot])
+                    .and_then(|n| n.last_fin_at)
+                    .unwrap_or(finished_at)
+            })
+            .max()
+            .unwrap_or(finished_at);
         RunOutcome {
             mode: ShuffleMode::TcpBaseline,
             reducers,
             frames_dropped: total_drops(&sim),
             finished_at,
+            data_done_at,
         }
     }
 
@@ -375,7 +392,17 @@ impl Runner {
                 correct,
             });
         }
-        RunOutcome { mode, reducers, frames_dropped: total_drops(&sim), finished_at }
+        let data_done_at = placement
+            .reducers
+            .iter()
+            .map(|&slot| {
+                sim.node_ref::<ReducerHost>(ids[slot])
+                    .and_then(|n| n.completed_at)
+                    .unwrap_or(finished_at)
+            })
+            .max()
+            .unwrap_or(finished_at);
+        RunOutcome { mode, reducers, frames_dropped: total_drops(&sim), finished_at, data_done_at }
     }
 }
 

@@ -71,6 +71,20 @@ pub enum EventKind {
         /// Size of the frame leaving the queue.
         bytes: usize,
     },
+    /// A scripted node failure fires: the node's volatile state is torn
+    /// down ([`crate::Node::on_fail`]) and deliveries/timers addressed to
+    /// it are dropped until it revives (see
+    /// [`crate::Simulator::script_node`]).
+    NodeFail {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// A scripted node revival fires: the node comes back cold
+    /// ([`crate::Node::on_revive`]) and receives traffic again.
+    NodeRevive {
+        /// The reviving node.
+        node: NodeId,
+    },
 }
 
 /// A scheduled event, as returned by [`EventQueue::pop`].

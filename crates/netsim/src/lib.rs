@@ -68,7 +68,7 @@ pub mod topology;
 
 pub use frame::{Frame, FramePool, PoolStats};
 pub use link::{FaultDecision, FaultProfile, LinkScript, LinkSpec};
-pub use node::{Context, Node, NodeId, PortId};
+pub use node::{Context, Node, NodeId, NodeScript, PortId};
 pub use sim::{PartitionMap, Simulator};
 pub use stats::{LinkStats, NodeStats, StatsSnapshot};
 pub use time::{SimDuration, SimTime};

@@ -35,9 +35,84 @@ pub trait Node: Any {
     /// place to kick off transmissions or arm the first timer.
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
 
+    /// A scripted failure (see [`crate::NodeScript`]) killed this node:
+    /// volatile state — registers, rings, trackers, pending work — must be
+    /// dropped here, exactly as a power cycle would. No [`Context`] is
+    /// provided: a dead node cannot send or schedule. Events addressed to
+    /// the node while it is down are discarded by the simulator.
+    fn on_fail(&mut self) {}
+
+    /// The node revived after a scripted failure. It comes back *cold*
+    /// (whatever `on_fail` dropped stays dropped); this hook is the place
+    /// to re-arm timers or restart periodic work.
+    fn on_revive(&mut self, _ctx: &mut Context<'_>) {}
+
     /// Human-readable name for traces and panics.
     fn name(&self) -> String {
         "node".to_string()
+    }
+}
+
+/// A scripted kill/revive schedule for one node — the node-level sibling
+/// of [`crate::LinkScript`]. While a node is down, the simulator drops
+/// every frame and timer addressed to it (frames already in flight on a
+/// wire still propagate, but die at the dead NIC) and the node's
+/// [`Node::on_fail`]/[`Node::on_revive`] hooks fire at the scripted
+/// instants. Down intervals are half-open `[kill, revive)`: an event at
+/// exactly the kill instant is dropped, one at the revive instant is
+/// delivered. Attach with [`crate::Simulator::script_node`].
+#[derive(Debug, Clone, Default)]
+pub struct NodeScript {
+    /// Sorted, disjoint `(kill, revive)` intervals; `None` = never revives.
+    downs: Vec<(crate::time::SimTime, Option<crate::time::SimTime>)>,
+}
+
+impl NodeScript {
+    /// Kills the node at `at`, permanently.
+    pub fn kill_at(at: crate::time::SimTime) -> NodeScript {
+        NodeScript { downs: vec![(at, None)] }
+    }
+
+    /// Kills the node at `kill` and revives it at `revive`.
+    pub fn down_between(kill: crate::time::SimTime, revive: crate::time::SimTime) -> NodeScript {
+        assert!(kill < revive, "revive must come after kill");
+        NodeScript { downs: vec![(kill, Some(revive))] }
+    }
+
+    /// Appends another down interval; must start after every prior
+    /// interval ended (intervals are disjoint and ordered).
+    pub fn and_down_between(
+        mut self,
+        kill: crate::time::SimTime,
+        revive: crate::time::SimTime,
+    ) -> NodeScript {
+        assert!(kill < revive, "revive must come after kill");
+        if let Some(&(_, last_revive)) = self.downs.last() {
+            let end = last_revive.expect("cannot add intervals after a permanent kill");
+            assert!(kill >= end, "down intervals must be disjoint and ordered");
+        }
+        self.downs.push((kill, Some(revive)));
+        self
+    }
+
+    /// True when the node is down at `t` (kill inclusive, revive
+    /// exclusive).
+    pub fn is_down_at(&self, t: crate::time::SimTime) -> bool {
+        self.downs
+            .iter()
+            .any(|&(kill, revive)| t >= kill && revive.is_none_or(|r| t < r))
+    }
+
+    /// Every scripted transition as `(time, is_kill)`, in order.
+    pub(crate) fn transitions(&self) -> Vec<(crate::time::SimTime, bool)> {
+        let mut out = Vec::new();
+        for &(kill, revive) in &self.downs {
+            out.push((kill, true));
+            if let Some(r) = revive {
+                out.push((r, false));
+            }
+        }
+        out
     }
 }
 

@@ -35,7 +35,7 @@
 use crate::event::{Event, EventKind, EventQueue, RemoteEvent};
 use crate::frame::{Frame, FramePool};
 use crate::link::{stream_seed, LinkSpec, PortTable};
-use crate::node::{Context, Node, NodeId, PortId};
+use crate::node::{Context, Node, NodeId, NodeScript, PortId};
 use crate::stats::{LinkStats, NodeStats, StatsSnapshot, StatsTable};
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
@@ -106,6 +106,9 @@ struct Partition {
     /// Cross-partition deliveries staged per target partition, drained
     /// into the shared mailboxes at each synchronization.
     outboxes: Vec<Vec<RemoteEvent>>,
+    /// Scripted kill/revive schedules, global-indexed; set only in the
+    /// partition owning the node (the only place its events are handled).
+    node_scripts: Vec<Option<NodeScript>>,
 }
 
 impl Partition {
@@ -144,17 +147,46 @@ impl Partition {
         }
     }
 
+    /// True when `node` is scripted down at `t`. A pure function of
+    /// `(node, t)`, so the drop decision is identical under any
+    /// partitioning and any same-tick event ordering.
+    fn is_down(&self, node: NodeId, t: SimTime) -> bool {
+        self.node_scripts
+            .get(node.0)
+            .and_then(Option::as_ref)
+            .is_some_and(|s| s.is_down_at(t))
+    }
+
     fn handle(&mut self, me: u32, part_of: &[u32], ev: Event) {
         match ev.kind {
             EventKind::Deliver { node, port, frame } => {
+                if self.is_down(node, ev.time) {
+                    // Dead NIC: the frame dies on arrival, uncounted as
+                    // received. (Timers die silently below; only frames
+                    // are worth a counter.)
+                    self.stats.node_dead_drop(node);
+                    return;
+                }
                 self.stats.node_received(node, frame.len());
                 self.dispatch(me, part_of, node, |n, ctx| n.on_packet(ctx, port, frame));
             }
             EventKind::Timer { node, token } => {
+                if self.is_down(node, ev.time) {
+                    return;
+                }
                 self.dispatch(me, part_of, node, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::TxDone { link, dir, bytes } => {
                 self.ports.tx_done(link, dir, bytes);
+            }
+            EventKind::NodeFail { node } => {
+                // No Context: a dead node cannot send or schedule.
+                if let Some(n) = self.nodes.get_mut(node.0).and_then(Option::as_mut) {
+                    n.on_fail();
+                }
+            }
+            EventKind::NodeRevive { node } => {
+                self.dispatch(me, part_of, node, |n, ctx| n.on_revive(ctx));
             }
         }
     }
@@ -443,6 +475,7 @@ impl Simulator {
                 now: SimTime::ZERO,
                 events_processed: 0,
                 outboxes: (0..k).map(|_| Vec::new()).collect(),
+                node_scripts: Vec::new(),
             })
             .collect();
         Simulator {
@@ -553,6 +586,7 @@ impl Simulator {
             total.bytes_in += s.bytes_in;
             total.frames_out += s.frames_out;
             total.bytes_out += s.bytes_out;
+            total.dead_drops += s.dead_drops;
         }
         total
     }
@@ -572,6 +606,7 @@ impl Simulator {
                 a.corrupted += b.corrupted;
                 a.duplicated += b.duplicated;
                 a.reordered += b.reordered;
+                a.ecn_marked += b.ecn_marked;
             }
         }
         total
@@ -590,6 +625,33 @@ impl Simulator {
         let tx = self.parts[0].ports.transmitter(idx, dir);
         let owner = self.part_of[tx.0] as usize;
         self.parts[owner].ports.set_script(idx, dir, script);
+    }
+
+    /// Installs a scripted kill/revive schedule on `node` — the
+    /// node-level sibling of [`script_link`](Self::script_link). At each
+    /// scripted kill the node's [`Node::on_fail`] runs (volatile state is
+    /// torn down); while down, every frame and timer addressed to the node
+    /// is discarded (counted in [`NodeStats::dead_drops`]); at each revive
+    /// [`Node::on_revive`] runs and traffic flows again. The transition
+    /// events are keyed to the node's own source counter, so runs are
+    /// bit-identical under any partitioning. Replaces any prior script;
+    /// call before the first `run_until`.
+    pub fn script_node(&mut self, node: NodeId, script: NodeScript) {
+        assert!(node.0 < self.part_of.len(), "script_node before add_node");
+        let owner = self.part_of[node.0] as usize;
+        let part = &mut self.parts[owner];
+        for (t, is_kill) in script.transitions() {
+            let kind = if is_kill {
+                EventKind::NodeFail { node }
+            } else {
+                EventKind::NodeRevive { node }
+            };
+            part.queue.push(t, node, kind);
+        }
+        if part.node_scripts.len() <= node.0 {
+            part.node_scripts.resize_with(node.0 + 1, || None);
+        }
+        part.node_scripts[node.0] = Some(script);
     }
 
     /// Number of links created.
@@ -956,6 +1018,99 @@ mod tests {
         let dual = run(2, vec![0, 1, 1, 0]);
         assert!(!single.0.is_empty() && single.0.len() < 30, "loss should be partial");
         assert_eq!(single, dual);
+    }
+
+    /// Counts arrivals and the fail/revive hook calls.
+    #[derive(Default)]
+    struct MortalSink {
+        arrivals: Vec<SimTime>,
+        failed: usize,
+        revived: usize,
+    }
+
+    impl Node for MortalSink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+            self.arrivals.push(ctx.now());
+        }
+        fn on_fail(&mut self) {
+            self.failed += 1;
+        }
+        fn on_revive(&mut self, _ctx: &mut Context<'_>) {
+            self.revived += 1;
+        }
+    }
+
+    /// A scripted node death drops every frame addressed to the node
+    /// during `[kill, revive)`, fires the fail/revive hooks exactly once
+    /// each, and produces bit-identical results under partitioning.
+    #[test]
+    fn scripted_node_death_drops_frames_then_revives() {
+        let run = |parts: usize, assign: Vec<u32>| {
+            let mut sim = Simulator::with_partitions(11, PartitionMap::new(parts, assign));
+            // Blaster sends at t = 1, 1001, 2001, … ns; each 100-byte
+            // frame arrives 1080 ns after its send (80 ns serialization +
+            // 1 µs propagation): arrivals at 1081 + k·1000.
+            let src = sim.add_node(Box::new(Blaster::new(10, 100)));
+            let dst = sim.add_node(Box::new(MortalSink::default()));
+            sim.connect(src, dst, LinkSpec::fast());
+            sim.script_node(
+                dst,
+                crate::NodeScript::down_between(SimTime(3_000), SimTime(6_000)),
+            );
+            sim.run();
+            let sink = sim.node_ref::<MortalSink>(dst).unwrap();
+            (sink.arrivals.clone(), sink.failed, sink.revived, sim.node_stats(dst))
+        };
+        let (arrivals, failed, revived, stats) = run(1, vec![0, 0]);
+        // Arrivals at 3081, 4081, 5081 fall inside the down window.
+        assert_eq!(arrivals.len(), 7);
+        assert!(arrivals.iter().all(|t| t.0 < 3_000 || t.0 >= 6_000));
+        assert_eq!((failed, revived), (1, 1));
+        assert_eq!(stats.dead_drops, 3);
+        assert_eq!(stats.frames_in, 7);
+        // Bit-identical when the link crosses a partition boundary.
+        let dual = run(2, vec![0, 1]);
+        assert_eq!(dual, (arrivals, failed, revived, stats));
+    }
+
+    /// Down intervals are half-open: an injected frame at exactly the
+    /// kill instant dies; one at exactly the revive instant lives.
+    #[test]
+    fn node_down_window_boundaries_are_kill_inclusive_revive_exclusive() {
+        let mut sim = Simulator::new(0);
+        let dst = sim.add_node(Box::new(MortalSink::default()));
+        sim.script_node(dst, crate::NodeScript::down_between(SimTime(100), SimTime(200)));
+        for t in [99, 100, 199, 200] {
+            sim.inject(SimTime(t), dst, PortId(0), Frame::from_slice(b"x"));
+        }
+        sim.run();
+        let sink = sim.node_ref::<MortalSink>(dst).unwrap();
+        assert_eq!(sink.arrivals, vec![SimTime(99), SimTime(200)]);
+        assert_eq!(sim.node_stats(dst).dead_drops, 2);
+    }
+
+    /// A permanent kill (no revive) silences the node for good, and
+    /// pending timers die with it.
+    #[test]
+    fn permanent_kill_silences_timers_too() {
+        /// Re-arms its own timer forever; counts firings.
+        struct Ticker(usize);
+        impl Node for Ticker {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.schedule(SimDuration::from_nanos(10), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+                self.0 += 1;
+                ctx.schedule(SimDuration::from_nanos(10), 0);
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let t = sim.add_node(Box::new(Ticker(0)));
+        sim.script_node(t, crate::NodeScript::kill_at(SimTime(55)));
+        sim.run(); // would never drain without the kill
+        // Fires at 10, 20, 30, 40, 50; the tick armed for 60 dies.
+        assert_eq!(sim.node_ref::<Ticker>(t).unwrap().0, 5);
     }
 
     /// The runaway valve fires on the *global* event count: two

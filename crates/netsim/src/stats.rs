@@ -22,6 +22,9 @@ pub struct DirStats {
     /// Frames delayed past their natural arrival (reordered) by fault
     /// injection.
     pub reordered: u64,
+    /// Frames CE-marked by ECN on queue buildup (see
+    /// [`LinkSpec::with_ecn_threshold`](crate::LinkSpec::with_ecn_threshold)).
+    pub ecn_marked: u64,
 }
 
 /// Both directions of one link (0 = a→b, 1 = b→a in connect order).
@@ -42,6 +45,9 @@ pub struct NodeStats {
     pub frames_out: u64,
     /// Bytes the node transmitted.
     pub bytes_out: u64,
+    /// Frames that arrived while the node was scripted down (see
+    /// [`crate::NodeScript`]) and were discarded at the dead NIC.
+    pub dead_drops: u64,
 }
 
 impl NodeStats {
@@ -79,7 +85,7 @@ impl DirStats {
     pub fn delta(&self, earlier: &DirStats) -> DirStats {
         delta_fields!(
             self, earlier, tx_frames, tx_bytes, drops_overflow, drops_fault, corrupted,
-            duplicated, reordered
+            duplicated, reordered, ecn_marked
         )
     }
 }
@@ -96,7 +102,7 @@ impl LinkStats {
 impl NodeStats {
     /// Counter growth since `earlier`.
     pub fn delta(&self, earlier: &NodeStats) -> NodeStats {
-        delta_fields!(self, earlier, frames_in, bytes_in, frames_out, bytes_out)
+        delta_fields!(self, earlier, frames_in, bytes_in, frames_out, bytes_out, dead_drops)
     }
 }
 
@@ -163,6 +169,17 @@ impl StatsSnapshot {
     pub fn overflow_drops(&self) -> u64 {
         self.links.iter().flat_map(|l| l.dirs).map(|d| d.drops_overflow).sum()
     }
+
+    /// Frames CE-marked by ECN, summed over every link and direction.
+    pub fn ecn_marks(&self) -> u64 {
+        self.links.iter().flat_map(|l| l.dirs).map(|d| d.ecn_marked).sum()
+    }
+
+    /// Frames discarded at dead (scripted-down) nodes, summed over every
+    /// node.
+    pub fn dead_drops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dead_drops).sum()
+    }
 }
 
 /// All statistics for one simulation.
@@ -223,6 +240,14 @@ impl StatsTable {
         self.link_mut(idx).dirs[dir].reordered += 1;
     }
 
+    pub(crate) fn link_ecn_mark(&mut self, idx: usize, dir: usize) {
+        self.link_mut(idx).dirs[dir].ecn_marked += 1;
+    }
+
+    pub(crate) fn node_dead_drop(&mut self, node: NodeId) {
+        self.node_mut(node).dead_drops += 1;
+    }
+
     pub(crate) fn node_sent(&mut self, node: NodeId, bytes: usize) {
         let s = self.node_mut(node);
         s.frames_out += 1;
@@ -261,6 +286,7 @@ impl StatsTable {
             s.bytes_in += n.bytes_in;
             s.frames_out += n.frames_out;
             s.bytes_out += n.bytes_out;
+            s.dead_drops += n.dead_drops;
         }
         for (i, l) in self.links.iter().enumerate() {
             for d in 0..2 {
@@ -273,6 +299,7 @@ impl StatsTable {
                 a.corrupted += b.corrupted;
                 a.duplicated += b.duplicated;
                 a.reordered += b.reordered;
+                a.ecn_marked += b.ecn_marked;
             }
         }
     }

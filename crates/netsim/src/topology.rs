@@ -114,8 +114,28 @@ impl TopologyPlan {
     /// nodes. Neighbor order (= port order) breaks ties, so routing is
     /// deterministic.
     pub fn next_hops_toward(&self, dst: usize) -> Vec<Option<Adjacency>> {
+        self.next_hops_toward_avoiding(dst, &[])
+    }
+
+    /// [`next_hops_toward`](Self::next_hops_toward), but routing *around*
+    /// the nodes in `dead`: no next hop ever enters a dead node, and dead
+    /// nodes (and nodes cut off by them) get `None`. The same
+    /// deterministic BFS with the same neighbor-order tie-breaking, so on
+    /// a fabric with path redundancy (≥ 2 spines) the controller can
+    /// re-plan live around a failed switch and every survivor still
+    /// agrees on the routes. Panics if `dst` itself is dead — there is no
+    /// plan to compute around a dead destination.
+    pub fn next_hops_toward_avoiding(
+        &self,
+        dst: usize,
+        dead: &[usize],
+    ) -> Vec<Option<Adjacency>> {
+        assert!(!dead.contains(&dst), "cannot route toward a dead node {dst}");
         let mut next: Vec<Option<Adjacency>> = vec![None; self.len()];
         let mut visited = vec![false; self.len()];
+        for &d in dead {
+            visited[d] = true; // never expanded, never assigned a hop
+        }
         let mut q = VecDeque::new();
         visited[dst] = true;
         q.push_back(dst);
@@ -407,6 +427,40 @@ mod tests {
         let b = plan.add_host();
         assert_eq!(plan.path(a, b), None);
         assert_eq!(plan.path(a, a), Some(vec![a]));
+    }
+
+    /// Routing around a dead spine: every host still reaches every other
+    /// host, no route traverses the dead node, and killing the *only*
+    /// path (a leaf) cuts its hosts off rather than routing through the
+    /// corpse.
+    #[test]
+    fn avoiding_routes_skirt_dead_nodes() {
+        // leaf_spine(4, 3, 2): hosts 0–11, leaves 12–14, spines 15–16.
+        let plan = TopologyPlan::leaf_spine(4, 3, 2, spec());
+        let dead_spine = 15;
+        let next = plan.next_hops_toward_avoiding(0, &[dead_spine]);
+        for i in 0..plan.len() {
+            if i == 0 || i == dead_spine {
+                continue;
+            }
+            let mut cur = i;
+            let mut steps = 0;
+            while cur != 0 {
+                let hop = next[cur].unwrap_or_else(|| panic!("{i} cut off"));
+                assert_ne!(hop.peer, dead_spine, "route from {i} enters the dead spine");
+                cur = hop.peer;
+                steps += 1;
+                assert!(steps <= plan.len());
+            }
+        }
+        assert!(next[dead_spine].is_none(), "dead nodes get no route");
+        // Killing host 4's only leaf (12 serves hosts 0–3, 13 serves 4–7)
+        // cuts hosts 4–7 off from host 0.
+        let next = plan.next_hops_toward_avoiding(0, &[13]);
+        for (h, hop) in next.iter().enumerate().take(8).skip(4) {
+            assert!(hop.is_none(), "host {h} should be cut off");
+        }
+        assert!(next[8].is_some(), "other racks still reach the destination");
     }
 
     #[test]

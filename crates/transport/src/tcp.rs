@@ -28,6 +28,11 @@ pub struct TcpConfig {
     pub rto: SimDuration,
     /// Delayed-ACK timer.
     pub ack_delay: SimDuration,
+    /// Enables ECN (RFC 3168): outgoing frames carry ECT(0), CE marks are
+    /// echoed back as ECE, and the sender halves its congestion window
+    /// once per RTT in response (with additive increase back up to
+    /// `window`). Off by default so fixed-window runs stay bit-identical.
+    pub ecn: bool,
 }
 
 impl Default for TcpConfig {
@@ -37,7 +42,16 @@ impl Default for TcpConfig {
             window: 64 * 1024,
             rto: SimDuration::from_millis(1),
             ack_delay: SimDuration::from_micros(200),
+            ecn: false,
         }
+    }
+}
+
+impl TcpConfig {
+    /// The default configuration with ECN marking/response enabled.
+    pub fn with_ecn(mut self) -> TcpConfig {
+        self.ecn = true;
+        self
     }
 }
 
@@ -109,6 +123,18 @@ struct Connection {
     /// Delayed-ACK state.
     ack_deadline: Option<SimTime>,
     segs_since_ack: u32,
+    /// Congestion window in bytes (ECN only). `usize::MAX` is the
+    /// "never reduced" sentinel; the effective send window is always
+    /// `min(cwnd, cfg.window)`, so the sentinel means "fixed window".
+    cwnd: usize,
+    /// End of the last reduction's flight: ECE is ignored until
+    /// `snd_una` passes this, giving one halving per window of data
+    /// (RFC 3168 §6.1.2's once-per-RTT rule).
+    recover: u32,
+    /// Receiver saw CE and must echo ECE until the sender's CWR arrives.
+    ce_pending: bool,
+    /// Sender reduced and must advertise CWR on its next data segment.
+    cwr_pending: bool,
     /// Statistics.
     retransmit_segments: u64,
     timeouts: u64,
@@ -133,6 +159,10 @@ impl Connection {
             rto_deadline: None,
             ack_deadline: None,
             segs_since_ack: 0,
+            cwnd: usize::MAX,
+            recover: 0,
+            ce_pending: false,
+            cwr_pending: false,
             retransmit_segments: 0,
             timeouts: 0,
         }
@@ -164,6 +194,10 @@ pub struct TcpStats {
     pub timeouts: u64,
     /// Application payload bytes delivered in order.
     pub bytes_delivered: u64,
+    /// Frames received with the CE codepoint set (ECN only).
+    pub ecn_ce_received: u64,
+    /// Congestion-window halvings in response to ECE (ECN only).
+    pub cwnd_reductions: u64,
 }
 
 /// The TCP state machine for one host: multiple connections, listeners,
@@ -291,6 +325,18 @@ impl TcpStack {
     }
 
     fn emit(&mut self, key: &ConnKey, conn: &mut Connection, flags: Flags, seq: u32, ack: u32, payload: &[u8]) {
+        let mut flags = flags;
+        if self.cfg.ecn {
+            // Echo congestion back to the sender until its CWR arrives;
+            // advertise our own reduction on the next data segment.
+            if conn.ce_pending && flags.contains(Flags::ACK) {
+                flags |= Flags::ECE;
+            }
+            if conn.cwr_pending && !payload.is_empty() {
+                flags |= Flags::CWR;
+                conn.cwr_pending = false;
+            }
+        }
         let repr = Repr {
             src_port: key.local_port,
             dst_port: key.remote_port,
@@ -303,6 +349,14 @@ impl TcpStack {
         let ep = Endpoints::from_ids(self.host, key.remote_host);
         let mut buf = self.pool.buffer();
         build_tcp_into(&mut buf, &ep, &repr, payload);
+        if self.cfg.ecn {
+            // Declare the transport ECN-capable so queues mark instead of
+            // dropping. The TCP checksum does not cover this byte; only
+            // the IP header checksum needs refreshing.
+            let mut ip = daiet_wire::ipv4::Packet::new_unchecked(&mut buf[14..]);
+            ip.set_ecn(daiet_wire::ipv4::ECN_ECT0);
+            ip.fill_checksum();
+        }
         self.out.push_back(self.pool.frame(buf));
         if payload.is_empty() {
             self.stats.control_segments_out += 1;
@@ -316,16 +370,19 @@ impl TcpStack {
     /// and buffer allow, then the FIN.
     fn pump_connection(&mut self, key: ConnKey, now: SimTime) {
         let Some(mut conn) = self.conns.remove(&key) else { return };
+        // The effective send window: the fixed window, further clamped by
+        // the congestion window once ECN has ever reduced it.
+        let wnd = self.cfg.window.min(conn.cwnd);
         if matches!(conn.state, State::Established | State::CloseWait | State::FinWait | State::LastAck) {
             // Data segments. The payload is staged in a reusable scratch
             // buffer (`VecDeque` storage may wrap, so a contiguous copy is
             // needed for checksumming either way).
-            while conn.unsent_bytes() > 0 && conn.bytes_in_flight() < self.cfg.window {
+            while conn.unsent_bytes() > 0 && conn.bytes_in_flight() < wnd {
                 let offset = conn.snd_nxt.wrapping_sub(conn.buf_base) as usize;
                 let len = conn
                     .unsent_bytes()
                     .min(self.cfg.mss)
-                    .min(self.cfg.window - conn.bytes_in_flight());
+                    .min(wnd - conn.bytes_in_flight());
                 let mut payload = std::mem::take(&mut self.seg_buf);
                 payload.clear();
                 payload.extend(conn.send_buf.iter().skip(offset).take(len));
@@ -342,7 +399,7 @@ impl TcpStack {
             if conn.fin_queued
                 && !conn.fin_sent
                 && conn.unsent_bytes() == 0
-                && conn.bytes_in_flight() < self.cfg.window
+                && conn.bytes_in_flight() < wnd
             {
                 let seq = conn.snd_nxt;
                 let ack = conn.rcv_nxt;
@@ -366,6 +423,10 @@ impl TcpStack {
     pub fn on_frame(&mut self, now: SimTime, frame: &[u8]) -> bool {
         let Ok(parsed) = Parsed::dissect(frame) else { return false };
         let Transport::Tcp { tcp, payload } = parsed.transport else { return false };
+        // Congestion Experienced, set by a queue along the path. Dissection
+        // already established Ethernet/IPv4 framing, so the ECN codepoint
+        // sits at a fixed offset.
+        let ce_marked = self.cfg.ecn && frame[15] & 0b11 == daiet_wire::ipv4::ECN_CE;
         // Identify the connection.
         let remote_host = {
             // Host ids encode into the low bytes of 10.x.y.z addresses.
@@ -401,6 +462,18 @@ impl TcpStack {
         let mut need_ack = false;
         let mut advanced = false;
 
+        if self.cfg.ecn {
+            // A CWR from the peer closes the current echo episode; a CE
+            // mark (possibly on the very same frame) opens a new one.
+            if tcp.flags.contains(Flags::CWR) {
+                conn.ce_pending = false;
+            }
+            if ce_marked {
+                conn.ce_pending = true;
+                self.stats.ecn_ce_received += 1;
+            }
+        }
+
         // SYN-ACK completes an active open.
         if conn.state == State::SynSent && tcp.flags.contains(Flags::SYN | Flags::ACK) {
             conn.rcv_nxt = tcp.seq.wrapping_add(1);
@@ -432,6 +505,16 @@ impl TcpStack {
                     conn.buf_base = acked_data_end;
                 }
                 conn.snd_una = tcp.ack;
+                if self.cfg.ecn
+                    && conn.cwnd != usize::MAX
+                    && conn.cwnd < self.cfg.window
+                    && !tcp.flags.contains(Flags::ECE)
+                {
+                    // Additive increase: ~one MSS per window of new ACKs,
+                    // capped at the configured fixed window.
+                    let inc = (self.cfg.mss * self.cfg.mss / conn.cwnd.max(1)).max(1);
+                    conn.cwnd = (conn.cwnd + inc).min(self.cfg.window);
+                }
                 conn.rto_current = self.cfg.rto; // fresh progress resets backoff
                 conn.rto_deadline = if conn.bytes_in_flight() > 0 {
                     Some(now + conn.rto_current)
@@ -454,6 +537,19 @@ impl TcpStack {
                         _ => {}
                     }
                 }
+            }
+            // ECN-Echo: halve the congestion window, at most once per
+            // window of data (further ECEs are ignored until `snd_una`
+            // passes the reduction point).
+            if self.cfg.ecn
+                && tcp.flags.contains(Flags::ECE)
+                && conn.snd_una.wrapping_sub(conn.recover) as i32 >= 0
+            {
+                let cur = conn.cwnd.min(self.cfg.window);
+                conn.cwnd = (cur / 2).max(self.cfg.mss);
+                conn.recover = conn.snd_nxt;
+                conn.cwr_pending = true;
+                self.stats.cwnd_reductions += 1;
             }
         }
 
@@ -743,14 +839,23 @@ mod tests {
         spec: LinkSpec,
         seed: u64,
     ) -> (Vec<u8>, TcpStats, TcpStats, daiet_netsim::NodeStats) {
+        run_transfer_cfg(bytes, spec, seed, TcpConfig::default())
+    }
+
+    fn run_transfer_cfg(
+        bytes: usize,
+        spec: LinkSpec,
+        seed: u64,
+        cfg: TcpConfig,
+    ) -> (Vec<u8>, TcpStats, TcpStats, daiet_netsim::NodeStats) {
         let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
         let mut sim = Simulator::new(seed);
         let sender = sim.add_node(Box::new(BulkSenderNode::new(
             1,
-            TcpConfig::default(),
+            cfg,
             vec![(2, 9000, data.clone())],
         )));
-        let receiver = sim.add_node(Box::new(SinkReceiverNode::new(2, TcpConfig::default(), 9000)));
+        let receiver = sim.add_node(Box::new(SinkReceiverNode::new(2, cfg, 9000)));
         sim.connect(sender, receiver, spec);
         sim.run_until(daiet_netsim::SimTime(SimDuration::from_secs(30).as_nanos()));
         let rx_stats = sim.node_stats(receiver);
@@ -805,6 +910,34 @@ mod tests {
         let (got, _s, _r, _) = run_transfer(30_000, spec, 5);
         assert_eq!(got.len(), 30_000);
         assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+    }
+
+    #[test]
+    fn ecn_sender_backs_off_under_queue_buildup() {
+        // A gigabit bottleneck with a 16 KiB marking threshold: the fixed
+        // 64 KiB window bursts well past it, so data frames get CE-marked,
+        // the receiver echoes ECE, and the sender halves its cwnd — all
+        // without a single drop (the 256 KiB drop-tail never fills).
+        let spec = LinkSpec::gigabit().with_ecn_threshold(16 * 1024);
+        let (got, s, r, _) = run_transfer_cfg(200_000, spec, 11, TcpConfig::default().with_ecn());
+        assert_eq!(got.len(), 200_000);
+        assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+        assert!(r.ecn_ce_received > 0, "queue buildup must CE-mark data frames");
+        assert!(s.cwnd_reductions > 0, "ECE must halve the congestion window");
+        assert_eq!(s.retransmits, 0, "ECN backs off before drop-tail bites");
+    }
+
+    #[test]
+    fn ecn_disabled_ignores_ce_marks() {
+        // Same bottleneck, ECN off: CE marks land on the wire but the
+        // stack neither counts nor reacts to them, and the transfer is
+        // still byte-exact (marking repairs the IPv4 checksum).
+        let spec = LinkSpec::gigabit().with_ecn_threshold(16 * 1024);
+        let (got, s, r, _) = run_transfer_cfg(200_000, spec, 12, TcpConfig::default());
+        assert_eq!(got.len(), 200_000);
+        assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+        assert_eq!(s.cwnd_reductions, 0);
+        assert_eq!(r.ecn_ce_received, 0);
     }
 
     #[test]

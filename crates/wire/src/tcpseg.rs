@@ -65,6 +65,10 @@ bitflags_lite! {
         const PSH = 0b0000_1000;
         /// ACK: the acknowledgment field is significant.
         const ACK = 0b0001_0000;
+        /// ECE: ECN-Echo — the receiver saw a CE-marked packet (RFC 3168).
+        const ECE = 0b0100_0000;
+        /// CWR: Congestion Window Reduced — the sender reacted to ECE.
+        const CWR = 0b1000_0000;
     }
 }
 
@@ -146,9 +150,10 @@ impl<T: AsRef<[u8]>> Segment<T> {
         usize::from(self.buffer.as_ref()[field::OFFSET] >> 4) * 4
     }
 
-    /// Flag bits.
+    /// Flag bits. Bit 5 (URG) is masked off — the urgent pointer is
+    /// unsupported — but the ECN bits (ECE, CWR) pass through.
     pub fn flags(&self) -> Flags {
-        Flags(self.buffer.as_ref()[field::FLAGS] & 0x1f)
+        Flags(self.buffer.as_ref()[field::FLAGS] & 0b1101_1111)
     }
 
     /// Receive window.
@@ -328,6 +333,29 @@ mod tests {
         assert!(f.intersects(Flags::SYN | Flags::FIN));
         assert!(!f.intersects(Flags::FIN | Flags::RST));
         assert_eq!(Flags::empty().0, 0);
+    }
+
+    #[test]
+    fn ecn_flags_survive_the_round_trip() {
+        let repr = Repr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 9,
+            ack: 10,
+            flags: Flags::ACK | Flags::ECE | Flags::CWR,
+            window: 4096,
+            payload_len: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        {
+            let mut seg = Segment::new_unchecked(&mut buf[..]);
+            repr.emit(&mut seg, SRC, DST);
+        }
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        let parsed = Repr::parse(&seg, Some((SRC, DST))).unwrap();
+        assert!(parsed.flags.contains(Flags::ECE));
+        assert!(parsed.flags.contains(Flags::CWR));
+        assert_eq!(parsed, repr);
     }
 
     #[test]

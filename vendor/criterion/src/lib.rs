@@ -2,15 +2,19 @@
 //! criterion's group/bench API shape. Each benchmark runs a dedicated
 //! warm-up phase (caches, branch predictors, frame pools and the
 //! allocator all reach steady state before anything is recorded), then a
-//! series of timed samples; the report shows the mean per-iteration time
-//! with the standard deviation and min/max across samples, so a reader
-//! can judge whether a delta clears the run-to-run noise. Not the real
-//! statistics suite — but enough to trust the baselines in CHANGES.md.
+//! series of timed samples. Reported statistics follow criterion's
+//! shape: sample means pass a Tukey-fence outlier rejection (1.5 × IQR
+//! beyond the quartiles — a stray scheduler preemption or page-cache
+//! miss must not move the mean), then a deterministic bootstrap
+//! resampling of the surviving samples yields a 95 % confidence
+//! interval on the mean, so a reader can judge whether a delta clears
+//! the run-to-run noise rather than eyeballing a standard deviation.
 //!
 //! Set `BENCH_JSON_DIR=<dir>` to additionally write one
 //! `BENCH_<id>.json` per benchmark with the raw per-sample means, the
-//! min/max across samples and the iteration counts — the machine-readable
-//! record small (<10 %) regression claims are checked against.
+//! robust statistics (outlier counts, CI bounds) and the iteration
+//! counts — the machine-readable record small (<10 %) regression claims
+//! are checked against.
 
 use std::fmt::Display;
 use std::path::Path;
@@ -150,6 +154,98 @@ impl Bencher {
     }
 }
 
+/// Robust summary of one benchmark's per-sample means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Mean over the samples that survived outlier rejection.
+    pub mean: f64,
+    /// Standard deviation over the surviving samples.
+    pub sd: f64,
+    /// Minimum / maximum over ALL samples (outliers included — the raw
+    /// envelope is part of the record even when it doesn't drive the
+    /// mean).
+    pub min: f64,
+    pub max: f64,
+    /// Samples kept after the Tukey fence.
+    pub kept: usize,
+    /// Samples rejected as outliers.
+    pub outliers: usize,
+    /// Bootstrap 95 % confidence interval on the mean.
+    pub ci95_lo: f64,
+    pub ci95_hi: f64,
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Resamples drawn with a fixed-seed xorshift64*, so the CI is a pure
+/// function of the samples — reruns of the analysis never disagree.
+const BOOTSTRAP_RESAMPLES: usize = 1000;
+
+/// Tukey-fence outlier rejection followed by a deterministic bootstrap
+/// CI of the mean. With fewer than 4 samples (no meaningful quartiles)
+/// or a zero IQR, every sample is kept.
+pub fn analyze(samples: &[f64]) -> SampleStats {
+    assert!(!samples.is_empty(), "analyze() needs at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+
+    let kept: Vec<f64> = if sorted.len() >= 4 {
+        let q1 = quantile(&sorted, 0.25);
+        let q3 = quantile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        if iqr > 0.0 {
+            let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+            let inliers: Vec<f64> =
+                sorted.iter().copied().filter(|&s| s >= lo && s <= hi).collect();
+            if inliers.len() >= 2 { inliers } else { sorted.clone() }
+        } else {
+            sorted.clone()
+        }
+    } else {
+        sorted.clone()
+    };
+
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let sd = if kept.len() > 1 {
+        (kept.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+
+    // Percentile bootstrap over the inliers. xorshift64* with a fixed
+    // seed: statistically ample for index draws, and fully reproducible.
+    let mut state: u64 = 0x5EED_CAFE_F00D_D1CE;
+    let mut draw = |bound: usize| -> usize {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % bound
+    };
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        let sum: f64 = (0..kept.len()).map(|_| kept[draw(kept.len())]).sum();
+        means.push(sum / n);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means of finite samples are finite"));
+    let ci95_lo = quantile(&means, 0.025);
+    let ci95_hi = quantile(&means, 0.975);
+
+    SampleStats { mean, sd, min, max, kept: kept.len(), outliers: samples.len() - kept.len(), ci95_lo, ci95_hi }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     id: &str,
     sample_size: usize,
@@ -180,26 +276,28 @@ fn run_one<F: FnMut(&mut Bencher)>(
         f(&mut bencher);
         sample_means.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
     }
-    let n = sample_means.len() as f64;
-    let mean = sample_means.iter().sum::<f64>() / n;
-    let var = sample_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
-    let sd = var.sqrt();
-    let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = sample_means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let stats = analyze(&sample_means);
 
     let rate = match throughput {
-        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / mean, "elem")),
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}/s", si(n as f64 / stats.mean, "elem"))
+        }
         Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
-            format!("  thrpt: {}/s", si(n as f64 / mean, "B"))
+            format!("  thrpt: {}/s", si(n as f64 / stats.mean, "B"))
         }
         None => String::new(),
     };
+    let outliers = if stats.outliers > 0 {
+        format!("  ({} outlier{} rejected)", stats.outliers, if stats.outliers == 1 { "" } else { "s" })
+    } else {
+        String::new()
+    };
     println!(
-        "{id:<60} time: {:>12} ± {:<10} [{} .. {}] ({SAMPLES}x{iters_per_sample} iters){rate}",
-        fmt_time(mean),
-        fmt_time(sd),
-        fmt_time(min),
-        fmt_time(max),
+        "{id:<60} time: {:>12} ± {:<10} ci95 [{} .. {}] ({SAMPLES}x{iters_per_sample} iters){rate}{outliers}",
+        fmt_time(stats.mean),
+        fmt_time(stats.sd),
+        fmt_time(stats.ci95_lo),
+        fmt_time(stats.ci95_hi),
     );
 
     if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
@@ -217,10 +315,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
 }
 
 /// Serializes one benchmark's raw measurements to
-/// `<dir>/BENCH_<sanitized id>.json`: the per-sample means (seconds), the
-/// derived mean/sd/min/max, and the warm-up and per-sample iteration
-/// counts — everything needed to audit a small-regression claim after the
-/// fact.
+/// `<dir>/BENCH_<sanitized id>.json`: the per-sample means (seconds),
+/// the robust statistics (`mean_s`/`sd_s` are computed after outlier
+/// rejection; `min_s`/`max_s` span ALL samples; `ci95_lo_s`/`ci95_hi_s`
+/// bound the bootstrap CI), and the warm-up and per-sample iteration
+/// counts — everything needed to audit a small-regression claim after
+/// the fact.
 fn write_json_record(
     dir: &Path,
     id: &str,
@@ -230,11 +330,7 @@ fn write_json_record(
     rounds_per_iter: Option<u64>,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let n = sample_means.len() as f64;
-    let mean = sample_means.iter().sum::<f64>() / n;
-    let var = sample_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
-    let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = sample_means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let stats = analyze(sample_means);
     let samples: Vec<String> = sample_means.iter().map(|s| format!("{s:e}")).collect();
     let sanitized: String = id
         .chars()
@@ -251,14 +347,20 @@ fn write_json_record(
     });
     let json = format!(
         "{{\n  \"id\": \"{}\",\n  \"mean_s\": {:e},\n  \"sd_s\": {:e},\n  \
-         \"min_s\": {:e},\n  \"max_s\": {:e},\n  \"sample_count\": {},\n  \
+         \"min_s\": {:e},\n  \"max_s\": {:e},\n  \"ci95_lo_s\": {:e},\n  \
+         \"ci95_hi_s\": {:e},\n  \"sample_count\": {},\n  \"kept_samples\": {},\n  \
+         \"outliers_rejected\": {},\n  \
          \"iters_per_sample\": {},\n  \"warmup_iters\": {},\n{}  \"samples_s\": [{}]\n}}\n",
         id.replace('\\', "\\\\").replace('"', "\\\""),
-        mean,
-        var.sqrt(),
-        min,
-        max,
+        stats.mean,
+        stats.sd,
+        stats.min,
+        stats.max,
+        stats.ci95_lo,
+        stats.ci95_hi,
         sample_means.len(),
+        stats.kept,
+        stats.outliers,
         iters_per_sample,
         warmup_iters,
         rounds,
@@ -373,6 +475,74 @@ mod tests {
         assert!(text.contains("\"rounds_per_iter\": 10"), "{text}");
         // 2 samples × 4 iters × 10 rounds = 80 round executions.
         assert!(text.contains("\"per_round_samples\": 80"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A lone scheduler-preemption-sized spike in an otherwise tight
+    /// cluster must be fenced out: the mean stays on the cluster and the
+    /// CI never stretches toward the spike.
+    #[test]
+    fn outlier_rejection_fences_a_spike() {
+        let samples = [1.00e-3, 1.02e-3, 0.99e-3, 1.01e-3, 1.00e-3, 1.03e-3, 0.98e-3, 9.0e-3];
+        let stats = analyze(&samples);
+        assert_eq!(stats.outliers, 1, "{stats:?}");
+        assert_eq!(stats.kept, 7);
+        assert!(stats.mean < 1.1e-3, "mean dragged by the spike: {stats:?}");
+        assert!(stats.ci95_hi < 1.1e-3, "CI dragged by the spike: {stats:?}");
+        // The raw envelope still records the spike.
+        assert_eq!(stats.max, 9.0e-3);
+    }
+
+    /// Clean synthetic noise: nothing rejected, the CI brackets the true
+    /// mean and is narrower than the full sample spread.
+    #[test]
+    fn bootstrap_ci_brackets_the_mean_of_clean_noise() {
+        // Symmetric noise around 2 ms, no outliers by construction.
+        let samples: Vec<f64> =
+            (0..20).map(|i| 2.0e-3 + ((i % 7) as f64 - 3.0) * 1e-5).collect();
+        let stats = analyze(&samples);
+        assert_eq!(stats.outliers, 0);
+        assert!(stats.ci95_lo <= stats.mean && stats.mean <= stats.ci95_hi, "{stats:?}");
+        assert!(stats.ci95_hi - stats.ci95_lo < stats.max - stats.min, "{stats:?}");
+    }
+
+    /// The bootstrap is seeded, so the analysis is a pure function of
+    /// the samples — two runs can never disagree about a CI.
+    #[test]
+    fn analysis_is_deterministic() {
+        let samples = [1.0e-3, 1.5e-3, 2.0e-3, 1.2e-3, 1.7e-3, 1.4e-3];
+        assert_eq!(analyze(&samples), analyze(&samples));
+    }
+
+    /// Degenerate inputs: identical samples (zero IQR) keep everything
+    /// and collapse the CI; tiny sample counts skip the fence entirely.
+    #[test]
+    fn degenerate_samples_are_kept_whole() {
+        let flat = analyze(&[5.0e-3; 6]);
+        assert_eq!(flat.outliers, 0);
+        assert_eq!(flat.mean, 5.0e-3);
+        assert_eq!((flat.ci95_lo, flat.ci95_hi), (5.0e-3, 5.0e-3));
+
+        let tiny = analyze(&[1.0e-3, 8.0e-3, 1.1e-3]);
+        assert_eq!(tiny.outliers, 0, "3 samples have no meaningful quartiles");
+        assert_eq!(tiny.kept, 3);
+    }
+
+    /// The JSON record carries the robust statistics alongside the raw
+    /// samples, so a regression check can re-derive everything.
+    #[test]
+    fn json_record_carries_robust_statistics() {
+        let dir =
+            std::env::temp_dir().join(format!("criterion-shim-stats-{}", std::process::id()));
+        let samples = [1.00e-3, 1.02e-3, 0.99e-3, 1.01e-3, 1.00e-3, 1.03e-3, 0.98e-3, 9.0e-3];
+        write_json_record(&dir, "robust/x", &samples, 3, 4, None).unwrap();
+        let text = std::fs::read_to_string(dir.join("BENCH_robust_x.json")).unwrap();
+        assert!(text.contains("\"outliers_rejected\": 1"), "{text}");
+        assert!(text.contains("\"kept_samples\": 7"), "{text}");
+        assert!(text.contains("\"ci95_lo_s\":"), "{text}");
+        assert!(text.contains("\"ci95_hi_s\":"), "{text}");
+        // max_s still spans the rejected spike.
+        assert!(text.contains("\"max_s\": 9e-3"), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
