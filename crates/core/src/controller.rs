@@ -148,6 +148,18 @@ impl Deployment {
             AggregationMode::PassThrough => mappers.iter().map(|&m| m as u32).collect(),
         }
     }
+
+    /// [`reducer_sources`](Self::reducer_sources) tagged with the
+    /// reducer's tree id — the exact `(tree, source)` flow set a
+    /// receive-side NACK guard watches
+    /// ([`ReceiverGuard::arm_nack_recovery`](crate::reliability::ReceiverGuard::arm_nack_recovery)).
+    pub fn nack_sources(&self, reducer_index: usize, mappers: &[usize]) -> Vec<(u16, u32)> {
+        let tree = self.tree_id(reducer_index);
+        self.reducer_sources(reducer_index, mappers)
+            .into_iter()
+            .map(|src| (tree, src))
+            .collect()
+    }
 }
 
 /// The controller: stateless; everything derives from the plan, the

@@ -53,6 +53,8 @@
 pub mod agg;
 pub mod config;
 pub mod controller;
+pub mod iterative;
+pub mod loopback;
 pub mod reliability;
 pub mod switch_agg;
 pub mod tree;

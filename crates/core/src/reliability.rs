@@ -29,7 +29,7 @@
 //!    the dedup windows, so recovery composes with (and subsumes)
 //!    redundancy: `k = 1` suffices on every segment.
 
-use daiet_netsim::{Frame, FramePool, SimDuration, SimTime};
+use daiet_fabric::{Duration, Fabric, Frame, FramePool, PortId, Time};
 use daiet_wire::daiet::{Header, NackRange, PacketType};
 use daiet_wire::fnv::FnvHashMap;
 use daiet_wire::stack::{build_daiet_into, Endpoints};
@@ -392,7 +392,7 @@ pub struct FlowRecv {
     /// Sequence number of the most recent END frame.
     end_at: Option<u32>,
     /// Last time this flow made progress (fresh data) or was NACKed.
-    last_activity: SimTime,
+    last_activity: Time,
     /// NACKs sent for this flow since it last made progress.
     nacks_sent: u32,
     /// The flow exhausted its NACK budget without completing; cleared by
@@ -409,7 +409,7 @@ impl Default for FlowRecv {
             max_seen: None,
             bits: [0; (WINDOW as usize) / 64],
             end_at: None,
-            last_activity: SimTime::ZERO,
+            last_activity: Time::ZERO,
             nacks_sent: 0,
             gave_up: false,
             aged_out: 0,
@@ -445,7 +445,7 @@ impl FlowRecv {
     /// NACKed within ~one timeout even if later frames keep streaming
     /// in, or the sender's bounded ring evicts the loss before recovery
     /// starts.
-    pub fn note(&mut self, seq: u32, is_end: bool, now: SimTime) -> bool {
+    pub fn note(&mut self, seq: u32, is_end: bool, now: Time) -> bool {
         // Fast path: strictly in-order delivery of a gapless flow — the
         // loss-free common case, which must stay near the cost of a
         // plain dedup lookup. Gapless (`contig == max_seen + 1`) means
@@ -587,18 +587,18 @@ impl FlowRecv {
 ///
 /// ```
 /// use daiet::reliability::NackTracker;
-/// use daiet_netsim::{SimDuration, SimTime};
+/// use daiet_fabric::{Duration, Time};
 ///
 /// let mut t = NackTracker::new();
 /// t.expect(1, 7); // roster: tree 1 is fed by host 7
 /// // Frames 0 and 2 arrive; 1 is lost; the END (seq 3) arrives.
-/// t.note(1, 7, 0, false, SimTime(10));
-/// t.note(1, 7, 2, false, SimTime(20));
-/// t.note(1, 7, 3, true, SimTime(30));
+/// t.note(1, 7, 0, false, Time(10));
+/// t.note(1, 7, 2, false, Time(20));
+/// t.note(1, 7, 3, true, Time(30));
 /// assert!(t.wants_attention(8));
 /// // After the timeout, exactly one NACK is due, naming the gap.
 /// let mut due = Vec::new();
-/// t.for_each_due(SimTime(100_000), SimDuration::from_nanos(50), 8, |tree, child, req| {
+/// t.for_each_due(Time(100_000), Duration::from_nanos(50), 8, |tree, child, req| {
 ///     due.push((tree, child, req));
 /// });
 /// assert_eq!(due.len(), 1);
@@ -608,7 +608,7 @@ impl FlowRecv {
 /// assert_eq!((req.ranges[0].first, req.ranges[0].count), (1, 1));
 /// assert!(!req.tail, "the END was seen; only the interior gap is missing");
 /// // Once seq 1 is retransmitted the flow is satisfied and goes quiet.
-/// t.note(1, 7, 1, false, SimTime(200_000));
+/// t.note(1, 7, 1, false, Time(200_000));
 /// assert!(!t.wants_attention(8));
 /// ```
 #[derive(Debug)]
@@ -690,7 +690,7 @@ impl NackTracker {
     /// [`flows_rejected`](Self::flows_rejected), exactly like
     /// [`DedupWindow::accept`]: an untracked flow could replay forever
     /// undetected, so suppression is the only exact answer.
-    pub fn note(&mut self, tree: u16, child: u32, seq: u32, is_end: bool, now: SimTime) -> bool {
+    pub fn note(&mut self, tree: u16, child: u32, seq: u32, is_end: bool, now: Time) -> bool {
         let len = self.flows.len();
         let flow = match self.flows.entry((tree, child)) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -791,8 +791,8 @@ impl NackTracker {
     /// unrecoverable).
     pub fn for_each_due(
         &mut self,
-        now: SimTime,
-        timeout: SimDuration,
+        now: Time,
+        timeout: Duration,
         max_nacks: u32,
         mut f: impl FnMut(u16, u32, NackRequest),
     ) {
@@ -809,7 +809,7 @@ impl NackTracker {
                 if now < flow.last_activity + timeout {
                     return false;
                 }
-                let backoff = SimDuration::from_nanos(
+                let backoff = Duration::from_nanos(
                     timeout.as_nanos().saturating_mul(1 << flow.nacks_sent.min(6)),
                 );
                 !flow.is_satisfied()
@@ -955,7 +955,7 @@ impl RetransmitRing {
 pub struct NackEndpoint {
     tracker: NackTracker,
     self_id: u32,
-    timeout: SimDuration,
+    timeout: Duration,
     max_nacks: u32,
     ranges_per_packet: usize,
     /// NACK frames actually emitted.
@@ -968,7 +968,7 @@ impl NackEndpoint {
     /// `ranges_per_packet` ranges into one frame.
     pub fn new(
         self_id: u32,
-        timeout: SimDuration,
+        timeout: Duration,
         max_nacks: u32,
         ranges_per_packet: usize,
     ) -> NackEndpoint {
@@ -993,7 +993,7 @@ impl NackEndpoint {
     /// idempotent without a second per-packet flow lookup). Non-DATA/END
     /// types and sources outside the simulator's `10/8` id scheme are not
     /// tracked and read as fresh.
-    pub fn note(&mut self, hdr: &Header, src: Ipv4Address, now: SimTime) -> bool {
+    pub fn note(&mut self, hdr: &Header, src: Ipv4Address, now: Time) -> bool {
         let is_end = match hdr.packet_type {
             PacketType::Data => false,
             PacketType::End => true,
@@ -1014,7 +1014,7 @@ impl NackEndpoint {
     }
 
     /// The tick period (equal to the NACK timeout).
-    pub fn tick_interval(&self) -> SimDuration {
+    pub fn tick_interval(&self) -> Duration {
         self.timeout
     }
 
@@ -1022,7 +1022,7 @@ impl NackEndpoint {
     /// this host to each delinquent child. Long range lists are split
     /// across frames; the tail request rides only the first (a duplicate
     /// tail would merely cause idempotent re-replays anyway).
-    pub fn build_nacks(&mut self, now: SimTime, pool: &FramePool, out: &mut Vec<Frame>) {
+    pub fn build_nacks(&mut self, now: Time, pool: &FramePool, out: &mut Vec<Frame>) {
         let self_id = self.self_id;
         let ranges_per_packet = self.ranges_per_packet;
         let mut emitted = 0u64;
@@ -1078,7 +1078,7 @@ impl ReceiverGuard {
     ) {
         let mut ep = NackEndpoint::new(
             self_id,
-            SimDuration::from_nanos(config.nack_timeout_ns),
+            Duration::from_nanos(config.nack_timeout_ns),
             config.nack_max,
             config.pairs_per_packet,
         );
@@ -1097,7 +1097,7 @@ impl ReceiverGuard {
         &mut self,
         hdr: &Header,
         src: Ipv4Address,
-        ctx: &mut daiet_netsim::Context<'_>,
+        ctx: &mut dyn Fabric,
     ) -> bool {
         if let Some(nack) = self.nack.as_mut() {
             if !nack.note(hdr, src, ctx.now()) {
@@ -1115,7 +1115,7 @@ impl ReceiverGuard {
     /// Re-arms the NACK timer while recovery work is pending; a
     /// satisfied tracker schedules nothing, so an idle guard costs no
     /// events.
-    pub fn arm(&mut self, ctx: &mut daiet_netsim::Context<'_>) {
+    pub fn arm(&mut self, ctx: &mut dyn Fabric) {
         if let Some(nack) = self.nack.as_ref() {
             if !self.tick_armed && nack.wants_tick() {
                 self.tick_armed = true;
@@ -1125,13 +1125,13 @@ impl ReceiverGuard {
     }
 
     /// Timer callback: emits the due NACK frames on port 0 and re-arms.
-    pub fn on_timer(&mut self, ctx: &mut daiet_netsim::Context<'_>) {
+    pub fn on_timer(&mut self, ctx: &mut dyn Fabric) {
         self.tick_armed = false;
         if let Some(nack) = self.nack.as_mut() {
             let mut frames = Vec::new();
             nack.build_nacks(ctx.now(), ctx.pool(), &mut frames);
             for f in frames {
-                ctx.send(daiet_netsim::PortId(0), f);
+                ctx.send(PortId(0), f);
             }
         }
         self.arm(ctx);
@@ -1354,33 +1354,33 @@ mod tests {
     fn flow_recv_tracks_gaps_and_satisfaction() {
         let mut f = FlowRecv::default();
         assert!(!f.is_satisfied());
-        f.note(0, false, SimTime(1));
-        f.note(3, false, SimTime(2)); // 1, 2 missing
+        f.note(0, false, Time(1));
+        f.note(3, false, Time(2)); // 1, 2 missing
         let req = f.request().unwrap();
         assert_eq!(req.next_expected, 4);
         assert!(req.tail, "no END yet");
         assert_eq!(req.ranges, vec![NackRange { first: 1, count: 2 }]);
-        f.note(1, false, SimTime(3));
-        f.note(2, false, SimTime(4));
+        f.note(1, false, Time(3));
+        f.note(2, false, Time(4));
         assert!(!f.is_satisfied(), "still no END");
-        f.note(4, true, SimTime(5));
+        f.note(4, true, Time(5));
         assert!(f.is_satisfied());
         assert!(f.request().is_none());
         // The next round re-opens the flow.
-        f.note(5, false, SimTime(6));
+        f.note(5, false, Time(6));
         assert!(!f.is_satisfied());
         let req = f.request().unwrap();
         assert!(req.tail);
         assert!(req.ranges.is_empty());
-        f.note(6, true, SimTime(7));
+        f.note(6, true, Time(7));
         assert!(f.is_satisfied());
     }
 
     #[test]
     fn flow_recv_lost_end_surfaces_as_tail_request() {
         let mut f = FlowRecv::default();
-        f.note(0, false, SimTime(1));
-        f.note(1, false, SimTime(2));
+        f.note(0, false, Time(1));
+        f.note(1, false, Time(2));
         // END (seq 2) lost: no gap exists, only the tail is outstanding.
         let req = f.request().unwrap();
         assert!(req.ranges.is_empty());
@@ -1408,7 +1408,7 @@ mod tests {
         let mut f = FlowRecv::default();
         // Round 1: seqs 0..=4, END at 4, delivered clean.
         for s in 0..=4u32 {
-            f.note(s, s == 4, SimTime(s as u64));
+            f.note(s, s == 4, Time(s as u64));
         }
         assert!(f.is_satisfied());
         // Round 2 is seqs 5..=8 (END 8). Every out-of-order prefix of the
@@ -1416,7 +1416,7 @@ mod tests {
         for order in [[6u32, 5, 8, 7], [8, 7, 6, 5], [7, 8, 5, 6], [5, 7, 6, 8]] {
             let mut f = f.clone();
             for (i, &s) in order.iter().enumerate() {
-                f.note(s, s == 8, SimTime(100 + i as u64));
+                f.note(s, s == 8, Time(100 + i as u64));
                 let last = i == order.len() - 1;
                 assert_eq!(
                     f.is_satisfied(),
@@ -1431,7 +1431,7 @@ mod tests {
         // In particular: new DATA beyond the old END, then silence — the
         // old END must not close the tail request.
         let mut g = f.clone();
-        g.note(9, false, SimTime(200));
+        g.note(9, false, Time(200));
         let req = g.request().expect("reopened flow owes a request");
         assert!(req.tail, "tail must be outstanding: end_at is stale (old round)");
         assert_eq!(req.next_expected, 10);
@@ -1444,7 +1444,7 @@ mod tests {
         let mut f = FlowRecv::default();
         // Round 1: 0,1 arrive; END (2) lost. Round 2: 3,4 with END 4.
         for (s, e) in [(0u32, false), (1, false), (3, false), (4, true)] {
-            f.note(s, e, SimTime(s as u64));
+            f.note(s, e, Time(s as u64));
         }
         assert!(!f.is_satisfied(), "seq 2 still missing");
         let req = f.request().unwrap();
@@ -1452,7 +1452,7 @@ mod tests {
         assert!(!req.tail, "round 2's END is the newest frame");
         // The replayed round-1 END closes the gap *across the round
         // boundary* without regressing end_at to the older END.
-        assert!(f.note(2, true, SimTime(50)));
+        assert!(f.note(2, true, Time(50)));
         assert!(f.is_satisfied());
         assert_eq!(f.next_expected(), 5);
     }
@@ -1460,8 +1460,8 @@ mod tests {
     #[test]
     fn flow_recv_ages_out_hopeless_gaps() {
         let mut f = FlowRecv::default();
-        f.note(1, false, SimTime(1)); // 0 missing
-        f.note(WINDOW + 5, false, SimTime(2)); // 0 now a full window behind
+        f.note(1, false, Time(1)); // 0 missing
+        f.note(WINDOW + 5, false, Time(2)); // 0 now a full window behind
         assert!(f.aged_out >= 1);
         // The abandoned seq is no longer requested.
         let req = f.request().unwrap();
@@ -1471,43 +1471,43 @@ mod tests {
     #[test]
     fn flow_recv_duplicates_do_not_refresh_activity() {
         let mut f = FlowRecv::default();
-        f.note(0, false, SimTime(10));
-        f.note(0, false, SimTime(500));
-        assert_eq!(f.last_activity, SimTime(10), "duplicate must not reset the clock");
+        f.note(0, false, Time(10));
+        f.note(0, false, Time(500));
+        assert_eq!(f.last_activity, Time(10), "duplicate must not reset the clock");
     }
 
     #[test]
     fn tracker_budget_and_give_up() {
         let mut t = NackTracker::new();
         t.expect(1, 9);
-        let timeout = SimDuration::from_nanos(100);
+        let timeout = Duration::from_nanos(100);
         let mut fired = 0;
         for tick in 1..=5u64 {
-            t.for_each_due(SimTime(tick * 1_000), timeout, 3, |_, _, _| fired += 1);
+            t.for_each_due(Time(tick * 1_000), timeout, 3, |_, _, _| fired += 1);
         }
         // Budget of 3: the 4th and 5th ticks find the flow exhausted.
         assert_eq!(fired, 3);
         assert_eq!(t.flows_given_up, 1);
         assert!(!t.wants_attention(3));
         // Fresh data resets the budget.
-        t.note(1, 9, 0, false, SimTime(10_000));
+        t.note(1, 9, 0, false, Time(10_000));
         assert!(t.wants_attention(3));
     }
 
     #[test]
     fn tracker_flow_cap_rejects_deterministically() {
         let mut t = NackTracker::with_capacity(2);
-        assert!(t.note(1, 7, 0, false, SimTime(1)));
-        assert!(t.note(1, 8, 0, false, SimTime(2)));
+        assert!(t.note(1, 7, 0, false, Time(1)));
+        assert!(t.note(1, 8, 0, false, Time(2)));
         // Third flow: at capacity → refused, counted, not tracked.
-        assert!(!t.note(1, 9, 0, false, SimTime(3)));
+        assert!(!t.note(1, 9, 0, false, Time(3)));
         t.expect(2, 7); // rostering past the cap is refused too
         assert_eq!(t.flows_rejected, 2);
         assert_eq!(t.flow_count(), 2);
         // Rejections are not duplicates; existing flows keep working.
         assert_eq!(t.duplicates, 0);
-        assert!(t.note(1, 7, 1, false, SimTime(4)));
-        assert!(!t.note(1, 7, 1, false, SimTime(5)));
+        assert!(t.note(1, 7, 1, false, Time(4)));
+        assert!(!t.note(1, 7, 1, false, Time(5)));
         assert_eq!(t.duplicates, 1);
     }
 
@@ -1526,8 +1526,8 @@ mod tests {
         // The freed slot is reusable; needy stays consistent.
         t.expect(1, 9);
         assert!(t.wants_attention(8));
-        t.note(1, 9, 0, true, SimTime(10));
-        t.note(2, 7, 0, true, SimTime(11));
+        t.note(1, 9, 0, true, Time(10));
+        t.note(2, 7, 0, true, Time(11));
         assert!(!t.wants_attention(8), "all flows satisfied");
         // Clearing satisfied flows must not underflow the needy count.
         t.clear_tree(1);
@@ -1652,13 +1652,13 @@ mod tests {
         let mut t = NackTracker::new();
         t.expect(1, 7);
         assert!(!t.all_satisfied());
-        t.note(1, 7, 0, true, SimTime(5));
+        t.note(1, 7, 0, true, Time(5));
         assert!(t.all_satisfied());
         // Reopen with a gap, then exhaust the budget: wants_attention
         // goes quiet but all_satisfied must keep reporting the hole.
-        t.note(1, 7, 2, false, SimTime(10));
+        t.note(1, 7, 2, false, Time(10));
         for tick in 1..=4u64 {
-            t.for_each_due(SimTime(tick * 1_000_000), SimDuration::from_nanos(10), 2, |_, _, _| {});
+            t.for_each_due(Time(tick * 1_000_000), Duration::from_nanos(10), 2, |_, _, _| {});
         }
         assert!(!t.wants_attention(2), "budget exhausted: no more NACK work");
         assert!(!t.all_satisfied(), "but the data is still missing");
@@ -1668,13 +1668,13 @@ mod tests {
     fn endpoint_builds_routable_nack_frames() {
         use daiet_wire::daiet::PacketFlags;
         let pool = FramePool::new();
-        let mut ep = NackEndpoint::new(3, SimDuration::from_nanos(100), 8, 10);
+        let mut ep = NackEndpoint::new(3, Duration::from_nanos(100), 8, 10);
         ep.expect(1, 7);
-        ep.note(&Header::data(1, PacketFlags::empty(), 0), Ipv4Address::from_id(7), SimTime(1));
-        ep.note(&Header::data(1, PacketFlags::empty(), 2), Ipv4Address::from_id(7), SimTime(2));
+        ep.note(&Header::data(1, PacketFlags::empty(), 0), Ipv4Address::from_id(7), Time(1));
+        ep.note(&Header::data(1, PacketFlags::empty(), 2), Ipv4Address::from_id(7), Time(2));
         assert!(ep.wants_tick());
         let mut out = Vec::new();
-        ep.build_nacks(SimTime(10_000), &pool, &mut out);
+        ep.build_nacks(Time(10_000), &pool, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(ep.nacks_emitted, 1);
         // The frame parses back to a NACK from host 3 to host 7 naming
@@ -1697,18 +1697,18 @@ mod tests {
     #[test]
     fn endpoint_splits_long_range_lists() {
         let pool = FramePool::new();
-        let mut ep = NackEndpoint::new(3, SimDuration::from_nanos(100), 8, 2);
+        let mut ep = NackEndpoint::new(3, Duration::from_nanos(100), 8, 2);
         ep.expect(1, 7);
         // Receive only every other seq: 0,2,4,...,12 → 6 single gaps.
         for s in (0..=12u32).step_by(2) {
             ep.note(
                 &Header::data(1, daiet_wire::daiet::PacketFlags::empty(), s),
                 Ipv4Address::from_id(7),
-                SimTime(s as u64),
+                Time(s as u64),
             );
         }
         let mut out = Vec::new();
-        ep.build_nacks(SimTime(1_000_000), &pool, &mut out);
+        ep.build_nacks(Time(1_000_000), &pool, &mut out);
         // 6 ranges at 2 per packet → 3 frames.
         assert_eq!(out.len(), 3);
     }
@@ -1766,7 +1766,7 @@ mod proptests {
             let mut flow = FlowRecv::default();
             let end = n - 1; // seqs 0..n-1, the last being the END
             for (s, _) in survivors.iter().filter(|(s, _)| *s < n) {
-                flow.note(*s, *s == end, SimTime(1));
+                flow.note(*s, *s == end, Time(1));
             }
             let mut rounds = 0;
             while let Some(req) = flow.request() {
@@ -1777,7 +1777,7 @@ mod proptests {
                     let named = req.ranges.iter().any(|r| r.contains(s))
                         || (req.tail && seq_at_or_after(s, req.next_expected));
                     if named {
-                        flow.note(s, s == end, SimTime(2 + rounds));
+                        flow.note(s, s == end, Time(2 + rounds));
                     }
                 }
             }

@@ -40,7 +40,7 @@ use crate::config::DaietConfig;
 use crate::reliability::{NackRequest, NackTracker, RetransmitRing};
 use daiet_dataplane::pipeline::{ExternOutput, PacketCtx, SwitchExtern};
 use daiet_dataplane::register::RegisterArray;
-use daiet_netsim::{Frame, FramePool, PortId, SimDuration, SimTime};
+use daiet_fabric::{Duration, Frame, FramePool, PortId, Time};
 use daiet_wire::checksum::crc32;
 use daiet_wire::daiet::{Header, Key, NackRange, PacketFlags, PacketType, Pair};
 use daiet_wire::stack::{build_daiet_into, Endpoints};
@@ -642,10 +642,10 @@ impl SwitchExtern for DaietEngine {
         ExternOutput { emit, consume: true, ops }
     }
 
-    fn tick_interval(&self) -> Option<SimDuration> {
+    fn tick_interval(&self) -> Option<Duration> {
         self.nack
             .is_some()
-            .then(|| SimDuration::from_nanos(self.config.nack_timeout_ns))
+            .then(|| Duration::from_nanos(self.config.nack_timeout_ns))
     }
 
     fn wants_tick(&self) -> bool {
@@ -654,11 +654,11 @@ impl SwitchExtern for DaietEngine {
             .is_some_and(|n| n.wants_attention(self.config.nack_max))
     }
 
-    fn on_tick(&mut self, now: SimTime, pool: &FramePool) -> Vec<(PortId, Frame)> {
+    fn on_tick(&mut self, now: Time, pool: &FramePool) -> Vec<(PortId, Frame)> {
         let Some(nack) = self.nack.as_mut() else {
             return Vec::new();
         };
-        let timeout = SimDuration::from_nanos(self.config.nack_timeout_ns);
+        let timeout = Duration::from_nanos(self.config.nack_timeout_ns);
         let ranges_per_packet = self.config.pairs_per_packet.max(1);
         let mut out = Vec::new();
         let trees = &self.trees;
@@ -783,7 +783,7 @@ mod tests {
     }
 
     /// Drives a repr from host `src` at time `now`.
-    fn drive_at(e: &mut DaietEngine, src: u32, repr: &Repr, now: SimTime) -> ExternOutput {
+    fn drive_at(e: &mut DaietEngine, src: u32, repr: &Repr, now: Time) -> ExternOutput {
         let frame = Frame::from(build_daiet(&Endpoints::from_ids(src, 200), 5, repr));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
         let mut pkt = PacketCtx::at(PortId(0), parsed, now);
@@ -801,10 +801,10 @@ mod tests {
         // Old child 1 delivers a gapped stream (seq 1 lost) and goes away.
         let mut r = Repr::data(1, vec![Pair::new(key("a"), 1)]);
         r.seq = 0;
-        drive_at(&mut e, 1, &r, SimTime(10));
+        drive_at(&mut e, 1, &r, Time(10));
         let mut end = Repr::end(1);
         end.seq = 2;
-        drive_at(&mut e, 1, &end, SimTime(20));
+        drive_at(&mut e, 1, &end, Time(20));
         // The tree is re-deployed with a single fresh child, id 3.
         e.install_tree(TreeStateConfig {
             tree_id: 1,
@@ -819,10 +819,10 @@ mod tests {
         // open on its END alone.
         let mut d = Repr::data(1, vec![Pair::new(key("b"), 7)]);
         d.seq = 0;
-        drive_at(&mut e, 3, &d, SimTime(30));
+        drive_at(&mut e, 3, &d, Time(30));
         let mut end = Repr::end(1);
         end.seq = 1;
-        let out = drive_at(&mut e, 3, &end, SimTime(40));
+        let out = drive_at(&mut e, 3, &end, Time(40));
         assert!(
             out.emit.iter().any(|(p, _)| *p == PortId(9)),
             "flush must go out upstream, not defer on the dead roster"
@@ -844,14 +844,14 @@ mod tests {
         // Round 1: DATA seq 0 arrives; its END (seq 1) is lost.
         let mut d = Repr::data(1, vec![Pair::new(key("a"), 1)]);
         d.seq = 0;
-        drive_at(&mut e, 1, &d, SimTime(10));
+        drive_at(&mut e, 1, &d, Time(10));
         // Round 2 streams in on the same registers: DATA seq 2, END seq 3.
         let mut d2 = Repr::data(1, vec![Pair::new(key("b"), 2)]);
         d2.seq = 2;
-        drive_at(&mut e, 1, &d2, SimTime(20));
+        drive_at(&mut e, 1, &d2, Time(20));
         let mut end2 = Repr::end(1);
         end2.seq = 3;
-        let out = drive_at(&mut e, 1, &end2, SimTime(30));
+        let out = drive_at(&mut e, 1, &end2, Time(30));
         // Counter hit zero but the flow still has a gap at seq 1: defer.
         assert!(out.emit.is_empty());
         assert_eq!(e.stats().flushes_deferred, 1);
@@ -860,7 +860,7 @@ mod tests {
         // satisfied and the deferred flush must fire, END and all.
         let mut end1 = Repr::end(1);
         end1.seq = 1;
-        let out = drive_at(&mut e, 1, &end1, SimTime(40));
+        let out = drive_at(&mut e, 1, &end1, Time(40));
         assert_eq!(e.stats().spurious_ends, 1, "the late END is spurious for the counter");
         assert_eq!(e.stats().flushes, 1, "but it must still release the deferred flush");
         let reprs = parse_emissions(&out);
@@ -881,11 +881,11 @@ mod tests {
         // Child 2 stays entirely silent.
         let mut r = Repr::data(1, vec![Pair::new(key("a"), 1)]);
         r.seq = 0;
-        drive_at(&mut e, 1, &r, SimTime(10));
+        drive_at(&mut e, 1, &r, Time(10));
         let mut end = Repr::end(1);
         end.seq = 2;
-        drive_at(&mut e, 1, &end, SimTime(20));
-        let out = e.on_tick(SimTime(1_000_000), &FramePool::new());
+        drive_at(&mut e, 1, &end, Time(20));
+        let out = e.on_tick(Time(1_000_000), &FramePool::new());
         assert_eq!(out.len(), 2, "one NACK per delinquent child");
         assert_eq!(e.stats().nacks_out, 2);
         // NACKs leave on each child's own port, addressed to the child.
@@ -914,11 +914,11 @@ mod tests {
         // Once both children complete, the engine goes quiescent.
         let mut r1 = Repr::data(1, vec![Pair::new(key("a"), 2)]);
         r1.seq = 1;
-        drive_at(&mut e, 1, &r1, SimTime(2_000_000));
+        drive_at(&mut e, 1, &r1, Time(2_000_000));
         for (s, is_end) in [(0u32, false), (1, true)] {
             let mut r = if is_end { Repr::end(1) } else { Repr::data(1, vec![Pair::new(key("b"), 1)]) };
             r.seq = s;
-            drive_at(&mut e, 2, &r, SimTime(2_000_100 + u64::from(s)));
+            drive_at(&mut e, 2, &r, Time(2_000_100 + u64::from(s)));
         }
         assert!(!e.wants_tick(), "all flows satisfied");
     }
@@ -935,11 +935,11 @@ mod tests {
             let mut r = Repr::data(1, chunk.to_vec());
             r.seq = seq;
             seq += 1;
-            drive_at(&mut e, 1, &r, SimTime(10));
+            drive_at(&mut e, 1, &r, Time(10));
         }
         let mut end = Repr::end(1);
         end.seq = seq;
-        let flush = drive_at(&mut e, 1, &end, SimTime(20));
+        let flush = drive_at(&mut e, 1, &end, Time(20));
         assert_eq!(flush.emit.len(), 3);
         assert_eq!(e.rtx_stats(1), Some((3, 0, 0, 0, 0)));
 
@@ -954,7 +954,7 @@ mod tests {
         // NACKs to this switch are addressed to its own tree source addr.
         let frame = Frame::from(build_daiet(&Endpoints::from_ids(200, 100), 5, &nack));
         let parsed = parse(frame, &ParserConfig::default()).unwrap();
-        let mut pkt = PacketCtx::at(PortId(9), parsed, SimTime(30));
+        let mut pkt = PacketCtx::at(PortId(9), parsed, Time(30));
         let out = e.invoke(&mut pkt, 1, &FramePool::new());
         assert!(out.consume, "a NACK for this switch must not be forwarded");
         let replayed = parse_emissions(&out);
@@ -970,7 +970,7 @@ mod tests {
         // A NACK addressed to some *other* node passes through untouched.
         let foreign = Frame::from(build_daiet(&Endpoints::from_ids(200, 77), 5, &nack));
         let parsed = parse(foreign, &ParserConfig::default()).unwrap();
-        let mut pkt = PacketCtx::at(PortId(9), parsed, SimTime(40));
+        let mut pkt = PacketCtx::at(PortId(9), parsed, Time(40));
         let out = e.invoke(&mut pkt, 1, &FramePool::new());
         assert!(!out.consume);
         assert!(out.emit.is_empty());

@@ -14,7 +14,7 @@ use crate::agg::AggFn;
 use crate::config::DaietConfig;
 use crate::reliability::{seq_after, seq_at_or_after};
 use daiet_dataplane::parser::{parse, ParsedPacket, ParserConfig};
-use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimDuration};
+use daiet_fabric::{Duration, Fabric, Frame, FramePool, Node, PortId, Time};
 use daiet_wire::daiet::{self, Header, Key, NackRange, PacketFlags, PacketType, Pair, Repr};
 use daiet_wire::fnv::FnvHashMap;
 use daiet_wire::stack::{build_daiet_into, Endpoints};
@@ -53,36 +53,99 @@ pub fn multi_tree_sender(
     sender_index: usize,
     partitions: &[(u16, Endpoints, Vec<Pair>)],
     redundancy: u32,
-    gap: SimDuration,
+    gap: Duration,
     pool: &FramePool,
     label: &'static str,
 ) -> PacedSenderNode {
-    let packetizer = Packetizer::new(config);
-    let queues: Vec<Vec<Frame>> = partitions
-        .iter()
-        .map(|(tree, ep, pairs)| {
-            packetizer.frames(*tree, pairs, ep, daiet_wire::udp::DAIET_PORT, pool)
-        })
-        .collect();
-    // With NACK recovery on, keep the per-tree schedules (frames indexed
-    // by sequence number — hosts have DRAM, so retention is total and a
-    // NACK for *any* lost frame is answerable). Frame buffers are shared
-    // with the transmit queue, so this costs refcounts, not copies.
-    let replay = config.nack_recovery.then(|| {
-        partitions
-            .iter()
-            .zip(&queues)
-            .map(|((tree, ..), frames)| (*tree, frames.clone()))
-            .collect::<FnvHashMap<u16, Vec<Frame>>>()
-    });
-    let interleaved = interleave_round_robin(queues, sender_index);
-    let frames =
-        crate::reliability::RedundantSender::new(redundancy.max(1)).schedule(&interleaved);
-    let node = PacedSenderNode::new(frames, gap, label);
-    match replay {
-        Some(store) => node.with_replay(store),
-        None => node,
+    // A one-shot sender is a one-round iterative sender: every tree's
+    // sequence space starts at 0 and there is no next round.
+    let mut next_seq = FnvHashMap::default();
+    let (transmit, replay_parts) =
+        plan_round(config, partitions, &mut next_seq, sender_index, redundancy, pool);
+    let node = PacedSenderNode::new(transmit, gap, label);
+    if config.nack_recovery {
+        let store: FnvHashMap<u16, Vec<Frame>> =
+            replay_parts.into_iter().map(|(tree, _base, frames)| (tree, frames)).collect();
+        node.with_replay(store)
+    } else {
+        node
     }
+}
+
+/// Per-tree replay retention out of [`plan_round`]: one
+/// `(tree, base_seq, frames)` entry per part, in part order.
+pub type ReplayParts = Vec<(u16, u32, Vec<Frame>)>;
+
+/// Packetizes one round of multi-tree output into a transmit schedule —
+/// the one planning routine behind every bulk sender (the MapReduce
+/// mappers, the querysim workers, each [`IterativeRunner`] round).
+///
+/// Per `(tree, endpoints, pairs)` part, the pairs are serialized
+/// continuing that tree's wrapping sequence space from `next_seq`
+/// (updated in place to the next free number); the per-tree queues are
+/// then interleaved round-robin starting at `offset % parts` (fairness:
+/// callers rotate the offset so no tree is permanently drained first)
+/// and expanded `redundancy`-fold (1 = none).
+///
+/// When `config.nack_recovery` is on, the per-tree schedules also come
+/// back as `(tree, base_seq, frames)` replay parts for
+/// [`PacedSenderNode::enqueue_round`] (or, via [`multi_tree_sender`],
+/// [`PacedSenderNode::with_replay`]). Replay frames share buffers with
+/// the transmit queue — retention costs refcounts, not copies.
+pub fn plan_round<P: AsRef<[Pair]>>(
+    config: &DaietConfig,
+    parts: &[(u16, Endpoints, P)],
+    next_seq: &mut FnvHashMap<u16, u32>,
+    offset: usize,
+    redundancy: u32,
+    pool: &FramePool,
+) -> (Vec<Frame>, ReplayParts) {
+    let packetizer = Packetizer::new(config);
+    let mut queues = Vec::with_capacity(parts.len());
+    let mut replay_parts = Vec::new();
+    for (tree, ep, pairs) in parts {
+        let base = next_seq.get(tree).copied().unwrap_or(0);
+        let (frames, next) = packetizer.frames_from_seq(
+            *tree,
+            pairs.as_ref(),
+            ep,
+            daiet_wire::udp::DAIET_PORT,
+            base,
+            pool,
+        );
+        next_seq.insert(*tree, next);
+        if config.nack_recovery {
+            replay_parts.push((*tree, base, frames.clone()));
+        }
+        queues.push(frames);
+    }
+    let interleaved = interleave_round_robin(queues, offset);
+    let transmit =
+        crate::reliability::RedundantSender::new(redundancy.max(1)).schedule(&interleaved);
+    (transmit, replay_parts)
+}
+
+/// Builds the standard DAIET receive endpoint for reducer `r` of `dep`
+/// at plan `slot`: a [`ReducerHost`] expecting the deployment's END
+/// count over `mappers`, with duplicate suppression and NACK recovery
+/// armed per `config` — the one construction behind every reducer (the
+/// MapReduce reducers, each [`IterativeRunner`] parameter server).
+pub fn reducer_host(
+    config: &DaietConfig,
+    agg: AggFn,
+    dep: &crate::controller::Deployment,
+    r: usize,
+    slot: usize,
+    mappers: &[usize],
+) -> ReducerHost {
+    let mut reducer = ReducerHost::new(agg, dep.expected_ends(r, mappers.len()));
+    if config.reliability {
+        reducer = reducer.with_dedup();
+    }
+    if config.nack_recovery {
+        reducer = reducer.with_nack_recovery(slot as u32, config, dep.nack_sources(r, mappers));
+    }
+    reducer
 }
 
 /// Splits a partition of pairs into DAIET packets.
@@ -236,11 +299,11 @@ struct ReplaySchedule {
 /// instead start empty and feed one round at a time through
 /// [`enqueue_round`](Self::enqueue_round) (see
 /// [`IterativeRunner`], which also restarts the pacing timer from
-/// outside via [`daiet_netsim::Simulator::schedule_timer`]).
+/// outside, via the backend's own timer facility).
 pub struct PacedSenderNode {
     frames: Vec<Frame>,
     next: usize,
-    gap: SimDuration,
+    gap: Duration,
     label: &'static str,
     /// Per-tree replay retention (None when recovery is off — then
     /// incoming frames are ignored, as before).
@@ -277,7 +340,7 @@ pub struct PacedSenderNode {
 impl PacedSenderNode {
     /// A sender that transmits `frames` in order, one every `gap`;
     /// `label` names the node in traces.
-    pub fn new(frames: Vec<Frame>, gap: SimDuration, label: &'static str) -> PacedSenderNode {
+    pub fn new(frames: Vec<Frame>, gap: Duration, label: &'static str) -> PacedSenderNode {
         PacedSenderNode {
             frames,
             next: 0,
@@ -296,8 +359,8 @@ impl PacedSenderNode {
 
     /// The pacing gap with the straggler throttle and congestion backoff
     /// applied.
-    fn effective_gap(&self) -> SimDuration {
-        SimDuration::from_nanos(
+    fn effective_gap(&self) -> Duration {
+        Duration::from_nanos(
             self.gap
                 .as_nanos()
                 .saturating_mul(u64::from(self.slowdown.max(1)))
@@ -431,7 +494,7 @@ impl PacedSenderNode {
 }
 
 impl Node for PacedSenderNode {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+    fn on_packet(&mut self, ctx: &mut dyn Fabric, _port: PortId, frame: Frame) {
         // Senders only ever act on NACKs, and only when replay is armed.
         let Some(store) = self.replay.as_ref() else { return };
         let Some((hdr, _src, parsed)) = receive_daiet(frame) else { return };
@@ -479,7 +542,7 @@ impl Node for PacedSenderNode {
         }
     }
 
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Fabric) {
         // Iterative senders start with an empty queue; their harness arms
         // the pacing timer itself when it enqueues the first round.
         if !self.frames.is_empty() {
@@ -488,7 +551,7 @@ impl Node for PacedSenderNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
         if self.next < self.frames.len() {
             ctx.send(PortId(0), self.frames[self.next].clone());
             self.next += 1;
@@ -527,9 +590,9 @@ impl CollectorStats {
     /// iterative runs, where the collector's counters are cumulative
     /// across rounds. Panics if any counter shrank (mismatched
     /// snapshots), the shared policy of
-    /// [`daiet_netsim::stats::counter_delta`].
+    /// [`daiet_fabric::counter_delta`].
     pub fn delta(&self, earlier: &CollectorStats) -> CollectorStats {
-        let sub = daiet_netsim::stats::counter_delta;
+        let sub = daiet_fabric::counter_delta;
         CollectorStats {
             data_packets: sub(self.data_packets, earlier.data_packets, "data_packets"),
             end_packets: sub(self.end_packets, earlier.end_packets, "end_packets"),
@@ -686,7 +749,7 @@ pub struct SenderHost {
     endpoints: Endpoints,
     packetizer: Packetizer,
     /// Pace between frames (keeps egress queues shallow in examples).
-    pub gap: SimDuration,
+    pub gap: Duration,
     queue: Vec<Frame>,
     next: usize,
 }
@@ -705,7 +768,7 @@ impl SenderHost {
             pairs,
             endpoints,
             packetizer: Packetizer::new(config),
-            gap: SimDuration::from_micros(1),
+            gap: Duration::from_micros(1),
             queue: Vec::new(),
             next: 0,
         }
@@ -713,9 +776,9 @@ impl SenderHost {
 }
 
 impl Node for SenderHost {
-    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+    fn on_packet(&mut self, _ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {}
 
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Fabric) {
         self.queue = self.packetizer.frames(
             self.tree_id,
             &self.pairs,
@@ -726,7 +789,7 @@ impl Node for SenderHost {
         ctx.schedule(self.gap, 0);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
         if self.next < self.queue.len() {
             ctx.send(PortId(0), self.queue[self.next].clone());
             self.next += 1;
@@ -744,7 +807,7 @@ pub struct ReducerHost {
     /// The collector; read it out after the run.
     pub collector: Collector,
     /// Completion time, once reached.
-    pub completed_at: Option<daiet_netsim::SimTime>,
+    pub completed_at: Option<Time>,
     /// Receive-side reliability (dedup and/or NACK recovery — the
     /// default guard is the paper-faithful fire-and-forget path).
     guard: crate::reliability::ReceiverGuard,
@@ -839,7 +902,7 @@ impl ReducerHost {
 }
 
 impl Node for ReducerHost {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+    fn on_packet(&mut self, ctx: &mut dyn Fabric, _port: PortId, frame: Frame) {
         let Some((hdr, src, parsed)) = receive_daiet(frame) else {
             return;
         };
@@ -852,11 +915,11 @@ impl Node for ReducerHost {
         self.guard.arm(ctx);
     }
 
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Fabric) {
         self.guard.arm(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
         self.guard.on_timer(ctx);
     }
 
@@ -865,542 +928,10 @@ impl Node for ReducerHost {
     }
 }
 
-/// A host that takes no part in the job: receives and drops. Occupies
-/// plan slots the placement leaves unused.
-struct IdleHost;
-
-impl Node for IdleHost {
-    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
-
-    fn name(&self) -> String {
-        "idle-host".into()
-    }
-}
-
-/// How an [`IterativeRunner`] deployment is shaped: the same knobs the
-/// one-shot workloads pass to their runners, minus anything per-round.
-#[derive(Debug, Clone)]
-pub struct IterativeSpec {
-    /// DAIET parameters (reliability/recovery switches included).
-    pub config: DaietConfig,
-    /// Aggregation function for every tree.
-    pub agg: AggFn,
-    /// The fabric.
-    pub plan: daiet_netsim::topology::TopologyPlan,
-    /// Plan slots acting as iterative senders (ML workers, graph
-    /// workers).
-    pub senders: Vec<usize>,
-    /// Plan slots acting as reducers (parameter server, inbox collector);
-    /// one aggregation tree each.
-    pub reducers: Vec<usize>,
-    /// Switch chip profile.
-    pub resources: daiet_dataplane::Resources,
-    /// Aggregate in-network or pass through.
-    pub mode: crate::controller::AggregationMode,
-    /// Gap between frames at each sender.
-    pub pacing: SimDuration,
-    /// Copies of each frame senders transmit (1 = none; >1 requires
-    /// `config.reliability` so duplicates are suppressed).
-    pub redundancy: u32,
-    /// Simulation seed.
-    pub seed: u64,
-    /// Execution partitions for the simulator (default: the
-    /// `DAIET_PARTITIONS` environment variable, else 1). Round results
-    /// must be bit-identical at any setting.
-    pub partitions: usize,
-}
-
-impl IterativeSpec {
-    /// Paper-shaped defaults over `plan`: in-network aggregation with
-    /// SUM, 1 µs pacing, no redundancy.
-    pub fn new(
-        config: DaietConfig,
-        plan: daiet_netsim::topology::TopologyPlan,
-        senders: Vec<usize>,
-        reducers: Vec<usize>,
-    ) -> IterativeSpec {
-        IterativeSpec {
-            config,
-            agg: AggFn::Sum,
-            plan,
-            senders,
-            reducers,
-            resources: daiet_dataplane::Resources::tofino_like(),
-            mode: crate::controller::AggregationMode::InNetwork,
-            pacing: SimDuration::from_micros(1),
-            redundancy: 1,
-            seed: 7,
-            partitions: daiet_netsim::env_partitions(),
-        }
-    }
-}
-
-/// What one round of an [`IterativeRunner`] produced.
-#[derive(Debug)]
-pub struct IterRound {
-    /// Round index (0-based).
-    pub round: u64,
-    /// Each reducer's aggregated pairs for this round, sorted by key.
-    pub per_reducer: Vec<Vec<(Key, u32)>>,
-    /// Each reducer's collector-counter growth during this round.
-    pub reducer_stats: Vec<CollectorStats>,
-    /// Simulator counter growth during this round (frames, bytes,
-    /// drops — per node and link).
-    pub net: daiet_netsim::StatsSnapshot,
-}
-
-/// Drives an iterative workload **round by round over one long-lived
-/// simulation**: the same switches, register arrays, dedup windows, gap
-/// trackers and sequence spaces serve every round, exactly as an
-/// in-network deployment would run a training job or a Pregel
-/// computation. This is the packet-level counterpart of the analytic
-/// fig-1 models — and the first harness to drive the reliability layer's
-/// round-reopening path end to end.
-///
-/// Per round ([`run_round`](Self::run_round)):
-///
-/// 1. each sender's shards are packetized **continuing its per-tree
-///    sequence space** (dedup and gap tracking stay sound across rounds),
-///    interleaved at an offset that *rotates* with the round (fairness:
-///    no tree is always drained first), optionally expanded
-///    `k`-redundantly, and appended to the sender's pacing queue;
-/// 2. the simulation runs to quiescence — the **round barrier**. With
-///    NACK recovery armed, quiescence implies every gap was either
-///    recovered or given up on; the runner then *requires* every reducer
-///    to be complete **and** satisfied (gapless through every END), so a
-///    round with unrecoverable data fails loudly instead of feeding a
-///    silently-partial aggregate to the next step;
-/// 3. each reducer's round result is drained ([`ReducerHost::take_round`]
-///    — the flow stays open: the next round's frames reopen it), and
-///    host-side replay retention plus transmitted frames are **retired**,
-///    keeping memory bounded at O(one round) over arbitrarily many steps.
-pub struct IterativeRunner {
-    spec: IterativeSpec,
-    sim: daiet_netsim::Simulator,
-    deployment: crate::controller::Deployment,
-    /// Node ids by plan slot.
-    ids: Vec<daiet_netsim::NodeId>,
-    /// Per sender (spec order), per tree id: next free sequence number.
-    next_seq: Vec<FnvHashMap<u16, u32>>,
-    /// END frames each reducer must see per round.
-    expected_per_round: Vec<u32>,
-    /// Live roster: `active[i]` is whether sender `i` (spec order) takes
-    /// part in rounds. Toggled by [`set_sender_active`](Self::set_sender_active);
-    /// a toggle only takes effect once [`replan`](Self::replan) has
-    /// redefined trees and END expectations over the new roster.
-    active: Vec<bool>,
-    round: u64,
-}
-
-impl IterativeRunner {
-    /// Deploys `spec` onto a fresh simulator: controller-built switches,
-    /// one empty [`PacedSenderNode`] per sender (replay armed when
-    /// recovery is on), one [`ReducerHost`] per reducer (dedup/NACK per
-    /// the config).
-    pub fn build(spec: IterativeSpec) -> Result<IterativeRunner, String> {
-        use crate::controller::{Controller, JobPlacement};
-        use daiet_netsim::topology::Role;
-
-        if spec.redundancy > 1 && !spec.config.reliability {
-            return Err(
-                "redundancy > 1 without reliability would double-count: duplicate ENDs \
-                 corrupt round accounting"
-                    .into(),
-            );
-        }
-        let controller = Controller::new(spec.config, spec.agg);
-        let placement = JobPlacement {
-            mappers: spec.senders.clone(),
-            reducers: spec.reducers.clone(),
-        };
-        let (dep, mut switches) = controller
-            .deploy(&spec.plan, &placement, spec.resources, spec.mode)
-            .map_err(|e| e.to_string())?;
-
-        let pmap = spec.plan.partition_map(spec.partitions);
-        let mut sim = daiet_netsim::Simulator::with_partitions(spec.seed, pmap);
-        let mut ids = Vec::with_capacity(spec.plan.len());
-        let expected_per_round: Vec<u32> = (0..spec.reducers.len())
-            .map(|r| dep.expected_ends(r, spec.senders.len()))
-            .collect();
-        for slot in 0..spec.plan.len() {
-            let id = match spec.plan.role(slot) {
-                Role::Host => {
-                    if spec.senders.contains(&slot) {
-                        let mut node =
-                            PacedSenderNode::new(Vec::new(), spec.pacing, "iter-sender");
-                        if spec.config.nack_recovery {
-                            node.arm_replay();
-                        }
-                        sim.add_node(Box::new(node))
-                    } else if !spec.reducers.contains(&slot) {
-                        // A fabric host taking no part in the job: an
-                        // inert NIC (plans are built in standard shapes,
-                        // so a leaf may hold more hosts than the job
-                        // uses).
-                        sim.add_node(Box::new(IdleHost))
-                    } else {
-                        let r = spec
-                            .reducers
-                            .iter()
-                            .position(|&s| s == slot)
-                            .expect("checked above");
-                        let mut reducer =
-                            ReducerHost::new(controller.agg_for(r), expected_per_round[r]);
-                        if spec.config.reliability {
-                            reducer = reducer.with_dedup();
-                        }
-                        if spec.config.nack_recovery {
-                            let tree = dep.tree_id(r);
-                            let sources = dep
-                                .reducer_sources(r, &spec.senders)
-                                .into_iter()
-                                .map(|src| (tree, src));
-                            reducer =
-                                reducer.with_nack_recovery(slot as u32, &spec.config, sources);
-                        }
-                        sim.add_node(Box::new(reducer))
-                    }
-                }
-                Role::Switch => sim.add_node(Box::new(
-                    switches.remove(&slot).expect("controller built every switch"),
-                )),
-            };
-            ids.push(id);
-        }
-        spec.plan.wire(&mut sim, &ids);
-        // Fire every node's `on_start` now, so the first round's enqueue
-        // finds the same steady state as every later round's.
-        sim.run_until(daiet_netsim::SimTime::ZERO);
-
-        let next_seq = vec![FnvHashMap::default(); spec.senders.len()];
-        let active = vec![true; spec.senders.len()];
-        Ok(IterativeRunner {
-            spec,
-            sim,
-            deployment: dep,
-            ids,
-            next_seq,
-            expected_per_round,
-            active,
-            round: 0,
-        })
-    }
-
-    /// Runs one round: `shards[i][r]` is what sender `i` owes reducer
-    /// `r`'s tree this round (an empty shard still ships its END — every
-    /// rostered flow must close every round). Returns each reducer's
-    /// aggregated round result, or an error naming the first reducer
-    /// whose round could not be completed exactly (e.g. data lost beyond
-    /// the NACK budget).
-    pub fn run_round(&mut self, shards: &[Vec<Vec<Pair>>]) -> Result<IterRound, String> {
-        assert_eq!(shards.len(), self.spec.senders.len(), "one shard list per sender");
-        let packetizer = Packetizer::new(&self.spec.config);
-        let snap_before = self.sim.snapshot();
-        let stats_before: Vec<CollectorStats> = (0..self.spec.reducers.len())
-            .map(|r| self.reducer(r).collector.stats())
-            .collect();
-
-        for (i, sender_shards) in shards.iter().enumerate() {
-            assert_eq!(
-                sender_shards.len(),
-                self.spec.reducers.len(),
-                "one shard per reducer per sender"
-            );
-            if !self.active[i] {
-                // A departed worker owes the round nothing — but the
-                // caller handing it data is a bug, not a no-op.
-                if sender_shards.iter().any(|pairs| !pairs.is_empty()) {
-                    return Err(format!(
-                        "round {}: sender {i} is inactive but was handed a non-empty shard",
-                        self.round
-                    ));
-                }
-                continue;
-            }
-            let slot = self.spec.senders[i];
-            let id = self.ids[slot];
-            // Preloaded frames come from the pool of the partition that
-            // owns this sender (pools are `Rc`-backed, partition-local).
-            let pool = self.sim.pool_for(id).clone();
-            let mut queues = Vec::with_capacity(sender_shards.len());
-            let mut replay_parts = Vec::new();
-            for (r, pairs) in sender_shards.iter().enumerate() {
-                let tree = self.deployment.tree_id(r);
-                let ep = self.deployment.endpoints(slot, r);
-                let base = self.next_seq[i].get(&tree).copied().unwrap_or(0);
-                let (frames, next) = packetizer.frames_from_seq(
-                    tree,
-                    pairs,
-                    &ep,
-                    daiet_wire::udp::DAIET_PORT,
-                    base,
-                    &pool,
-                );
-                self.next_seq[i].insert(tree, next);
-                if self.spec.config.nack_recovery {
-                    replay_parts.push((tree, base, frames.clone()));
-                }
-                queues.push(frames);
-            }
-            // The interleave offset rotates with the round so no tree is
-            // permanently first in every sender's transmit order.
-            let offset = i.wrapping_add(self.round as usize);
-            let interleaved = interleave_round_robin(queues, offset);
-            let transmit = crate::reliability::RedundantSender::new(self.spec.redundancy.max(1))
-                .schedule(&interleaved);
-            let node = self
-                .sim
-                .node_mut::<PacedSenderNode>(id)
-                .expect("sender slots hold PacedSenderNodes");
-            node.enqueue_round(transmit, replay_parts);
-            // Restart the pacing chain (it ran dry at the last barrier).
-            let at = self.sim.now() + self.spec.pacing;
-            self.sim.schedule_timer(at, id, 0);
-        }
-
-        // The round barrier: run to quiescence. Every timer in the system
-        // (pacing, NACK) disarms itself when it has nothing left to do,
-        // so the queue drains exactly when no node owes the round
-        // anything more.
-        self.sim.run();
-
-        let round = self.round;
-        let mut per_reducer = Vec::with_capacity(self.spec.reducers.len());
-        let mut reducer_stats = Vec::with_capacity(self.spec.reducers.len());
-        for (r, stats_at_start) in stats_before.iter().enumerate() {
-            let expected = self.expected_per_round[r];
-            let slot = self.spec.reducers[r];
-            let id = self.ids[slot];
-            let node = self
-                .sim
-                .node_mut::<ReducerHost>(id)
-                .expect("reducer slots hold ReducerHosts");
-            let ends = node.collector.ends_seen();
-            if ends != expected {
-                return Err(format!(
-                    "round {round}: reducer {r} saw {ends}/{expected} ENDs at quiescence \
-                     (data lost beyond recovery)"
-                ));
-            }
-            if !node.recovery_satisfied() {
-                return Err(format!(
-                    "round {round}: reducer {r} completed its ENDs but a flow still has \
-                     gaps (NACK budget exhausted — the aggregate would be silently partial)"
-                ));
-            }
-            per_reducer.push(node.take_round());
-            reducer_stats.push(node.collector.stats().delta(stats_at_start));
-        }
-
-        // Round-barrier retirement: everything below each tree's next
-        // free sequence number was delivered and acknowledged-by-silence
-        // (every receiver satisfied), so hosts drop it.
-        for (i, &slot) in self.spec.senders.iter().enumerate() {
-            if !self.active[i] {
-                continue;
-            }
-            let cutoffs: Vec<(u16, u32)> =
-                self.next_seq[i].iter().map(|(&t, &s)| (t, s)).collect();
-            let id = self.ids[slot];
-            let node = self
-                .sim
-                .node_mut::<PacedSenderNode>(id)
-                .expect("sender slots hold PacedSenderNodes");
-            node.retire_round(&cutoffs);
-        }
-
-        self.round += 1;
-        Ok(IterRound {
-            round,
-            per_reducer,
-            reducer_stats,
-            net: self.sim.snapshot().delta(&snap_before),
-        })
-    }
-
-    /// Marks sender `i` (spec order) as present or departed. The roster
-    /// change is **not live** until [`replan`](Self::replan) runs: the
-    /// trees, switch child counters and reducer END expectations still
-    /// describe the old roster, and a round run in between wedges exactly
-    /// the way an unannounced worker departure wedges a real job.
-    pub fn set_sender_active(&mut self, i: usize, active: bool) {
-        self.active[i] = active;
-    }
-
-    /// Whether sender `i` is on the live roster.
-    pub fn sender_active(&self, i: usize) -> bool {
-        self.active[i]
-    }
-
-    /// Throttles sender `i`'s pacing by `factor` (1 = full speed) — the
-    /// straggler knob. Takes effect from the sender's next timer tick;
-    /// no re-plan is needed, a straggler is merely slow.
-    pub fn set_sender_slowdown(&mut self, i: usize, factor: u32) {
-        let id = self.ids[self.spec.senders[i]];
-        self.sim
-            .node_mut::<PacedSenderNode>(id)
-            .expect("sender slots hold PacedSenderNodes")
-            .set_slowdown(factor);
-    }
-
-    /// Arms NACK-driven pacing backoff on sender `i` (see
-    /// [`PacedSenderNode::enable_nack_backoff`]).
-    pub fn enable_sender_backoff(&mut self, i: usize) {
-        let id = self.ids[self.spec.senders[i]];
-        self.sim
-            .node_mut::<PacedSenderNode>(id)
-            .expect("sender slots hold PacedSenderNodes")
-            .enable_nack_backoff();
-    }
-
-    /// Live re-plan around failures and roster changes, at a round
-    /// barrier: rebuilds every aggregation tree over the **active**
-    /// senders while routing around the `dead_switches` (plan slots),
-    /// reconfigures every surviving switch in place (tables cleared and
-    /// rebuilt, engine tree state reinstalled), and re-rosters every
-    /// reducer (END expectations and NACK/dedup guards over the new
-    /// children).
-    ///
-    /// The re-plan starts a fresh **epoch**: every per-tree sequence
-    /// space — sender, switch egress, receiver tracker — restarts at 0,
-    /// which is sound exactly because the previous round completed
-    /// end-to-end (nothing in flight, nothing NACKable below the
-    /// barrier). Dead switches are left untouched (they are down; a
-    /// later re-plan that no longer lists them reconfigures them from
-    /// scratch, which their power-cycled state requires anyway).
-    ///
-    /// Errors if a reducer is unreachable from an active sender with the
-    /// dead switches removed (the fabric is partitioned), or if no
-    /// sender is active.
-    pub fn replan(&mut self, dead_switches: &[usize]) -> Result<(), String> {
-        use crate::controller::{Controller, JobPlacement};
-
-        let live_mappers: Vec<usize> = self
-            .spec
-            .senders
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| self.active[i])
-            .map(|(_, &slot)| slot)
-            .collect();
-        if live_mappers.is_empty() {
-            return Err("re-plan needs at least one active sender".into());
-        }
-        let controller = Controller::new(self.spec.config, self.spec.agg);
-        let placement = JobPlacement {
-            mappers: live_mappers.clone(),
-            reducers: self.spec.reducers.clone(),
-        };
-        let trees = controller
-            .replan_trees(&self.spec.plan, &placement, dead_switches)
-            .map_err(|e| e.to_string())?;
-
-        // Reconfigure every surviving switch in place.
-        let switch_slots: Vec<usize> = self.spec.plan.switches();
-        for slot in switch_slots {
-            if dead_switches.contains(&slot) {
-                continue;
-            }
-            let ext = *self
-                .deployment
-                .engine_externs
-                .get(&slot)
-                .ok_or_else(|| format!("switch {slot} has no registered engine"))?;
-            let mode = self.deployment.mode;
-            let id = self.ids[slot];
-            let switch = self
-                .sim
-                .node_mut::<daiet_dataplane::Switch>(id)
-                .ok_or_else(|| format!("slot {slot} does not hold a Switch"))?;
-            controller
-                .replan_switch(&self.spec.plan, &trees, dead_switches, slot, switch, ext, mode)
-                .map_err(|e| e.to_string())?;
-        }
-        self.deployment.trees = trees;
-
-        // Host-side epoch restart, reducers first: END expectations and
-        // guard rosters over the new trees.
-        self.expected_per_round = (0..self.spec.reducers.len())
-            .map(|r| self.deployment.expected_ends(r, live_mappers.len()))
-            .collect();
-        let config = self.spec.config;
-        for r in 0..self.spec.reducers.len() {
-            let slot = self.spec.reducers[r];
-            let tree = self.deployment.tree_id(r);
-            let sources: Vec<(u16, u32)> = self
-                .deployment
-                .reducer_sources(r, &live_mappers)
-                .into_iter()
-                .map(|src| (tree, src))
-                .collect();
-            let expected = self.expected_per_round[r];
-            let id = self.ids[slot];
-            let reducer = self
-                .sim
-                .node_mut::<ReducerHost>(id)
-                .expect("reducer slots hold ReducerHosts");
-            // Discard whatever a wedged round managed to deliver: the
-            // epoch restart re-delivers that round in full from the
-            // caller's re-submitted shards, so keeping partial pairs
-            // would double-count them.
-            let _ = reducer.take_round();
-            reducer.reroster(slot as u32, &config, sources, expected);
-        }
-
-        // Senders: sequence spaces and replay retention restart at 0
-        // (inactive ones included — if they rejoin later, they rejoin the
-        // current epoch cleanly).
-        for (i, &slot) in self.spec.senders.iter().enumerate() {
-            self.next_seq[i].clear();
-            let id = self.ids[slot];
-            self.sim
-                .node_mut::<PacedSenderNode>(id)
-                .expect("sender slots hold PacedSenderNodes")
-                .reset_epoch();
-        }
-        Ok(())
-    }
-
-    /// Rounds completed so far.
-    pub fn rounds_run(&self) -> u64 {
-        self.round
-    }
-
-    /// The deployment the controller computed.
-    pub fn deployment(&self) -> &crate::controller::Deployment {
-        &self.deployment
-    }
-
-    /// Node id of plan `slot`.
-    pub fn node_id(&self, slot: usize) -> daiet_netsim::NodeId {
-        self.ids[slot]
-    }
-
-    /// The underlying simulator (stats, engine introspection).
-    pub fn sim(&self) -> &daiet_netsim::Simulator {
-        &self.sim
-    }
-
-    /// Mutable simulator access — e.g. to script links before a round.
-    pub fn sim_mut(&mut self) -> &mut daiet_netsim::Simulator {
-        &mut self.sim
-    }
-
-    /// The reducer node for reducer index `r`.
-    pub fn reducer(&self, r: usize) -> &ReducerHost {
-        self.sim
-            .node_ref::<ReducerHost>(self.ids[self.spec.reducers[r]])
-            .expect("reducer slots hold ReducerHosts")
-    }
-
-    /// The sender node for sender index `i`.
-    pub fn sender(&self, i: usize) -> &PacedSenderNode {
-        self.sim
-            .node_ref::<PacedSenderNode>(self.ids[self.spec.senders[i]])
-            .expect("sender slots hold PacedSenderNodes")
-    }
-}
+/// The iterative round-by-round machinery ([`IterativeRunner`] and
+/// friends) lives in [`crate::iterative`]; it is re-exported here so
+/// historical `daiet::worker::IterativeRunner` paths keep working.
+pub use crate::iterative::{IterRound, IterativeRunner, IterativeSpec};
 
 #[cfg(test)]
 mod tests {
@@ -1547,60 +1078,6 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(sorted, (0..n as u8).collect::<Vec<u8>>(), "unfair window {w:?}");
         }
-    }
-
-    /// Two senders × two reducers × three rounds over a real star fabric:
-    /// per-round results are exact and independent, sequence spaces carry
-    /// across rounds, and host memory stays bounded by retirement.
-    #[test]
-    fn iterative_runner_runs_rounds_on_one_simulation() {
-        use daiet_netsim::topology::TopologyPlan;
-        let config = DaietConfig {
-            register_cells: 256,
-            reliability: true,
-            nack_recovery: true,
-            ..DaietConfig::default()
-        }
-        .with_rtx_sized_for_flush();
-        let plan = TopologyPlan::star(4, daiet_netsim::LinkSpec::fast());
-        let spec = IterativeSpec::new(config, plan, vec![0, 1], vec![2, 3]);
-        let mut runner = IterativeRunner::build(spec).unwrap();
-        for round in 0..3u32 {
-            // Sender i ships ("w", round+1+i) to reducer 0's tree and a
-            // round-unique key to reducer 1's tree.
-            let shards: Vec<Vec<Vec<Pair>>> = (0..2u32)
-                .map(|i| {
-                    vec![
-                        vec![Pair::new(key("w"), round + 1 + i)],
-                        vec![Pair::new(key(&format!("r{round}")), 10 + i)],
-                    ]
-                })
-                .collect();
-            let out = runner.run_round(&shards).unwrap();
-            assert_eq!(out.round, u64::from(round));
-            // Reducer 0: the two senders' "w" values, switch-aggregated.
-            assert_eq!(out.per_reducer[0], vec![(key("w"), 2 * round + 3)]);
-            // Reducer 1: only this round's key — earlier rounds were
-            // drained at their own barriers.
-            assert_eq!(out.per_reducer[1], vec![(key(&format!("r{round}")), 21)]);
-            // In-network: exactly one switch END per reducer per round.
-            assert_eq!(out.reducer_stats[0].end_packets, 1);
-            // Per-round net counters are deltas, not cumulative: the
-            // reducers received a handful of frames, not the whole run.
-            let rnode = runner.node_id(2);
-            assert!(out.net.nodes[rnode.0].frames_in >= 2);
-            assert!(out.net.nodes[rnode.0].frames_in < 10);
-        }
-        assert_eq!(runner.rounds_run(), 3);
-        // Retirement bounded the host-side state: pacing queues drained,
-        // replay retention empty (every round was fully acknowledged).
-        for i in 0..2 {
-            assert_eq!(runner.sender(i).pending(), 0);
-            assert_eq!(runner.sender(i).replay_retained(), 0);
-        }
-        // Sequence spaces carried across rounds: round 2's frames were
-        // not treated as replays of round 0's.
-        assert_eq!(runner.reducer(0).duplicates_suppressed(), 0);
     }
 
     #[test]

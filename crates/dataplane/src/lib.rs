@@ -26,7 +26,7 @@
 //! * [`pipeline`] — the staged match-action pipeline plus the [`pipeline::SwitchExtern`]
 //!   hook through which bounded stateful programs (like DAIET's Algorithm 1)
 //!   attach;
-//! * [`switch`] — a [`daiet_netsim::Node`] wrapping a pipeline, with packet
+//! * [`switch`] — a [`daiet_fabric::Node`] wrapping a pipeline, with packet
 //!   and operation statistics.
 
 #![forbid(unsafe_code)]

@@ -7,7 +7,7 @@
 //! declared entry list extends beyond the parse budget is flagged
 //! [`ParsedPacket::daiet_truncated`] and must travel unaggregated.
 
-use daiet_netsim::Frame;
+use daiet_fabric::Frame;
 use daiet_wire::daiet::Pair;
 use daiet_wire::{daiet, ethernet, ipv4, tcpseg, udp, Error as WireError};
 

@@ -12,7 +12,7 @@
 use crate::parser::ParsedPacket;
 use crate::resources::{ResourceError, Resources, SramTracker};
 use crate::table::Table;
-use daiet_netsim::{Frame, FramePool, PortId, SimDuration, SimTime};
+use daiet_fabric::{Duration, Frame, FramePool, PortId, Time};
 
 /// Identifies a registered extern within one switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,10 +35,10 @@ pub struct PacketCtx {
     pub ops: usize,
     /// Times this packet has been recirculated.
     pub recircs: u32,
-    /// Simulated arrival time ([`SimTime::ZERO`] outside a simulator run,
+    /// Simulated arrival time ([`Time::ZERO`] outside a simulator run,
     /// e.g. in unit tests that drive the pipeline directly). Externs with
     /// time-based state (NACK timeouts) read this.
-    pub now: SimTime,
+    pub now: Time,
 }
 
 /// Forwarding decision for the original packet.
@@ -67,12 +67,12 @@ impl PacketCtx {
             egress: Egress::Unset,
             ops: 0,
             recircs: 0,
-            now: SimTime::ZERO,
+            now: Time::ZERO,
         }
     }
 
     /// Like [`PacketCtx::new`], stamped with the simulated arrival time.
-    pub fn at(in_port: PortId, parsed: ParsedPacket, now: SimTime) -> PacketCtx {
+    pub fn at(in_port: PortId, parsed: ParsedPacket, now: Time) -> PacketCtx {
         PacketCtx { now, ..PacketCtx::new(in_port, parsed) }
     }
 
@@ -146,7 +146,7 @@ pub trait SwitchExtern: std::any::Any {
     /// purely packet-driven extern (the default). A switch only arms the
     /// timer while [`SwitchExtern::wants_tick`] holds, so a quiescent
     /// extern costs no events.
-    fn tick_interval(&self) -> Option<SimDuration> {
+    fn tick_interval(&self) -> Option<Duration> {
         None
     }
 
@@ -160,12 +160,12 @@ pub trait SwitchExtern: std::any::Any {
 
     /// Runs one timer tick at simulated time `now`, returning frames to
     /// transmit (e.g. NACKs toward children whose flows timed out).
-    fn on_tick(&mut self, _now: SimTime, _pool: &FramePool) -> Vec<ExternEmission> {
+    fn on_tick(&mut self, _now: Time, _pool: &FramePool) -> Vec<ExternEmission> {
         Vec::new()
     }
 
     /// The switch hosting this extern lost power (a scripted node
-    /// failure — see [`daiet_netsim::NodeScript`]): every piece of
+    /// failure — see the simulator’s `NodeScript`): every piece of
     /// volatile state (registers, rings, trackers) must be dropped, as
     /// SRAM contents do not survive a power cycle. Default: stateless,
     /// nothing to drop.

@@ -1,9 +1,9 @@
 //! The switch device: parser + pipeline + externs behind a
-//! [`daiet_netsim::Node`] interface, with per-switch statistics.
+//! [`daiet_fabric::Node`] interface, with per-switch statistics.
 
 use crate::parser::{parse, ParseError, ParserConfig};
 use crate::pipeline::{Egress, ExternId, PacketCtx, Pipeline, SwitchExtern};
-use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimTime};
+use daiet_fabric::{Fabric, Frame, FramePool, Node, PortId, Time};
 
 /// Counters a switch maintains about its own processing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -84,7 +84,7 @@ impl Switch {
     /// already armed. Called after starts, packets and ticks — the timer
     /// therefore lapses exactly when the extern reports quiescence, so a
     /// finished simulation's event queue still drains.
-    fn arm_ticks(&mut self, ctx: &mut Context<'_>) {
+    fn arm_ticks(&mut self, ctx: &mut dyn Fabric) {
         for (i, ext) in self.externs.iter().enumerate() {
             if !self.tick_armed[i] && ext.wants_tick() {
                 if let Some(interval) = ext.tick_interval() {
@@ -133,7 +133,7 @@ impl Switch {
         pool: &FramePool,
     ) -> Vec<(PortId, Frame)> {
         let mut outputs = Vec::new();
-        self.process_into(in_port, frame, port_count, pool, SimTime::ZERO, &mut outputs);
+        self.process_into(in_port, frame, port_count, pool, Time::ZERO, &mut outputs);
         outputs
     }
 
@@ -147,7 +147,7 @@ impl Switch {
         frame: Frame,
         port_count: usize,
         pool: &FramePool,
-        now: SimTime,
+        now: Time,
         out: &mut Vec<(PortId, Frame)>,
     ) {
         self.stats.packets_in += 1;
@@ -219,7 +219,7 @@ impl core::fmt::Debug for Switch {
 }
 
 impl Node for Switch {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+    fn on_packet(&mut self, ctx: &mut dyn Fabric, port: PortId, frame: Frame) {
         let port_count = ctx.port_count();
         let now = ctx.now();
         let mut out = std::mem::take(&mut self.scratch);
@@ -232,11 +232,11 @@ impl Node for Switch {
         self.arm_ticks(ctx);
     }
 
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Fabric) {
         self.arm_ticks(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Fabric, token: u64) {
         let i = token as usize;
         let Some(ext) = self.externs.get_mut(i) else {
             return;
@@ -268,7 +268,7 @@ impl Node for Switch {
         }
     }
 
-    fn on_revive(&mut self, ctx: &mut Context<'_>) {
+    fn on_revive(&mut self, ctx: &mut dyn Fabric) {
         self.arm_ticks(ctx);
     }
 
@@ -360,8 +360,8 @@ mod tests {
             sent: bool,
         }
         impl Node for Sender {
-            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {}
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
+            fn on_packet(&mut self, _: &mut dyn Fabric, _: PortId, _: Frame) {}
+            fn on_start(&mut self, ctx: &mut dyn Fabric) {
                 if !self.sent {
                     self.sent = true;
                     ctx.send(PortId(0), frame(1, 2));
@@ -373,7 +373,7 @@ mod tests {
             got: usize,
         }
         impl Node for Receiver {
-            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {
+            fn on_packet(&mut self, _: &mut dyn Fabric, _: PortId, _: Frame) {
                 self.got += 1;
             }
         }
@@ -395,7 +395,8 @@ mod tests {
     #[test]
     fn extern_ticks_run_until_quiescent() {
         use crate::pipeline::{ExternOutput, PacketCtx, SwitchExtern};
-        use daiet_netsim::{FramePool, LinkSpec, SimDuration, Simulator};
+        use daiet_fabric::Duration;
+        use daiet_netsim::{FramePool, LinkSpec, Simulator};
 
         /// Emits one probe frame per tick until it has emitted `budget`.
         struct Ticker {
@@ -406,13 +407,13 @@ mod tests {
             fn invoke(&mut self, _: &mut PacketCtx, _: u32, _: &FramePool) -> ExternOutput {
                 ExternOutput::default()
             }
-            fn tick_interval(&self) -> Option<SimDuration> {
-                Some(SimDuration::from_micros(10))
+            fn tick_interval(&self) -> Option<Duration> {
+                Some(Duration::from_micros(10))
             }
             fn wants_tick(&self) -> bool {
                 self.ticks < self.budget
             }
-            fn on_tick(&mut self, _now: SimTime, pool: &FramePool) -> Vec<(PortId, Frame)> {
+            fn on_tick(&mut self, _now: Time, pool: &FramePool) -> Vec<(PortId, Frame)> {
                 self.ticks += 1;
                 vec![(PortId(0), pool.copy_from_slice(b"tick"))]
             }
@@ -421,7 +422,7 @@ mod tests {
         #[derive(Default)]
         struct Sink(usize);
         impl Node for Sink {
-            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {
+            fn on_packet(&mut self, _: &mut dyn Fabric, _: PortId, _: Frame) {
                 self.0 += 1;
             }
         }

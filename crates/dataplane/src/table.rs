@@ -386,8 +386,8 @@ mod tests {
     use super::*;
     use crate::parser::{parse, ParserConfig};
     use crate::pipeline::PacketCtx;
-    use daiet_netsim::Frame;
-    use daiet_netsim::PortId;
+    use daiet_fabric::Frame;
+    use daiet_fabric::PortId;
     use daiet_wire::stack::{build_udp, Endpoints};
 
     fn pkt(src: u32, dst: u32, sport: u16, dport: u16) -> PacketCtx {

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loopback;
 pub mod metrics;
 pub mod runner;
 pub mod serialize;

@@ -174,7 +174,7 @@ impl Runner {
     }
 
     /// Mapper plan slots (hosts `0..n_mappers` in the star plan).
-    fn placement(&self, plan: &TopologyPlan) -> JobPlacement {
+    pub(crate) fn placement(&self, plan: &TopologyPlan) -> JobPlacement {
         let hosts = plan.hosts();
         let spec = &self.corpus.spec;
         assert!(hosts.len() >= spec.n_mappers + spec.n_reducers, "plan too small");
@@ -334,26 +334,14 @@ impl Runner {
                             .iter()
                             .position(|&s| s == slot)
                             .expect("host is mapper or reducer");
-                        let mut reducer = ReducerHost::new(
+                        sim.add_node(Box::new(daiet::worker::reducer_host(
+                            &self.daiet_config,
                             AggFn::Sum,
-                            dep.expected_ends(r, spec.n_mappers),
-                        );
-                        if self.daiet_config.reliability {
-                            reducer = reducer.with_dedup();
-                        }
-                        if self.daiet_config.nack_recovery {
-                            let tree = dep.tree_id(r);
-                            let sources = dep
-                                .reducer_sources(r, &placement.mappers)
-                                .into_iter()
-                                .map(|src| (tree, src));
-                            reducer = reducer.with_nack_recovery(
-                                slot as u32,
-                                &self.daiet_config,
-                                sources,
-                            );
-                        }
-                        sim.add_node(Box::new(reducer))
+                            &dep,
+                            r,
+                            slot,
+                            &placement.mappers,
+                        )))
                     }
                 }
                 Role::Switch => sim.add_node(Box::new(

@@ -19,22 +19,27 @@
 //! crosses the event loop, so the steady-state hot path performs no heap
 //! allocation (see the [`frame`] module and `ARCHITECTURE.md`).
 //!
+//! Nodes are written against the backend-agnostic `daiet-fabric` traits
+//! ([`Node`] callbacks take `&mut dyn Fabric`), so the same
+//! implementations also run on that crate's real-time UDP backend; this
+//! simulator is the virtual-time [`Fabric`] implementation.
+//!
 //! ```
-//! use daiet_netsim::{Simulator, Node, Context, Frame, PortId, LinkSpec};
+//! use daiet_netsim::{Simulator, Node, Fabric, Frame, PortId, LinkSpec};
 //!
 //! struct Echo;
 //! impl Node for Echo {
-//!     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+//!     fn on_packet(&mut self, ctx: &mut dyn Fabric, port: PortId, frame: Frame) {
 //!         ctx.send(port, frame); // bounce it straight back (no copy)
 //!     }
 //! }
 //!
 //! struct Counter(usize);
 //! impl Node for Counter {
-//!     fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+//!     fn on_packet(&mut self, _ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {
 //!         self.0 += 1;
 //!     }
-//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!     fn on_start(&mut self, ctx: &mut dyn Fabric) {
 //!         // Outgoing frames are built in pooled buffers.
 //!         let mut buf = ctx.pool().buffer();
 //!         buf.resize(64, 0);
@@ -68,7 +73,7 @@ pub mod topology;
 
 pub use frame::{Frame, FramePool, PoolStats};
 pub use link::{FaultDecision, FaultProfile, LinkScript, LinkSpec};
-pub use node::{Context, Node, NodeId, NodeScript, PortId};
+pub use node::{Context, Fabric, Node, NodeId, NodeScript, PortId};
 pub use sim::{PartitionMap, Simulator};
 pub use stats::{LinkStats, NodeStats, StatsSnapshot};
 pub use time::{SimDuration, SimTime};

@@ -1,5 +1,8 @@
-//! The [`Node`] trait implemented by every simulated device (host NIC
-//! stack, switch, middlebox) and the [`Context`] handed to its callbacks.
+//! The simulator's side of the fabric boundary: [`Node`] and the id
+//! types are re-exported from `daiet-fabric` (handlers are written
+//! against `&mut dyn Fabric` and never name a backend), while
+//! [`Context`] — the simulator's [`Fabric`] implementation — and
+//! [`NodeScript`] live here.
 
 use crate::event::{EventKind, RemoteEvent};
 use crate::frame::{Frame, FramePool};
@@ -7,51 +10,8 @@ use crate::link::{NetCtx, PortTable};
 use crate::stats::StatsTable;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
-use std::any::Any;
 
-/// Identifies a node within one simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub usize);
-
-/// Identifies a port on a node. Ports are numbered 0.. in the order links
-/// were attached.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PortId(pub usize);
-
-/// A simulated device.
-///
-/// Handlers receive a [`Context`] through which they interact with the
-/// world (send frames, arm timers, read the clock, draw random numbers).
-/// The `Any` supertrait lets callers recover the concrete type after a run
-/// via [`crate::Simulator::node_ref`].
-pub trait Node: Any {
-    /// A frame arrived on `port`.
-    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame);
-
-    /// A timer armed via [`Context::schedule`] fired.
-    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
-
-    /// Called once before the first event, in node-id order; the usual
-    /// place to kick off transmissions or arm the first timer.
-    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
-
-    /// A scripted failure (see [`crate::NodeScript`]) killed this node:
-    /// volatile state — registers, rings, trackers, pending work — must be
-    /// dropped here, exactly as a power cycle would. No [`Context`] is
-    /// provided: a dead node cannot send or schedule. Events addressed to
-    /// the node while it is down are discarded by the simulator.
-    fn on_fail(&mut self) {}
-
-    /// The node revived after a scripted failure. It comes back *cold*
-    /// (whatever `on_fail` dropped stays dropped); this hook is the place
-    /// to re-arm timers or restart periodic work.
-    fn on_revive(&mut self, _ctx: &mut Context<'_>) {}
-
-    /// Human-readable name for traces and panics.
-    fn name(&self) -> String {
-        "node".to_string()
-    }
-}
+pub use daiet_fabric::{Fabric, Node, NodeId, PortId};
 
 /// A scripted kill/revive schedule for one node — the node-level sibling
 /// of [`crate::LinkScript`]. While a node is down, the simulator drops
@@ -193,7 +153,37 @@ impl Context<'_> {
     /// simulation seed and the node id. Streams are per-node (never
     /// shared) so one node's draws cannot shift another's — a requirement
     /// for partitioned runs to match single-threaded ones bit-for-bit.
+    ///
+    /// Deliberately *not* part of [`Fabric`]: randomness is a simulation
+    /// concern (fault scripts, synthetic workloads), not a protocol one,
+    /// and keeping it here is what guarantees protocol nodes stay
+    /// backend-portable.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+}
+
+/// The simulator's dispatch context *is* a fabric: node handlers written
+/// against `&mut dyn Fabric` run under the discrete-event engine with no
+/// adapter. Each method delegates to the inherent one above.
+impl Fabric for Context<'_> {
+    fn now(&self) -> SimTime {
+        Context::now(self)
+    }
+
+    fn send(&mut self, port: PortId, frame: Frame) {
+        Context::send(self, port, frame)
+    }
+
+    fn schedule(&mut self, delay: SimDuration, token: u64) {
+        Context::schedule(self, delay, token)
+    }
+
+    fn pool(&self) -> &FramePool {
+        Context::pool(self)
+    }
+
+    fn port_count(&self) -> usize {
+        Context::port_count(self)
     }
 }

@@ -413,13 +413,13 @@ fn run_worker(
 /// of [`node_stats`](Self::node_stats)/[`link_stats`](Self::link_stats).
 ///
 /// ```
-/// use daiet_netsim::{Context, Frame, LinkSpec, Node, PortId, SimTime, Simulator};
+/// use daiet_netsim::{Fabric, Frame, LinkSpec, Node, PortId, SimTime, Simulator};
 ///
 /// /// Counts every frame it receives.
 /// #[derive(Default)]
 /// struct Sink(usize);
 /// impl Node for Sink {
-///     fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+///     fn on_packet(&mut self, _ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {
 ///         self.0 += 1;
 ///     }
 /// }
@@ -822,6 +822,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Fabric;
     use crate::time::SimDuration;
 
     /// Sends `count` frames to port 0 on start, spaced by a timer.
@@ -838,11 +839,11 @@ mod tests {
     }
 
     impl Node for Blaster {
-        fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
-        fn on_start(&mut self, ctx: &mut Context<'_>) {
+        fn on_packet(&mut self, _ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {}
+        fn on_start(&mut self, ctx: &mut dyn Fabric) {
             ctx.schedule(SimDuration::from_nanos(1), 0);
         }
-        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
             if self.sent < self.count {
                 let mut buf = ctx.pool().buffer();
                 buf.resize(self.frame_len, 0);
@@ -861,7 +862,7 @@ mod tests {
     }
 
     impl Node for Sink {
-        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+        fn on_packet(&mut self, ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {
             self.arrivals.push(ctx.now());
         }
     }
@@ -950,8 +951,8 @@ mod tests {
         /// Sends one tagged frame when its timer fires.
         struct Tagged(u8);
         impl Node for Tagged {
-            fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
-            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            fn on_packet(&mut self, _ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {}
+            fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
                 ctx.send(PortId(0), Frame::from(vec![self.0; 64]));
             }
         }
@@ -959,7 +960,7 @@ mod tests {
         #[derive(Default)]
         struct TagSink(Vec<u8>);
         impl Node for TagSink {
-            fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+            fn on_packet(&mut self, _ctx: &mut dyn Fabric, _port: PortId, frame: Frame) {
                 self.0.push(frame[0]);
             }
         }
@@ -1029,13 +1030,13 @@ mod tests {
     }
 
     impl Node for MortalSink {
-        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+        fn on_packet(&mut self, ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {
             self.arrivals.push(ctx.now());
         }
         fn on_fail(&mut self) {
             self.failed += 1;
         }
-        fn on_revive(&mut self, _ctx: &mut Context<'_>) {
+        fn on_revive(&mut self, _ctx: &mut dyn Fabric) {
             self.revived += 1;
         }
     }
@@ -1096,11 +1097,11 @@ mod tests {
         /// Re-arms its own timer forever; counts firings.
         struct Ticker(usize);
         impl Node for Ticker {
-            fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
+            fn on_packet(&mut self, _ctx: &mut dyn Fabric, _port: PortId, _frame: Frame) {}
+            fn on_start(&mut self, ctx: &mut dyn Fabric) {
                 ctx.schedule(SimDuration::from_nanos(10), 0);
             }
-            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
                 self.0 += 1;
                 ctx.schedule(SimDuration::from_nanos(10), 0);
             }

@@ -59,20 +59,10 @@ impl NodeStats {
     }
 }
 
-/// Subtracts monotonic counters, loudly: simulator counters only ever
-/// grow, so `later < earlier` means the caller paired snapshots from
-/// different simulations (or swapped the arguments) — a bug that
-/// `saturating_sub` would silently flatten to 0 and `wrapping_sub` would
-/// turn into a near-`u64::MAX` "delta". Panic instead, in release too:
-/// per-round deltas feed acceptance numbers, so a quiet lie is worse
-/// than a crash. Exported so every per-round delta in the workspace
-/// (e.g. `daiet`'s collector stats) shares one subtraction policy.
-#[inline]
-pub fn counter_delta(later: u64, earlier: u64, what: &str) -> u64 {
-    later.checked_sub(earlier).unwrap_or_else(|| {
-        panic!("{what} went backwards ({later} < {earlier}): snapshots are from different runs or swapped")
-    })
-}
+// Loud monotonic-counter subtraction — now shared fabric-wide (the UDP
+// backend's drivers keep the same kind of counters); re-exported here so
+// every per-round delta in the workspace keeps one subtraction policy.
+pub use daiet_fabric::counter_delta;
 
 macro_rules! delta_fields {
     ($later:expr, $earlier:expr, $($field:ident),+) => {

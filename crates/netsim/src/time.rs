@@ -1,177 +1,7 @@
-//! Simulated time: integer nanoseconds since simulation start.
-//!
-//! Integer time (rather than `f64` seconds) keeps event ordering exact and
-//! runs reproducible — two events can only tie at the *same* nanosecond, in
-//! which case the queue's sequence counter breaks the tie.
+//! Simulated time — now the fabric's [`Time`](daiet_fabric::Time)/
+//! [`Duration`](daiet_fabric::Duration) under the simulator's historical
+//! names. One integer-nanosecond type serves both the virtual clock here
+//! and the wall clock of `daiet-fabric`'s UDP backend, so protocol code
+//! written against `SimTime` runs unchanged on either.
 
-use core::fmt;
-use core::ops::{Add, AddAssign, Sub};
-
-/// An instant in simulated time (nanoseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimTime(pub u64);
-
-/// A span of simulated time (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimDuration(pub u64);
-
-impl SimTime {
-    /// The simulation epoch.
-    pub const ZERO: SimTime = SimTime(0);
-
-    /// Nanoseconds since the epoch.
-    pub const fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Seconds since the epoch, as a float (for reporting only).
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// The duration elapsed since `earlier`; saturates at zero.
-    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.saturating_sub(earlier.0))
-    }
-}
-
-impl SimDuration {
-    /// The zero-length duration.
-    pub const ZERO: SimDuration = SimDuration(0);
-
-    /// From nanoseconds.
-    pub const fn from_nanos(ns: u64) -> SimDuration {
-        SimDuration(ns)
-    }
-
-    /// From microseconds.
-    pub const fn from_micros(us: u64) -> SimDuration {
-        SimDuration(us * 1_000)
-    }
-
-    /// From milliseconds.
-    pub const fn from_millis(ms: u64) -> SimDuration {
-        SimDuration(ms * 1_000_000)
-    }
-
-    /// From seconds.
-    pub const fn from_secs(s: u64) -> SimDuration {
-        SimDuration(s * 1_000_000_000)
-    }
-
-    /// Nanoseconds in this duration.
-    pub const fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Seconds, as a float (for reporting only).
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// The wire time for `bytes` at `bits_per_sec`, rounded up to a whole
-    /// nanosecond so transmission never takes zero time.
-    pub fn for_bytes(bytes: usize, bits_per_sec: u64) -> SimDuration {
-        let bits = bytes as u128 * 8;
-        let ns = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
-        SimDuration(ns as u64)
-    }
-
-    /// Scales the duration by an integer factor.
-    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
-        SimDuration(self.0.saturating_mul(factor))
-    }
-}
-
-impl Add<SimDuration> for SimTime {
-    type Output = SimTime;
-    fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
-    }
-}
-
-impl AddAssign<SimDuration> for SimTime {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
-    }
-}
-
-impl Sub<SimTime> for SimTime {
-    type Output = SimDuration;
-    fn sub(self, rhs: SimTime) -> SimDuration {
-        self.duration_since(rhs)
-    }
-}
-
-impl Add for SimDuration {
-    type Output = SimDuration;
-    fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
-    }
-}
-
-impl fmt::Display for SimTime {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6}s", self.as_secs_f64())
-    }
-}
-
-impl fmt::Display for SimDuration {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 < 1_000 {
-            write!(f, "{}ns", self.0)
-        } else if self.0 < 1_000_000 {
-            write!(f, "{:.2}us", self.0 as f64 / 1e3)
-        } else if self.0 < 1_000_000_000 {
-            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
-        } else {
-            write!(f, "{:.3}s", self.as_secs_f64())
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn arithmetic_behaves() {
-        let t = SimTime::ZERO + SimDuration::from_micros(3);
-        assert_eq!(t.as_nanos(), 3_000);
-        let later = t + SimDuration::from_millis(1);
-        assert_eq!(later - t, SimDuration::from_millis(1));
-        // Saturating subtraction for out-of-order comparison.
-        assert_eq!(t - later, SimDuration::ZERO);
-    }
-
-    #[test]
-    fn wire_time_rounds_up() {
-        // 1500 bytes at 10 Gbps = 1.2 us exactly.
-        assert_eq!(
-            SimDuration::for_bytes(1500, 10_000_000_000),
-            SimDuration::from_nanos(1_200)
-        );
-        // 1 byte at 1 Tbps would be 0.008 ns; must round up to 1 ns.
-        assert_eq!(
-            SimDuration::for_bytes(1, 1_000_000_000_000),
-            SimDuration::from_nanos(1)
-        );
-    }
-
-    #[test]
-    fn display_units_scale() {
-        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
-        assert_eq!(SimDuration::from_micros(12).to_string(), "12.00us");
-        assert_eq!(SimDuration::from_millis(12).to_string(), "12.00ms");
-        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
-        assert_eq!(SimTime(1_500_000).to_string(), "0.001500s");
-    }
-
-    #[test]
-    fn conversion_constructors() {
-        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
-        assert_eq!(SimDuration::from_millis(1).as_nanos(), 1_000_000);
-        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
-        assert!((SimDuration::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
-    }
-}
+pub use daiet_fabric::time::{Duration as SimDuration, Time as SimTime};

@@ -493,11 +493,11 @@ mod tests {
     #[test]
     fn wire_matches_simulator_ports() {
         use crate::frame::Frame;
-        use crate::node::{Context, Node, PortId};
+        use crate::node::{Fabric, Node, PortId};
 
         struct Dummy;
         impl Node for Dummy {
-            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {}
+            fn on_packet(&mut self, _: &mut dyn Fabric, _: PortId, _: Frame) {}
         }
 
         let plan = TopologyPlan::leaf_spine(2, 2, 1, spec());

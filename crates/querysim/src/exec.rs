@@ -30,7 +30,7 @@ use daiet::DaietConfig;
 use daiet_dataplane::Resources;
 use daiet_netsim::topology::{Role, TopologyPlan};
 use daiet_netsim::{
-    Context, FaultProfile, Frame, LinkSpec, Node, NodeId, NodeStats, PortId,
+    Fabric, FaultProfile, Frame, LinkSpec, Node, NodeId, NodeStats, PortId,
     SimDuration, SimTime, Simulator,
 };
 use daiet_transport::tcp::{BulkSenderNode, SinkReceiverNode, TcpConfig};
@@ -144,6 +144,14 @@ impl QueryCoordinatorNode {
         self.collectors.iter().all(Collector::is_complete)
     }
 
+    /// True when NACK recovery (if armed) owes nothing: every tracked
+    /// flow is gapless through its newest END (vacuously true without
+    /// recovery). The loopback harness gates completion on this so a
+    /// run cannot stop while a repair is still outstanding.
+    pub fn recovery_satisfied(&self) -> bool {
+        self.guard.all_satisfied()
+    }
+
     /// Application payload bytes received across all lanes.
     pub fn app_bytes(&self) -> u64 {
         self.collectors.iter().map(|c| c.stats().app_bytes).sum()
@@ -174,7 +182,7 @@ impl QueryCoordinatorNode {
 }
 
 impl Node for QueryCoordinatorNode {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+    fn on_packet(&mut self, ctx: &mut dyn Fabric, _port: PortId, frame: Frame) {
         let Some((hdr, src, parsed)) = receive_daiet(frame) else {
             return;
         };
@@ -192,11 +200,11 @@ impl Node for QueryCoordinatorNode {
         self.guard.arm(ctx);
     }
 
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Fabric) {
         self.guard.arm(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
         self.guard.on_timer(ctx);
     }
 
@@ -338,7 +346,7 @@ impl QueryRunner {
     /// links carry [`QueryRunner::worker_faults`]; the coordinator link is
     /// clean (switch-originated flush frames are sent once, so loss there
     /// needs a reverse channel — out of scope exactly as in the paper).
-    fn make_plan(&self) -> (TopologyPlan, Vec<usize>, usize) {
+    pub(crate) fn make_plan(&self) -> (TopologyPlan, Vec<usize>, usize) {
         let mut plan = TopologyPlan::new();
         let workers: Vec<usize> =
             (0..self.table.spec.n_workers).map(|_| plan.add_host()).collect();
@@ -359,7 +367,7 @@ impl QueryRunner {
         (plan, workers, coord)
     }
 
-    fn placement(&self, workers: &[usize], coord: usize) -> JobPlacement {
+    pub(crate) fn placement(&self, workers: &[usize], coord: usize) -> JobPlacement {
         JobPlacement {
             mappers: workers.to_vec(),
             // One tree per lane, all rooted at the coordinator.
@@ -513,13 +521,10 @@ impl QueryRunner {
                         self.daiet_config.reliability,
                     );
                     if self.daiet_config.nack_recovery {
+                        // One NACK roster across every lane: the
+                        // coordinator is the reducer of all of them.
                         let sources: Vec<(u16, u32)> = (0..self.plan.lane_count())
-                            .flat_map(|l| {
-                                let tree = dep.tree_id(l);
-                                dep.reducer_sources(l, &workers)
-                                    .into_iter()
-                                    .map(move |src| (tree, src))
-                            })
+                            .flat_map(|l| dep.nack_sources(l, &workers))
                             .collect();
                         node = node.with_nack_recovery(
                             slot as u32,

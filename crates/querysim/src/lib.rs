@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod loopback;
 pub mod plan;
 pub mod query;
 pub mod table;

@@ -9,7 +9,7 @@
 //! SACK, window scaling, timestamps, RST handling beyond teardown,
 //! simultaneous open.
 
-use daiet_netsim::{Context, Frame, FramePool, Node, PortId, SimDuration, SimTime};
+use daiet_netsim::{Fabric, Frame, FramePool, Node, PortId, SimDuration, SimTime};
 use daiet_wire::stack::{build_tcp_into, Endpoints, Parsed, Transport};
 use daiet_wire::tcpseg::{Flags, Repr};
 use daiet_wire::fnv::FnvHashMap;
@@ -709,7 +709,7 @@ impl BulkSenderNode {
         &self.stack
     }
 
-    fn flush(&mut self, ctx: &mut Context<'_>) {
+    fn flush(&mut self, ctx: &mut dyn Fabric) {
         for frame in self.stack.poll_transmit() {
             ctx.send(PortId(0), frame);
         }
@@ -723,7 +723,7 @@ impl BulkSenderNode {
 }
 
 impl Node for BulkSenderNode {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Fabric) {
         if !self.started {
             self.started = true;
             self.stack.set_pool(ctx.pool().clone());
@@ -736,12 +736,12 @@ impl Node for BulkSenderNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+    fn on_packet(&mut self, ctx: &mut dyn Fabric, _port: PortId, frame: Frame) {
         self.stack.on_frame(ctx.now(), &frame);
         self.flush(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
         self.stack.on_tick(ctx.now());
         self.flush(ctx);
     }
@@ -781,7 +781,7 @@ impl SinkReceiverNode {
         &self.stack
     }
 
-    fn drain(&mut self, ctx: &mut Context<'_>) {
+    fn drain(&mut self, ctx: &mut dyn Fabric) {
         while let Some(ev) = self.stack.poll_event() {
             match ev {
                 SocketEvent::Readable(key) => {
@@ -810,16 +810,16 @@ impl SinkReceiverNode {
 }
 
 impl Node for SinkReceiverNode {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Fabric) {
         self.stack.set_pool(ctx.pool().clone());
     }
 
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+    fn on_packet(&mut self, ctx: &mut dyn Fabric, _port: PortId, frame: Frame) {
         self.stack.on_frame(ctx.now(), &frame);
         self.drain(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Fabric, _token: u64) {
         self.stack.on_tick(ctx.now());
         self.drain(ctx);
     }

@@ -5,6 +5,8 @@
 //! dependency. See the individual crates for documentation:
 //!
 //! * [`wire`] — packet formats,
+//! * [`fabric`] — the dataplane abstraction both backends implement, plus
+//!   the real-time UDP socket backend,
 //! * [`netsim`] — discrete-event network simulator,
 //! * [`dataplane`] — programmable switch model,
 //! * [`transport`] — UDP and simplified TCP end-host transports,
@@ -16,6 +18,7 @@
 
 pub use daiet;
 pub use daiet_dataplane as dataplane;
+pub use daiet_fabric as fabric;
 pub use daiet_graphsim as graphsim;
 pub use daiet_mapreduce as mapreduce;
 pub use daiet_mlsim as mlsim;

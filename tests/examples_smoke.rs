@@ -54,3 +54,29 @@ fn all_examples_run_and_print_their_markers() {
         eprintln!("example `{name}` ok in {:.1}s", started.elapsed().as_secs_f64());
     }
 }
+
+/// The multi-process UDP demo opens real sockets and spawns six child
+/// processes, so it rides the loopback tier (`DAIET_LOOPBACK=1`, CI's
+/// `loopback-matrix` job) instead of the default one. The binary itself
+/// is still built by the default tier, so rot fails fast either way.
+#[test]
+fn udp_loopback_example_completes_bit_identical() {
+    let path = example_path("udp_loopback");
+    assert!(path.exists(), "example binary missing at {}", path.display());
+    if std::env::var("DAIET_LOOPBACK").as_deref() != Ok("1") {
+        eprintln!("udp_loopback example: skipped (set DAIET_LOOPBACK=1 to run it)");
+        return;
+    }
+    let output = Command::new(&path).output().expect("spawn udp_loopback");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "udp_loopback exited with {:?}\nstdout:\n{stdout}",
+        output.status.code()
+    );
+    for marker in ["4 worker processes + 1 switch + 1 coordinator",
+        "bit-identical to in-memory reference: true"]
+    {
+        assert!(stdout.contains(marker), "marker {marker:?} missing\nstdout:\n{stdout}");
+    }
+}

@@ -233,7 +233,7 @@ fn merged_partition_snapshots_match_single_threaded_counters() {
     impl daiet_repro::netsim::Node for Echo {
         fn on_packet(
             &mut self,
-            ctx: &mut daiet_repro::netsim::Context<'_>,
+            ctx: &mut dyn daiet_repro::netsim::Fabric,
             port: daiet_repro::netsim::PortId,
             frame: daiet_repro::netsim::Frame,
         ) {
