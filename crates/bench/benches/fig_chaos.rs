@@ -25,6 +25,10 @@ use std::hint::black_box;
 /// The failure-injection sweep: loss-free through heavily degraded.
 const RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
 
+/// Simulation seeds the figure statistics pool over — each draws an
+/// independent fault pattern over the same corpus.
+const FAULT_SEEDS: [u64; 5] = [7, 23, 41, 59, 83];
+
 fn profile(rate: f64) -> FaultProfile {
     if rate == 0.0 {
         FaultProfile::NONE
@@ -58,26 +62,40 @@ fn bench_chaos(c: &mut Criterion) {
     }
     group.finish();
 
-    // The figure itself: simulated completion time vs injection rate.
+    // The figure itself: simulated completion time vs injection rate,
+    // measured over several fault seeds and fed through the robust-stats
+    // path (outlier-rejected mean, bootstrap CI95) — a single lucky or
+    // unlucky fault draw doesn't get to set the speedup claim.
     println!("fig_chaos: simulated completion time vs failure-injection rate");
-    println!("{:>6}  {:>16}  {:>16}  {:>8}", "rate", "tcp_baseline", "daiet_agg", "speedup");
+    println!(
+        "{:>6}  {:>26}  {:>26}  {:>8}",
+        "rate", "tcp_baseline (ms ±ci95)", "daiet_agg (ms ±ci95)", "speedup"
+    );
     for rate in RATES {
-        let runner = chaos_runner(rate);
-        let mut finished = Vec::new();
+        let mut means = Vec::new();
+        let mut rendered = Vec::new();
         for (name, mode) in modes {
-            let out = runner.run(mode);
-            assert!(
-                out.all_correct(),
-                "{name} at rate {rate} survived by losing data — figure void"
-            );
-            finished.push(out.data_done_at.as_nanos() as f64 / 1e6);
+            let samples: Vec<f64> = FAULT_SEEDS
+                .iter()
+                .map(|&seed| {
+                    let mut runner = chaos_runner(rate);
+                    runner.seed = seed;
+                    let out = runner.run(mode);
+                    assert!(
+                        out.all_correct(),
+                        "{name} at rate {rate} (seed {seed}) survived by losing data — figure void"
+                    );
+                    out.data_done_at.as_nanos() as f64 / 1e6
+                })
+                .collect();
+            let stats = daiet_bench::sim_stats("fig_chaos", &format!("{name}/rate_{rate:.2}"), &samples);
+            means.push(stats.mean);
+            rendered.push(format!(
+                "{:>9.3} [{:>6.3}..{:>6.3}]",
+                stats.mean, stats.ci95_lo, stats.ci95_hi
+            ));
         }
-        println!(
-            "{rate:>6.2}  {:>13.3} ms  {:>13.3} ms  {:>7.2}x",
-            finished[0],
-            finished[1],
-            finished[0] / finished[1],
-        );
+        println!("{rate:>6.2}  {:>26}  {:>26}  {:>7.2}x", rendered[0], rendered[1], means[0] / means[1]);
     }
 }
 

@@ -1,0 +1,142 @@
+//! Multi-tenant contention: aggregate throughput and per-job slowdown.
+//!
+//! Runs the three-way tenant mix (WordCount + GROUP BY + iterative SGD,
+//! deterministic Poisson arrivals) over one shared leaf-spine fabric and
+//! compares each job against the same job run solo on an empty fabric.
+//! Two readouts:
+//!
+//! * wall-clock per mixed run (the criterion samples, recorded to
+//!   `BENCH_JSON_DIR` like every other figure), and
+//! * the figure itself, in **simulated** time over several arrival
+//!   seeds, fed through the shared robust-stats path
+//!   ([`daiet_bench::sim_stats`]: outlier-rejected means, bootstrap
+//!   CI95) — aggregate result throughput of the mix and each job's
+//!   request-to-finish slowdown vs its solo baseline.
+//!
+//! Every run is digest-checked against its solo twin: a fabric that goes
+//! fast by corrupting a tenant's results doesn't get to look fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daiet::tenant::{
+    poisson_offsets, run_mix, run_solo, JobScheduler, MixOptions, TenantSpec, TenantWorkload,
+};
+use daiet::DaietConfig;
+use daiet_fabric::Duration;
+use daiet_mapreduce::WordCountTenant;
+use daiet_mlsim::SgdTenant;
+use daiet_netsim::{LinkSpec, TopologyPlan};
+use daiet_querysim::GroupByTenant;
+use std::hint::black_box;
+
+/// Arrival seeds the figure statistics pool over — each draws an
+/// independent Poisson arrival process (and workload inputs).
+const ARRIVAL_SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
+
+const KINDS: [&str; 3] = ["wordcount", "groupby", "sgd"];
+
+fn make(kind: &str, seed: u64) -> Box<dyn TenantWorkload> {
+    match kind {
+        "wordcount" => Box::new(WordCountTenant::tiny(seed)),
+        "groupby" => Box::new(GroupByTenant::tiny(seed.wrapping_add(1))),
+        "sgd" => Box::new(SgdTenant::tiny(seed.wrapping_add(2))),
+        other => panic!("unknown workload kind {other}"),
+    }
+}
+
+/// The shared fabric: a 4-leaf/2-spine pod with room for all three tiny
+/// workloads concurrently (11 senders + 6 reducers at peak).
+fn fabric_sched() -> JobScheduler {
+    let link = LinkSpec::fast().with_queue_bytes(4 * 1024 * 1024);
+    let plan = TopologyPlan::leaf_spine(5, 4, 2, link);
+    let hosts = plan.hosts();
+    let senders = hosts[..12].to_vec();
+    let reducers = hosts[12..18].to_vec();
+    JobScheduler::build(TenantSpec::new(DaietConfig::default(), plan, senders, reducers))
+        .expect("tenant fabric must build")
+}
+
+struct MixPoint {
+    /// Result pairs per simulated second across the whole mix.
+    throughput: f64,
+    /// Per-kind request-to-finish latency in the mix, seconds.
+    mixed_latency: [f64; 3],
+    /// Per-kind digest in the mix (checked against solo).
+    digests: [u64; 3],
+}
+
+fn run_one_mix(seed: u64) -> MixPoint {
+    let mut sched = fabric_sched();
+    let offsets = poisson_offsets(seed, Duration::from_micros(30), KINDS.len());
+    let arrivals: Vec<(Duration, Box<dyn TenantWorkload>)> = KINDS
+        .iter()
+        .zip(&offsets)
+        .map(|(&k, &off)| (off, make(k, seed)))
+        .collect();
+    let out = run_mix(&mut sched, arrivals, &MixOptions::default()).expect("mix must complete");
+    let mut mixed_latency = [0.0; 3];
+    let mut digests = [0u64; 3];
+    for (i, job) in out.jobs.iter().enumerate() {
+        mixed_latency[i] =
+            (job.finished_at.0.saturating_sub(job.requested_at.0)) as f64 / 1e9;
+        digests[i] = job.digest;
+    }
+    MixPoint {
+        throughput: out.result_pairs as f64 / (out.makespan.as_nanos() as f64 / 1e9),
+        mixed_latency,
+        digests,
+    }
+}
+
+/// Solo baseline for one kind: request-to-finish latency and digest on
+/// an empty fabric.
+fn run_one_solo(kind: &str, seed: u64) -> (f64, u64) {
+    let mut sched = fabric_sched();
+    let out = run_solo(&mut sched, make(kind, seed), &MixOptions::default())
+        .expect("solo run must complete");
+    ((out.finished_at.0.saturating_sub(out.requested_at.0)) as f64 / 1e9, out.digest)
+}
+
+fn bench_multitenant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_multitenant");
+    group.sample_size(10);
+    group.bench_function("mix_3way/seed_11", |b| b.iter(|| black_box(run_one_mix(11))));
+    group.bench_function("solo_wordcount/seed_11", |b| {
+        b.iter(|| black_box(run_one_solo("wordcount", 11)))
+    });
+    group.finish();
+
+    // The figure: aggregate throughput of the mix, and per-job slowdown
+    // vs solo, over the arrival-seed pool.
+    let mut throughput = Vec::new();
+    let mut slowdown: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &seed in &ARRIVAL_SEEDS {
+        let mix = run_one_mix(seed);
+        for (i, &kind) in KINDS.iter().enumerate() {
+            let (solo_latency, solo_digest) = run_one_solo(kind, seed);
+            assert_eq!(
+                mix.digests[i], solo_digest,
+                "{kind} (seed {seed}): mixed result diverged from solo — figure void"
+            );
+            slowdown[i].push(mix.mixed_latency[i] / solo_latency);
+        }
+        throughput.push(mix.throughput);
+    }
+
+    let thr = daiet_bench::sim_stats("fig_multitenant", "aggregate_throughput_pairs_per_s", &throughput);
+    println!("fig_multitenant: {} jobs/mix over seeds {ARRIVAL_SEEDS:?}, digests all solo-identical", KINDS.len());
+    println!(
+        "aggregate throughput: {:.0} result pairs/s  ci95 [{:.0} .. {:.0}]  ({} kept, {} outliers)",
+        thr.mean, thr.ci95_lo, thr.ci95_hi, thr.kept, thr.outliers
+    );
+    println!("{:>10}  {:>24}", "job", "slowdown vs solo (±ci95)");
+    for (i, &kind) in KINDS.iter().enumerate() {
+        let s = daiet_bench::sim_stats("fig_multitenant", &format!("slowdown_{kind}"), &slowdown[i]);
+        println!(
+            "{kind:>10}  {:>8.2}x [{:>5.2} .. {:>5.2}]",
+            s.mean, s.ci95_lo, s.ci95_hi
+        );
+    }
+}
+
+criterion_group!(benches, bench_multitenant);
+criterion_main!(benches);

@@ -73,6 +73,56 @@ pub fn arg_u64(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Robust statistics over per-seed **simulated** measurements — the
+/// shared path behind the `fig_chaos` and `fig_multitenant` figure
+/// tables, so completion-time and slowdown claims are outlier-rejected
+/// means with bootstrap CI95s (the same `criterion::analyze` treatment
+/// wall-clock samples get), not raw single-run points. When
+/// `BENCH_JSON_DIR` is set, a JSON record mirroring the criterion shim's
+/// schema is written as `SIM_<figure>_<id>.json` for post-hoc auditing.
+pub fn sim_stats(figure: &str, id: &str, samples: &[f64]) -> criterion::SampleStats {
+    let stats = criterion::analyze(samples);
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        if let Err(e) = write_sim_json(std::path::Path::new(&dir), figure, id, samples, &stats) {
+            eprintln!("{figure}: could not write BENCH json for {id}: {e}");
+        }
+    }
+    stats
+}
+
+fn write_sim_json(
+    dir: &std::path::Path,
+    figure: &str,
+    id: &str,
+    samples: &[f64],
+    stats: &criterion::SampleStats,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let sanitize = |s: &str| -> String {
+        s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    };
+    let rendered: Vec<String> = samples.iter().map(|s| format!("{s:e}")).collect();
+    let json = format!(
+        concat!(
+            "{{\"figure\":\"{}\",\"id\":\"{}\",\"samples_s\":[{}],",
+            "\"mean_s\":{:e},\"sd_s\":{:e},\"min_s\":{:e},\"max_s\":{:e},",
+            "\"kept\":{},\"outliers\":{},\"ci95_lo_s\":{:e},\"ci95_hi_s\":{:e}}}\n"
+        ),
+        figure,
+        id,
+        rendered.join(","),
+        stats.mean,
+        stats.sd,
+        stats.min,
+        stats.max,
+        stats.kept,
+        stats.outliers,
+        stats.ci95_lo,
+        stats.ci95_hi,
+    );
+    std::fs::write(dir.join(format!("SIM_{}_{}.json", sanitize(figure), sanitize(id))), json)
+}
+
 /// **Median** seconds per call for each closure, measured in interleaved
 /// rounds (A, B, C, A, B, C, …) after one unrecorded warm-up call each.
 /// The shared acceptance-measurement harness of `fig_reliability` and

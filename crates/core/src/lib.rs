@@ -57,6 +57,7 @@ pub mod iterative;
 pub mod loopback;
 pub mod reliability;
 pub mod switch_agg;
+pub mod tenant;
 pub mod tree;
 pub mod worker;
 
@@ -64,5 +65,9 @@ pub use agg::AggFn;
 pub use config::DaietConfig;
 pub use controller::{Controller, Deployment, JobPlacement};
 pub use switch_agg::{DaietEngine, EngineStats};
+pub use tenant::{
+    poisson_offsets, run_mix, run_solo, JobId, JobOutcome, JobRequest, JobScheduler, JobUsage,
+    MixOptions, MixOutcome, TenantSpec, TenantWorkload,
+};
 pub use tree::AggregationTree;
 pub use worker::{Collector, IterRound, IterativeRunner, IterativeSpec, Packetizer};

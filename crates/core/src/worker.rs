@@ -693,6 +693,20 @@ impl Collector {
         self.ends_seen
     }
 
+    /// Swaps the merge function — the reducer-slot *lease* operation of
+    /// the multi-tenant scheduler, where one pooled [`ReducerHost`]
+    /// serves a SUM job, is released, and is leased again to a MIN lane.
+    /// Only sound while no pairs are held (at a lease boundary, right
+    /// after [`take_round`](Self::take_round)): pairs merged under one
+    /// function have no meaning under another.
+    pub fn set_agg(&mut self, agg: AggFn) {
+        debug_assert!(
+            self.pairs.is_empty(),
+            "set_agg with pairs held would reinterpret them under a new function"
+        );
+        self.agg = agg;
+    }
+
     /// Distinct keys held.
     pub fn len(&self) -> usize {
         self.pairs.len()

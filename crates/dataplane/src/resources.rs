@@ -180,6 +180,31 @@ impl SramTracker {
         })
     }
 
+    /// Releases every allocation recorded under `name`, returning the
+    /// bytes freed (0 when nothing by that name was allocated — freeing
+    /// is idempotent). The surviving allocations keep their order and
+    /// stages, so releasing a departed (or half-admitted) job's
+    /// reservations restores the tracker to exactly the state it had
+    /// before they were made: identical `allocations()`, identical
+    /// per-stage `used`, and identical stage choices for every future
+    /// [`allocate_first_fit`](Self::allocate_first_fit). That exactness
+    /// is what the multi-tenant controller's all-or-nothing admission
+    /// and teardown lean on.
+    pub fn free(&mut self, name: &str) -> usize {
+        let used = &mut self.used;
+        let mut freed = 0;
+        self.allocations.retain(|a| {
+            if a.name == name {
+                used[a.stage] -= a.bytes;
+                freed += a.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        freed
+    }
+
     /// Bytes used in `stage`.
     pub fn used_in_stage(&self, stage: usize) -> usize {
         self.used.get(stage).copied().unwrap_or(0)
@@ -270,6 +295,36 @@ mod tests {
             t.allocate("fill", s, free).unwrap();
         }
         assert!(t.allocate_first_fit("no", 0, 1).is_err());
+    }
+
+    #[test]
+    fn free_restores_accounting_exactly() {
+        let mut t = SramTracker::new(Resources::tiny());
+        t.allocate("keep", 0, 1_000).unwrap();
+        let before_allocs = t.allocations().to_vec();
+        let before_used: Vec<usize> = (0..4).map(|s| t.used_in_stage(s)).collect();
+        // A "job" allocates in two stages, then is rolled back by name.
+        t.allocate_first_fit("daiet.tree[9]@4", 0, 64_000).unwrap();
+        t.allocate_first_fit("daiet.rtx[9]@4", 0, 64_000).unwrap();
+        assert_eq!(t.free("daiet.rtx[9]@4"), 64_000);
+        assert_eq!(t.free("daiet.tree[9]@4"), 64_000);
+        assert_eq!(t.allocations(), before_allocs.as_slice());
+        let after_used: Vec<usize> = (0..4).map(|s| t.used_in_stage(s)).collect();
+        assert_eq!(after_used, before_used);
+        // Freeing an unknown name is an idempotent no-op.
+        assert_eq!(t.free("daiet.tree[9]@4"), 0);
+    }
+
+    #[test]
+    fn free_releases_every_same_named_allocation() {
+        let mut t = SramTracker::new(Resources::tiny());
+        t.allocate("dup", 0, 10).unwrap();
+        t.allocate("dup", 1, 20).unwrap();
+        t.allocate("other", 1, 5).unwrap();
+        assert_eq!(t.free("dup"), 30);
+        assert_eq!(t.total_used(), 5);
+        assert_eq!(t.allocations().len(), 1);
+        assert_eq!(t.allocations()[0].name, "other");
     }
 
     #[test]

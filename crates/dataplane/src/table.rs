@@ -312,6 +312,16 @@ impl Table {
         self.ordered.clear();
     }
 
+    /// Removes the exact-match rule for `key`, returning whether one was
+    /// installed. Per-entry removal is what lets a multi-tenant
+    /// controller retire one departing job's steering rules while its
+    /// neighbors' rules keep matching (contrast [`clear`](Self::clear),
+    /// the wholesale between-jobs form). Exact tables only; LPM/ternary
+    /// rule sets are rebuilt wholesale.
+    pub fn remove_exact(&mut self, key: &[u8]) -> bool {
+        self.exact.remove(key).is_some()
+    }
+
     /// Looks up `pkt`, returning the winning action (the default on miss
     /// or when the key is inapplicable).
     pub fn lookup(&mut self, pkt: &PacketCtx) -> ActionSpec {

@@ -26,8 +26,10 @@ pub mod loopback;
 pub mod metrics;
 pub mod runner;
 pub mod serialize;
+pub mod tenant;
 pub mod wordcount;
 
 pub use metrics::{BoxStats, CostModel, ReducerMetrics};
 pub use runner::{RunOutcome, Runner, ShuffleMode};
+pub use tenant::WordCountTenant;
 pub use wordcount::{Corpus, CorpusSpec};

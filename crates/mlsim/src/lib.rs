@@ -34,6 +34,8 @@ pub mod netrun;
 pub mod optimizer;
 pub mod overlap;
 pub mod psworker;
+pub mod tenant;
 
 pub use netrun::{NetTrainOutcome, NetTrainSpec};
 pub use overlap::{OverlapPoint, OverlapRun};
+pub use tenant::SgdTenant;

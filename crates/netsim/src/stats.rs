@@ -170,6 +170,27 @@ impl StatsSnapshot {
     pub fn dead_drops(&self) -> u64 {
         self.nodes.iter().map(|n| n.dead_drops).sum()
     }
+
+    /// Sums the per-node counters over `ids` — per-job traffic
+    /// attribution on a shared fabric. The multi-tenant scheduler calls
+    /// this on a delta snapshot (admission → departure) restricted to the
+    /// host slots a job leased, so each tenant's frame/byte bill counts
+    /// only its own NICs even while neighbors stream through the same
+    /// switches. Ids beyond the snapshot read as zero (a node that never
+    /// moved a frame).
+    pub fn nodes_total(&self, ids: &[NodeId]) -> NodeStats {
+        let mut total = NodeStats::default();
+        for id in ids {
+            if let Some(n) = self.nodes.get(id.0) {
+                total.frames_in += n.frames_in;
+                total.bytes_in += n.bytes_in;
+                total.frames_out += n.frames_out;
+                total.bytes_out += n.bytes_out;
+                total.dead_drops += n.dead_drops;
+            }
+        }
+        total
+    }
 }
 
 /// All statistics for one simulation.

@@ -46,6 +46,7 @@ pub mod loopback;
 pub mod plan;
 pub mod query;
 pub mod table;
+pub mod tenant;
 
 /// One-stop imports for examples and benches.
 pub mod prelude {
@@ -59,3 +60,4 @@ pub use exec::{QueryMode, QueryOutcome, QueryRunner};
 pub use plan::QueryPlan;
 pub use query::{AggOut, Aggregate, Query, QueryResult};
 pub use table::{Table, TableSpec};
+pub use tenant::GroupByTenant;

@@ -1,0 +1,186 @@
+//! GROUP BY as a multi-tenant job: the [`daiet::tenant::TenantWorkload`]
+//! adapter over the query planner.
+//!
+//! One round, one sender per table shard, one tree per planner lane
+//! (deduplicated `AVG → SUM+COUNT` included). The coordinator-side merge
+//! goes through the same [`QueryPlan::merge_record`] algebra as every
+//! other execution mode, and `verify` compares the assembled result
+//! against the in-memory reference executor bit-for-bit.
+
+use crate::plan::QueryPlan;
+use crate::query::{Aggregate, Query};
+use crate::table::{group_of_key, Table, TableSpec};
+use daiet::agg::AggFn;
+use daiet::tenant::{fold_round_digest, TenantWorkload, DIGEST_SEED};
+use daiet_wire::daiet::{Key, Pair};
+use std::collections::BTreeMap;
+
+/// A multi-aggregate GROUP BY job runnable under the multi-tenant
+/// scheduler.
+#[derive(Debug, Clone)]
+pub struct GroupByTenant {
+    table: Table,
+    query: Query,
+    plan: QueryPlan,
+    per_lane: Vec<BTreeMap<u32, u32>>,
+    foreign: Option<String>,
+    digest: u64,
+}
+
+impl GroupByTenant {
+    /// A tenant running `query` over `table`; errors if the select list
+    /// does not fit the table.
+    pub fn new(table: Table, query: Query) -> Result<GroupByTenant, String> {
+        query.validate(table.spec.n_columns)?;
+        let plan = QueryPlan::of(&query);
+        let per_lane = plan.empty_lane_maps();
+        Ok(GroupByTenant {
+            table,
+            query,
+            plan,
+            per_lane,
+            foreign: None,
+            digest: DIGEST_SEED,
+        })
+    }
+
+    /// A small tenant for tests: the [`TableSpec::tiny`] table under a
+    /// four-aggregate query (COUNT, SUM, MIN, AVG — exercises lane
+    /// dedup).
+    pub fn tiny(seed: u64) -> GroupByTenant {
+        let table = Table::generate(&TableSpec::tiny(seed));
+        let query = Query::new(vec![
+            Aggregate::Count,
+            Aggregate::Sum(0),
+            Aggregate::Min(1),
+            Aggregate::Avg(0),
+        ]);
+        GroupByTenant::new(table, query).expect("tiny query fits the tiny table")
+    }
+
+    /// The query this job runs.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The table this job scans.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+}
+
+impl TenantWorkload for GroupByTenant {
+    fn label(&self) -> String {
+        format!("groupby[{}ln]", self.plan.lane_count())
+    }
+
+    fn senders(&self) -> usize {
+        self.table.spec.n_workers
+    }
+
+    fn aggs(&self) -> Vec<AggFn> {
+        self.plan.lane_aggs()
+    }
+
+    fn rounds(&self) -> u64 {
+        1
+    }
+
+    fn shards(&mut self, _round: u64) -> Vec<Vec<Vec<Pair>>> {
+        self.table
+            .shards
+            .iter()
+            .map(|shard| self.plan.worker_partials(shard))
+            .collect()
+    }
+
+    fn absorb(&mut self, _round: u64, per_tree: Vec<Vec<(Key, u32)>>) {
+        self.digest = fold_round_digest(self.digest, &per_tree);
+        for (lane, pairs) in per_tree.iter().enumerate() {
+            for (key, value) in pairs {
+                match group_of_key(key) {
+                    Some(group) => {
+                        self.plan
+                            .merge_record(&mut self.per_lane, lane, group, *value);
+                    }
+                    None => {
+                        self.foreign = Some(format!(
+                            "lane {lane} received foreign key {}",
+                            key.display_lossy()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        if let Some(why) = &self.foreign {
+            return Err(format!("groupby: {why}"));
+        }
+        let got = self.plan.assemble(&self.per_lane);
+        let want = self.query.reference(&self.table);
+        if got != want {
+            return Err(format!(
+                "groupby: network result diverges from reference ({} vs {} groups)",
+                got.len(),
+                want.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Absorbing each worker's partials through the lane algebra must
+    /// reproduce the reference — the host-side closure property the
+    /// network path relies on.
+    #[test]
+    fn absorbing_merged_partials_verifies() {
+        let mut t = GroupByTenant::tiny(7);
+        let shards = t.shards(0);
+        let lanes = t.plan.lane_count();
+        let mut merged: Vec<BTreeMap<Key, u32>> = vec![BTreeMap::new(); lanes];
+        for per_tree in &shards {
+            for (lane, pairs) in per_tree.iter().enumerate() {
+                for p in pairs {
+                    let agg = t.plan.lane_aggs()[lane];
+                    merged[lane]
+                        .entry(p.key)
+                        .and_modify(|acc| *acc = agg.apply(*acc, p.value))
+                        .or_insert(p.value);
+                }
+            }
+        }
+        let per_tree: Vec<Vec<(Key, u32)>> =
+            merged.into_iter().map(|m| m.into_iter().collect()).collect();
+        t.absorb(0, per_tree);
+        t.verify().expect("merged partials must match the reference");
+        assert_ne!(t.digest(), DIGEST_SEED);
+    }
+
+    #[test]
+    fn foreign_keys_fail_verification() {
+        let mut t = GroupByTenant::tiny(8);
+        let lanes = t.plan.lane_count();
+        let mut per_tree = vec![Vec::new(); lanes];
+        per_tree[0].push((Key::from_str_key("intruder").unwrap(), 1));
+        t.absorb(0, per_tree);
+        assert!(t.verify().unwrap_err().contains("foreign"));
+    }
+
+    #[test]
+    fn missing_groups_fail_verification() {
+        let t = GroupByTenant::tiny(9);
+        // Nothing absorbed: assemble() produces an empty result, which
+        // cannot match the reference over a non-empty table.
+        assert!(t.verify().is_err());
+    }
+}
