@@ -13,7 +13,7 @@ fn bench_overlap(c: &mut Criterion) {
             b.iter(|| {
                 let run = OverlapRun { which, steps: 10, ..OverlapRun::fig1a() };
                 black_box(run.run())
-            })
+            });
         });
     }
     group.finish();

@@ -12,7 +12,7 @@ fn bench_graph(c: &mut Criterion) {
     group.sample_size(10);
     for algo in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Wcc] {
         group.bench_function(algo.name(), |b| {
-            b.iter(|| black_box(reduction_series(algo, &graph, 10)))
+            b.iter(|| black_box(reduction_series(algo, &graph, 10)));
         });
     }
     group.finish();

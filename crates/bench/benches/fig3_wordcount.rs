@@ -31,7 +31,7 @@ fn bench_wordcount(c: &mut Criterion) {
     for parts in [2usize, 4] {
         runner.partitions = parts;
         group.bench_function(format!("daiet_agg_par{parts}"), |b| {
-            b.iter(|| black_box(runner.run(ShuffleMode::DaietAgg)))
+            b.iter(|| black_box(runner.run(ShuffleMode::DaietAgg)));
         });
     }
     runner.partitions = 1;

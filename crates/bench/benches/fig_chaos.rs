@@ -56,7 +56,7 @@ fn bench_chaos(c: &mut Criterion) {
         for (name, mode) in modes {
             let runner = chaos_runner(rate);
             group.bench_function(format!("{name}/rate_{rate:.2}"), move |b| {
-                b.iter(|| black_box(runner.run(mode)))
+                b.iter(|| black_box(runner.run(mode)));
             });
         }
     }

@@ -97,7 +97,7 @@ fn bench_iter(c: &mut Criterion) {
     for (name, rig) in rigs {
         let spec = sgd_spec(rig);
         group.bench_function(format!("mlsim_sgd_10steps/{name}"), move |b| {
-            b.iter(|| black_box(spec.run_packet().expect("round must complete")))
+            b.iter(|| black_box(spec.run_packet().expect("round must complete")));
         });
     }
     group.rounds_per_iter(PR_ITERS as u64 + 1); // supersteps + initial broadcast
@@ -111,7 +111,7 @@ fn bench_iter(c: &mut Criterion) {
                     run_packet(&FixedPageRank::default(), &g, PR_ITERS, &spec)
                         .expect("round must complete"),
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -150,12 +150,12 @@ fn bench_iter(c: &mut Criterion) {
                     &mut || {
                         drop(black_box(
                             run_packet(&FixedPageRank::default(), &ga, PR_ITERS, &r).unwrap(),
-                        ))
+                        ));
                     },
                     &mut || {
                         drop(black_box(
                             run_packet(&FixedPageRank::default(), &gb, PR_ITERS, &n).unwrap(),
-                        ))
+                        ));
                     },
                 ],
                 rounds,

@@ -101,7 +101,7 @@ fn bench_multitenant(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mix_3way/seed_11", |b| b.iter(|| black_box(run_one_mix(11))));
     group.bench_function("solo_wordcount/seed_11", |b| {
-        b.iter(|| black_box(run_one_solo("wordcount", 11)))
+        b.iter(|| black_box(run_one_solo("wordcount", 11)));
     });
     group.finish();
 

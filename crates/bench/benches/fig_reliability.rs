@@ -98,13 +98,13 @@ fn bench_reliability(c: &mut Criterion) {
     for (name, rig) in rigs {
         let runner = fig3_runner(rig);
         group.bench_function(format!("fig3_daiet/{name}"), move |b| {
-            b.iter(|| black_box(runner.run(ShuffleMode::DaietAgg)))
+            b.iter(|| black_box(runner.run(ShuffleMode::DaietAgg)));
         });
     }
     for (name, rig) in rigs {
         let runner = query_runner(rig);
         group.bench_function(format!("fig_query_daiet/{name}"), move |b| {
-            b.iter(|| black_box(runner.run(QueryMode::DaietAgg)))
+            b.iter(|| black_box(runner.run(QueryMode::DaietAgg)));
         });
     }
     group.finish();

@@ -50,7 +50,7 @@ fn bench_algorithm1(c: &mut Criterion) {
                 let mut pkt = PacketCtx::new(PortId(0), parsed);
                 black_box(engine.invoke(&mut pkt, 1, &pool));
             }
-        })
+        });
     });
     group.finish();
 }
@@ -65,7 +65,7 @@ fn bench_parse(c: &mut Criterion) {
             for f in &frames {
                 black_box(parse(f.clone(), &cfg).unwrap());
             }
-        })
+        });
     });
     group.finish();
 }

@@ -138,6 +138,8 @@ pub fn interleaved_medians(fns: &mut [&mut dyn FnMut()], rounds: u32) -> Vec<f64
     let mut samples = vec![Vec::with_capacity(rounds as usize); fns.len()];
     for _ in 0..rounds {
         for (f, s) in fns.iter_mut().zip(&mut samples) {
+            // lint:allow(det-clock): this is the benchmark timer itself — measuring
+            // wall time is the whole point; results never feed a simulation.
             let start = std::time::Instant::now();
             f();
             s.push(start.elapsed().as_secs_f64());

@@ -628,7 +628,7 @@ mod tests {
         assert_eq!(switches.len(), 1);
         let sw = switches.get(&4).unwrap();
         // Steering (1 rule) + L2 (4 hosts).
-        let table_lens: Vec<usize> = sw.pipeline().tables().map(|t| t.len()).collect();
+        let table_lens: Vec<usize> = sw.pipeline().tables().map(daiet_dataplane::Table::len).collect();
         assert_eq!(table_lens, vec![1, 4]);
     }
 
@@ -638,7 +638,7 @@ mod tests {
             deploy_star(4, vec![0, 1, 2], vec![3], AggregationMode::PassThrough);
         assert_eq!(dep.expected_ends(0, 3), 3);
         let sw = switches.get(&4).unwrap();
-        let table_lens: Vec<usize> = sw.pipeline().tables().map(|t| t.len()).collect();
+        let table_lens: Vec<usize> = sw.pipeline().tables().map(daiet_dataplane::Table::len).collect();
         assert_eq!(table_lens, vec![0, 4]);
     }
 

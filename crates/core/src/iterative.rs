@@ -12,6 +12,9 @@
 //! affordances (barriers via run-to-quiescence, node downcasts, stats
 //! snapshots).
 
+// lint:allow-file(layer-netsim): this module IS the simulator harness for
+// iterative jobs — it builds the Simulator, wires nodes, and reads stats.
+// Protocol logic it drives (worker/switch/reliability) stays fabric-only.
 use crate::agg::AggFn;
 use crate::config::DaietConfig;
 use crate::worker::{plan_round, reducer_host, CollectorStats, PacedSenderNode, ReducerHost};

@@ -212,7 +212,7 @@ impl DedupWindow {
     /// is the only answer that keeps aggregation exact, because an
     /// untracked flow could replay forever undetected.
     pub fn accept(&mut self, tree: u16, sender: Ipv4Address, seq: u32) -> bool {
-        use std::collections::hash_map::Entry;
+        use daiet_wire::fnv::Entry;
         let len = self.flows.len();
         let fresh = match self.flows.entry((tree, sender)) {
             Entry::Occupied(mut e) => e.get_mut().accept(seq),
@@ -673,7 +673,7 @@ impl NackTracker {
     /// rostered flows always fit.
     pub fn expect(&mut self, tree: u16, child: u32) {
         let len = self.flows.len();
-        if let std::collections::hash_map::Entry::Vacant(e) = self.flows.entry((tree, child)) {
+        if let daiet_wire::fnv::Entry::Vacant(e) = self.flows.entry((tree, child)) {
             if len >= self.max_flows {
                 self.flows_rejected += 1;
                 return;
@@ -693,8 +693,8 @@ impl NackTracker {
     pub fn note(&mut self, tree: u16, child: u32, seq: u32, is_end: bool, now: Time) -> bool {
         let len = self.flows.len();
         let flow = match self.flows.entry((tree, child)) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
+            daiet_wire::fnv::Entry::Occupied(e) => e.into_mut(),
+            daiet_wire::fnv::Entry::Vacant(e) => {
                 if len >= self.max_flows {
                     self.flows_rejected += 1;
                     return false;

@@ -40,6 +40,9 @@
 //! [`SramTracker::free`]: daiet_dataplane::resources::SramTracker::free
 //! [`Table::remove_exact`]: daiet_dataplane::table::Table::remove_exact
 
+// lint:allow-file(layer-netsim): the multi-tenant controller plans over the
+// shared topology and spawns per-job simulator runs; it is harness, not
+// protocol — the per-job dataplane code it launches stays fabric-only.
 use crate::agg::AggFn;
 use crate::config::DaietConfig;
 use crate::controller::{DeployError, L2_TABLE, STEER_TABLE};

@@ -149,7 +149,7 @@ impl AggregationTree {
     /// The tree children feeding `node`, as `(child slot, node's port
     /// toward that child)` in ascending child order — the NACK roster a
     /// switch or the reducer needs to watch (and answer) its feeders.
-    pub fn children_of(&self, node: usize) -> Vec<(usize, daiet_netsim::PortId)> {
+    pub fn children_of(&self, node: usize) -> Vec<(usize, daiet_fabric::PortId)> {
         self.parent
             .iter()
             .filter(|(_, hop)| hop.peer == node)

@@ -649,12 +649,12 @@ impl Collector {
                 for pair in entries {
                     n += 1;
                     match self.pairs.entry(pair.key) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                        daiet_wire::fnv::Entry::Occupied(mut e) => {
                             let merged = self.agg.apply(*e.get(), pair.value);
                             e.insert(merged);
                             self.stats.pairs_merged += 1;
                         }
-                        std::collections::hash_map::Entry::Vacant(e) => {
+                        daiet_wire::fnv::Entry::Vacant(e) => {
                             e.insert(pair.value);
                         }
                     }

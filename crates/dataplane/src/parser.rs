@@ -99,6 +99,8 @@ impl ParsedPacket {
         // layout has a single source of truth.
         let packet = daiet::Packet::new_unchecked(&self.frame[self.daiet_off..]);
         (0..self.daiet_entries)
+            // lint:allow(panic-hotpath): i < daiet_entries, and daiet_entries was
+            // validated against the buffer length when this view was parsed.
             .map(move |i| packet.entry(i).expect("entry count checked at parse time"))
     }
 

@@ -59,7 +59,7 @@ impl Field {
             Field::EthDst => out.extend_from_slice(&pkt.parsed.eth.dst_addr.0),
             Field::EthSrc => out.extend_from_slice(&pkt.parsed.eth.src_addr.0),
             Field::EtherType => {
-                out.extend_from_slice(&u16::from(pkt.parsed.eth.ethertype).to_be_bytes())
+                out.extend_from_slice(&u16::from(pkt.parsed.eth.ethertype).to_be_bytes());
             }
             Field::IpSrc => match &pkt.parsed.ip {
                 Some(ip) => out.extend_from_slice(&ip.src_addr.0),

@@ -28,7 +28,7 @@ use crate::shim::{FaultShim, ShimDecision};
 use crate::time::{Duration, Time};
 use crate::wheel::TimerWheel;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -142,7 +142,7 @@ pub struct NodeDriver {
     node: Box<dyn Node>,
     socket: UdpSocket,
     peers: Vec<SocketAddr>,
-    addr_to_port: HashMap<SocketAddr, usize>,
+    addr_to_port: BTreeMap<SocketAddr, usize>,
     clock: Box<dyn Clock>,
     wheel: TimerWheel,
     pool: FramePool,
@@ -171,7 +171,7 @@ impl NodeDriver {
             node,
             socket,
             peers: Vec::new(),
-            addr_to_port: HashMap::new(),
+            addr_to_port: BTreeMap::new(),
             clock: Box::new(WallClock::new()),
             wheel: TimerWheel::for_driver(),
             pool: FramePool::new(),
@@ -258,6 +258,8 @@ impl NodeDriver {
         deadline: std::time::Duration,
         mut done: impl FnMut(&dyn Node) -> bool,
     ) -> ExitReason {
+        // lint:allow(det-clock): run() enforces the caller's real-time deadline on
+        // the blocking socket loop; this backend lives in the wall-clock domain.
         let t0 = std::time::Instant::now();
         let mut buf = [0u8; MAX_DATAGRAM];
         if !self.started {

@@ -21,6 +21,9 @@
 //! switch). [`crate::algos::Wcc`]'s MIN combiner rides the same driver
 //! unchanged via [`AggFn::Min`].
 
+// lint:allow-file(layer-netsim): network-mode PageRank harness — drives the
+// IterativeRunner under the Simulator. The rank-update aggregation
+// protocol itself stays fabric-only.
 use crate::graph::Graph;
 use crate::pregel::{MessageCensus, VertexProgram};
 use daiet::agg::AggFn;

@@ -1,0 +1,139 @@
+//! Allowlist markers.
+//!
+//! Every exception to a rule lives *in the source it excuses*, as a
+//! comment, with a mandatory written justification — so the allowlist
+//! can never drift away from the code and a reviewer always sees the
+//! "why" next to the "what":
+//!
+//! ```text
+//! // lint:allow(det-clock): wall-clock driver deadline; this file is the
+//! // real-time backend and never feeds simulated results.
+//! ```
+//!
+//! Two scopes:
+//! - `lint:allow(<rule-id>): <justification>` — suppresses findings of
+//!   that rule on the comment's own line and the next code line.
+//! - `lint:allow-file(<rule-id>): <justification>` — suppresses the rule
+//!   for the whole file (for modules that are exempt *by design*, e.g.
+//!   simulator-harness modules under the layering rule).
+//!
+//! The justification is the text after `): `, plus any immediately
+//! following comment lines (a continuation keeps markers readable under
+//! rustfmt's comment width). Under [`MIN_JUSTIFICATION`] characters it
+//! does not count: the allow itself becomes a finding. Unknown rule ids
+//! and allows that suppress nothing are findings too, so the allowlist
+//! stays exactly as big as the set of real exceptions.
+
+use crate::lexer::Comment;
+
+/// Minimum justification length, in characters, after trimming. Short
+/// enough to not demand essays, long enough that "ok" or "legacy" can't
+/// pass review.
+pub const MIN_JUSTIFICATION: usize = 20;
+
+/// Scope of one allow marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowScope {
+    /// Applies from the marker's line through the first code line after
+    /// it and its continuation comments.
+    Line,
+    /// Applies to the entire file.
+    File,
+}
+
+/// One parsed allow marker.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule id the marker names (not yet validated against the registry).
+    pub rule: String,
+    /// Line the marker sits on.
+    pub line: u32,
+    /// First code line after the marker and its continuation comments —
+    /// the line a `Line`-scoped allow excuses. Equals `line + 1` for a
+    /// single-line marker.
+    pub end: u32,
+    /// Line/file scope.
+    pub scope: AllowScope,
+    /// The justification text (may be too short — the engine checks).
+    pub justification: String,
+}
+
+/// Extracts allow markers from a file's comments. A marker may appear
+/// anywhere inside a line or block comment; its justification runs to
+/// the end of that comment, joined with any directly following
+/// continuation comment lines.
+pub fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut allows: Vec<Allow> = Vec::new();
+    for (ci, comment) in comments.iter().enumerate() {
+        // Markers are directives, and directives live in plain comments.
+        // Doc comments are rendered documentation — a marker *mentioned*
+        // there (like this crate's own docs do) is prose, not an allow.
+        if comment.text.starts_with("///")
+            || comment.text.starts_with("//!")
+            || comment.text.starts_with("/**")
+            || comment.text.starts_with("/*!")
+        {
+            continue;
+        }
+        for (marker, scope) in
+            [("lint:allow-file(", AllowScope::File), ("lint:allow(", AllowScope::Line)]
+        {
+            let Some(at) = comment.text.find(marker) else { continue };
+            let rest = &comment.text[at + marker.len()..];
+            let Some(close) = rest.find(')') else { continue };
+            let rule = rest[..close].trim().to_string();
+            let mut justification =
+                rest[close + 1..].trim_start_matches(':').trim().to_string();
+            // Continuation lines: comments on consecutive lines extend
+            // the justification.
+            let mut expect_line = comment.line + 1;
+            for follow in &comments[ci + 1..] {
+                if follow.line != expect_line || follow.text.contains("lint:allow") {
+                    break;
+                }
+                justification.push(' ');
+                justification.push_str(
+                    follow.text.trim_start_matches('/').trim_start_matches('!').trim(),
+                );
+                expect_line += 1;
+            }
+            allows.push(Allow {
+                rule,
+                line: comment.line,
+                end: expect_line,
+                scope,
+                justification,
+            });
+            break; // at most one marker per comment
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Lexed;
+
+    #[test]
+    fn parses_line_and_file_markers_with_continuations() {
+        let src = "\
+// lint:allow-file(layer-netsim): this module IS the simulator harness\n\
+// by design; protocol logic stays fabric-only.\n\
+fn f() {}\n\
+// lint:allow(det-clock): short one\n\
+fn g() {}\n";
+        let lexed = Lexed::lex(src);
+        let allows = parse_allows(&lexed.comments);
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, "layer-netsim");
+        assert_eq!(allows[0].scope, AllowScope::File);
+        assert!(allows[0].justification.contains("protocol logic stays fabric-only"));
+        assert_eq!(allows[1].rule, "det-clock");
+        assert_eq!(allows[1].scope, AllowScope::Line);
+        assert_eq!(allows[1].line, 4);
+        assert_eq!(allows[1].end, 5);
+        // A two-line marker excuses the code line after its continuation.
+        assert_eq!(allows[0].end, 3);
+    }
+}

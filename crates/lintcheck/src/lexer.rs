@@ -1,0 +1,563 @@
+//! A small purpose-built Rust lexer.
+//!
+//! The rule engine does not need a full parse tree — it needs to know,
+//! for every identifier in a source file, (a) that it really is code and
+//! not the inside of a string, raw string, comment, or doc attribute,
+//! (b) what line it sits on, and (c) whether it is covered by a
+//! `#[cfg(test)]` span. This lexer produces exactly that: a flat token
+//! stream plus comment records and test-span markers.
+//!
+//! Handled surface (the parts that have burned similar regex-based
+//! linters): nested block comments, raw strings (`r#".."#` with any
+//! number of `#`s, byte/raw-byte prefixes), escaped quotes in string and
+//! char literals, lifetimes vs char literals, raw identifiers
+//! (`r#type`), and attributes — both their spans (so `#[cfg(test)]` can
+//! gate the following item) and their arguments (tokens inside
+//! attributes are ordinary tokens, but `#[doc = "…"]` strings stay
+//! literals).
+
+/// What a token is. The rule engine only distinguishes identifiers,
+/// punctuation, and literals; numbers and strings both land in
+/// [`TokKind::Literal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`std`, `unsafe`, `HashMap`, `r#type`).
+    Ident,
+    /// A single punctuation character (`:`, `{`, `#`, …).
+    Punct(char),
+    /// A string/char/numeric literal, or a lifetime.
+    Literal,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The token's text (for identifiers; literals keep their text too).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A comment (line or block, doc or plain), kept for allow-marker
+/// scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` sigils.
+    pub text: String,
+}
+
+/// A lexed source file: tokens, comments, and `#[cfg(test)]` spans.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// For each token, whether it is covered by a test-only span
+    /// (`#[cfg(test)]` / `#[test]` / `#[bench]` gated item).
+    pub in_test: Vec<bool>,
+}
+
+impl Lexed {
+    /// Lexes `src` and computes test spans.
+    pub fn lex(src: &str) -> Lexed {
+        let (tokens, comments) = tokenize(src);
+        let in_test = mark_test_spans(&tokens);
+        Lexed { tokens, comments, in_test }
+    }
+
+    /// True when token `i` exists and is test-only code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn tokenize(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let mut c = Cursor { bytes: src.as_bytes(), pos: 0, line: 1 };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while !c.eof() {
+        let b = c.peek(0);
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == b'/' => {
+                let start = c.pos;
+                while !c.eof() && c.peek(0) != b'\n' {
+                    c.bump();
+                }
+                comments.push(Comment { line, text: src[start..c.pos].to_string() });
+            }
+            b'/' if c.peek(1) == b'*' => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                // Block comments nest in Rust.
+                let mut depth = 1usize;
+                while !c.eof() && depth > 0 {
+                    if c.peek(0) == b'/' && c.peek(1) == b'*' {
+                        c.bump();
+                        c.bump();
+                        depth += 1;
+                    } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+                        c.bump();
+                        c.bump();
+                        depth -= 1;
+                    } else {
+                        c.bump();
+                    }
+                }
+                comments.push(Comment { line, text: src[start..c.pos].to_string() });
+            }
+            b'r' | b'b' if starts_raw_string(&c) => {
+                let start = c.pos;
+                lex_raw_string(&mut c);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            b'r' if c.peek(1) == b'#' && is_ident_start(c.peek(2)) => {
+                // Raw identifier: r#type. Token text is the bare name so
+                // rules match it like any other identifier.
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                while is_ident_cont(c.peek(0)) {
+                    c.bump();
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            b'b' if c.peek(1) == b'\'' => {
+                let start = c.pos;
+                c.bump();
+                lex_char_literal(&mut c);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            b'"' => {
+                let start = c.pos;
+                lex_string(&mut c);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            b'b' if c.peek(1) == b'"' => {
+                let start = c.pos;
+                c.bump();
+                lex_string(&mut c);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident NOT
+                // followed by a closing `'` (`'a`, `'static`); everything
+                // else (`'x'`, `'\n'`, `'\u{1F600}'`) is a char literal.
+                if is_ident_start(c.peek(1)) {
+                    let mut end = 2;
+                    while is_ident_cont(c.peek(end)) {
+                        end += 1;
+                    }
+                    if c.peek(end) != b'\'' {
+                        let start = c.pos;
+                        for _ in 0..end {
+                            c.bump();
+                        }
+                        tokens.push(Token {
+                            kind: TokKind::Literal,
+                            text: src[start..c.pos].to_string(),
+                            line,
+                        });
+                        continue;
+                    }
+                }
+                let start = c.pos;
+                lex_char_literal(&mut c);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while is_ident_cont(c.peek(0)) {
+                    c.bump();
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                // Loose number: digits/alphanumerics/underscores, plus a
+                // `.` only when a digit follows (so `1..4` does not eat
+                // the range operator).
+                let start = c.pos;
+                while is_ident_cont(c.peek(0))
+                    || (c.peek(0) == b'.' && c.peek(1).is_ascii_digit())
+                {
+                    c.bump();
+                }
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                c.bump();
+                tokens.push(Token { kind: TokKind::Punct(b as char), text: String::new(), line });
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br#"`, `rb…` at the cursor.
+fn starts_raw_string(c: &Cursor<'_>) -> bool {
+    let mut i = 0;
+    if c.peek(i) == b'b' {
+        i += 1;
+    }
+    if c.peek(i) != b'r' {
+        return false;
+    }
+    i += 1;
+    while c.peek(i) == b'#' {
+        i += 1;
+    }
+    c.peek(i) == b'"'
+}
+
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    if c.peek(0) == b'b' {
+        c.bump();
+    }
+    c.bump(); // r
+    let mut hashes = 0usize;
+    while c.peek(0) == b'#' {
+        hashes += 1;
+        c.bump();
+    }
+    c.bump(); // opening quote
+    // Scan to `"` followed by exactly `hashes` `#`s. No escapes exist in
+    // raw strings — a `//` or `"` inside is plain content.
+    while !c.eof() {
+        if c.peek(0) == b'"' {
+            let mut ok = true;
+            for h in 0..hashes {
+                if c.peek(1 + h) != b'#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..=hashes {
+                    c.bump();
+                }
+                return;
+            }
+        }
+        c.bump();
+    }
+}
+
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while !c.eof() {
+        match c.peek(0) {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+fn lex_char_literal(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while !c.eof() {
+        match c.peek(0) {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                return;
+            }
+            b'\n' => return, // malformed; don't swallow the file
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Marks every token covered by a test-only item: `#[cfg(test)]` (also
+/// via `any(…)`/`all(…)`, but not `not(test)`), `#[test]`, `#[bench]`.
+/// An inner `#![cfg(test)]` marks the whole file.
+fn mark_test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = matches!(tokens.get(j).map(|t| t.kind), Some(TokKind::Punct('!')));
+        if inner {
+            j += 1;
+        }
+        if !matches!(tokens.get(j).map(|t| t.kind), Some(TokKind::Punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = j;
+        let attr_end = match matching_close(tokens, attr_start, '[', ']') {
+            Some(e) => e,
+            None => break,
+        };
+        if attr_is_test(&tokens[attr_start + 1..attr_end]) {
+            if inner {
+                // `#![cfg(test)]`: the enclosing scope — for our
+                // file-at-a-time view, the rest of the file.
+                for flag in in_test.iter_mut().skip(i) {
+                    *flag = true;
+                }
+                return in_test;
+            }
+            let item_end = item_end_after(tokens, attr_end + 1);
+            for flag in in_test.iter_mut().take(item_end.min(tokens.len())).skip(i) {
+                *flag = true;
+            }
+            i = item_end;
+        } else {
+            i = attr_end + 1;
+        }
+    }
+    in_test
+}
+
+/// Index of the matching closer for the opener at `open_idx`.
+fn matching_close(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        match t.kind {
+            TokKind::Punct(c) if c == open => depth += 1,
+            TokKind::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Is this attribute body (tokens between `[` and `]`) a test gate?
+/// `cfg(test)`, `cfg(any(test, …))`, `cfg(all(test, …))` count;
+/// `cfg(not(test))` does not. Bare `test` / `bench` attributes count.
+fn attr_is_test(body: &[Token]) -> bool {
+    let first = match body.first() {
+        Some(t) if t.kind == TokKind::Ident => t.text.as_str(),
+        _ => return false,
+    };
+    match first {
+        "test" | "bench" => body.len() == 1,
+        "cfg" => contains_test_outside_not(&body[1..]),
+        _ => false,
+    }
+}
+
+fn contains_test_outside_not(body: &[Token]) -> bool {
+    let mut k = 0usize;
+    while k < body.len() {
+        let t = &body[k];
+        if t.kind == TokKind::Ident && t.text == "not" {
+            // Skip the balanced `not(…)` group.
+            if let Some(open) = body[k..]
+                .iter()
+                .position(|t| t.kind == TokKind::Punct('('))
+                .map(|p| k + p)
+            {
+                if let Some(close) = matching_close(body, open, '(', ')') {
+                    k = close + 1;
+                    continue;
+                }
+            }
+            return false;
+        }
+        if t.kind == TokKind::Ident && t.text == "test" {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Finds the end (exclusive token index) of the item starting at `from`:
+/// skips further outer attributes, then ends at the first `;` or `,` at
+/// depth 0, or at the close of the first `{…}` block. Covers items
+/// (`mod`/`fn`/`use`/`struct`…), statements, struct fields, and match
+/// arms — every position `#[cfg(test)]` legally gates.
+fn item_end_after(tokens: &[Token], mut from: usize) -> usize {
+    // Skip stacked attributes on the same item.
+    while from < tokens.len() && tokens[from].kind == TokKind::Punct('#') {
+        match matching_close(tokens, from + 1, '[', ']') {
+            Some(e) => from = e + 1,
+            None => return tokens.len(),
+        }
+    }
+    let mut depth = 0usize;
+    let mut k = from;
+    while k < tokens.len() {
+        match tokens[k].kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && tokens[k].kind == TokKind::Punct('}') {
+                    return k + 1;
+                }
+            }
+            TokKind::Punct(';') | TokKind::Punct(',') if depth == 0 => return k + 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        Lexed::lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_content_is_not_code() {
+        let src = r##"let x = r#"std::collections::HashMap // not code"#; use foo;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"foo".to_string()), "code after the raw string still lexes");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ use real;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["use", "real"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } use after;";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_gates_following_block() {
+        let src = "use a; #[cfg(test)] mod tests { use bad; } use b;";
+        let lexed = Lexed::lex(src);
+        let flag = |name: &str| {
+            let i = lexed
+                .tokens
+                .iter()
+                .position(|t| t.text == name)
+                .unwrap_or_else(|| panic!("token {name}"));
+            lexed.is_test(i)
+        };
+        assert!(!flag("a"));
+        assert!(flag("bad"));
+        assert!(!flag("b"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_gate() {
+        let src = "#[cfg(not(test))] mod live { use x; }";
+        let lexed = Lexed::lex(src);
+        let i = lexed.tokens.iter().position(|t| t.text == "x").unwrap();
+        assert!(!lexed.is_test(i));
+    }
+
+    #[test]
+    fn cfg_any_test_is_a_test_gate() {
+        let src = "#[cfg(any(test, feature = \"slow\"))] mod t { use y; }";
+        let lexed = Lexed::lex(src);
+        let i = lexed.tokens.iter().position(|t| t.text == "y").unwrap();
+        assert!(lexed.is_test(i));
+    }
+}

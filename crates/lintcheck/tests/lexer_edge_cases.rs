@@ -1,0 +1,150 @@
+//! Lexer edge cases, tested through the public scan surface: the
+//! constructs a text-match linter gets wrong and a token-level one must
+//! not. Each case plants rule-triggering *text* inside a context where
+//! it is not *code* (string, comment, attribute, test span) and asserts
+//! silence — or the mirror image, code next to such a context, and
+//! asserts the finding still lands on the right line.
+
+use daiet_lintcheck::scan_source;
+
+const PATH: &str = "crates/core/src/f.rs";
+
+#[test]
+fn string_and_raw_string_content_is_not_code() {
+    // A plain string mentioning the forbidden path.
+    let src = "fn f() -> &'static str {\n    \"std::collections::HashMap\"\n}\n";
+    assert!(scan_source(PATH, src).is_empty());
+
+    // A raw string containing `//` must not open a comment: if it did,
+    // the rest of the line — including real code after the literal —
+    // would vanish. The HashMap *after* the raw string is real.
+    let src = "fn f() {\n    let _u = (r\"http://x\", std::collections::HashMap::<u8, u8>::new());\n}\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "det-collections");
+    assert_eq!(findings[0].line, 2);
+
+    // Hashed raw strings swallow quotes and hashes alike.
+    let src = "fn f() -> &'static str {\n    r#\"say \"Instant::now()\" // not code\"#\n}\n";
+    assert!(scan_source(PATH, src).is_empty());
+
+    // Byte-raw strings too.
+    let src = "fn f() -> &'static [u8] {\n    br#\"thread_rng()\"#\n}\n";
+    assert!(scan_source(PATH, src).is_empty());
+}
+
+#[test]
+fn comment_content_is_not_code() {
+    let src = "// std::collections::HashMap is forbidden here\nfn f() {}\n";
+    assert!(scan_source(PATH, src).is_empty());
+
+    // Nested block comments: the inner `/* */` must not close the outer.
+    let src = "/* outer /* inner */ still comment: std::time::Instant::now() */\nfn f() {}\n";
+    assert!(scan_source(PATH, src).is_empty());
+
+    // Code resumes after the (nested) comment ends.
+    let src = "/* /* x */ */ use std::collections::HashMap;\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 1);
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_confuse_strings() {
+    // '"' as a char must not open a string (everything after would be
+    // swallowed, hiding the real HashMap).
+    let src = "fn f() {\n    let _q = '\"';\n    let _m = std::collections::HashMap::<u8, u8>::new();\n}\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+
+    // A lifetime is not an unterminated char literal.
+    let src = "fn f<'a>(x: &'a [u8]) -> &'a [u8] {\n    use std::collections::HashMap as _;\n    x\n}\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn cfg_test_module_span_boundaries() {
+    // Violation BEFORE the test module: caught. Inside: exempt. The
+    // module brace span must end exactly at its closing brace —
+    // violation AFTER it: caught again.
+    let src = "\
+use std::collections::HashMap;\n\
+\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashSet;\n\
+    fn f() { let _ = std::time::Instant::now(); }\n\
+}\n\
+\n\
+use std::time::SystemTime;\n\
+fn g() { let _ = SystemTime::now(); }\n";
+    let findings = scan_source(PATH, src);
+    let got: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(got, vec![(1, "det-collections"), (10, "det-clock")], "{findings:?}");
+
+    // #[cfg(any(test, feature = "x"))] gates too; #[cfg(not(test))]
+    // does not.
+    let src = "\
+#[cfg(any(test, feature = \"slow\"))]\n\
+mod harness {\n\
+    use std::collections::HashMap;\n\
+}\n";
+    assert!(scan_source(PATH, src).is_empty());
+
+    let src = "#[cfg(not(test))]\nmod real {\n    use std::collections::HashMap;\n}\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+
+    // A #[test] fn is exempt; its span ends with the fn body.
+    let src = "\
+#[test]\n\
+fn check() { let _ = std::time::Instant::now(); }\n\
+fn real() { let _ = std::time::Instant::now(); }\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn attribute_arguments_are_not_code() {
+    // Path-like tokens inside attribute arguments (doc strings, cfg_attr
+    // values) must not fire rules.
+    let src = "\
+#[doc = \"uses std::collections::HashMap internally\"]\n\
+#[cfg(feature = \"thread_rng\")]\n\
+fn f() {}\n";
+    assert!(scan_source(PATH, src).is_empty());
+
+    // But an attribute does not swallow the item after it: the violation
+    // in the body is still found.
+    let src = "#[inline]\nfn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn allow_markers_in_strings_and_doc_comments_are_inert() {
+    // A marker inside a string is data, not a directive — the violation
+    // right after it is NOT suppressed.
+    let src = "\
+fn f() -> &'static str {\n\
+    let m: std::collections::HashMap<u8, u8> = Default::default();\n\
+    drop(m);\n\
+    \"lint:allow(det-collections): not a real marker, just text\"\n\
+}\n";
+    let findings = scan_source(PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "det-collections");
+
+    // A marker *mentioned* in a doc comment (like the linter's own docs)
+    // is prose; it neither suppresses nor goes stale.
+    let src = "\
+/// Write `lint:allow(det-clock): why` above the call.\n\
+fn documented() {}\n";
+    assert!(scan_source(PATH, src).is_empty());
+}

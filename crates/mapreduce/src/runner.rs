@@ -15,6 +15,9 @@
 //! [`TopologyPlan`] — so multi-switch trees are exercised in the
 //! integration tests.
 
+// lint:allow-file(layer-netsim): end-to-end WordCount runner — constructs the
+// Simulator and TCP-baseline nodes directly. It is the experiment harness;
+// the map/reduce/aggregation logic it exercises stays fabric-only.
 use crate::metrics::{BoxStats, CostModel, ReducerMetrics};
 use crate::serialize;
 use crate::wordcount::Corpus;
@@ -29,7 +32,7 @@ use daiet_netsim::{
 };
 use daiet_transport::tcp::{BulkSenderNode, SinkReceiverNode, TcpConfig};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use daiet_wire::fnv::FnvHashMap;
 
 /// The shuffle transport under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,7 +249,7 @@ impl Runner {
         let mut reducers = Vec::with_capacity(spec.n_reducers);
         for (r, &slot) in placement.reducers.iter().enumerate() {
             let node = sim.node_ref::<SinkReceiverNode>(ids[slot]).expect("reducer node");
-            let mut merged: HashMap<String, u32> = HashMap::new();
+            let mut merged: FnvHashMap<String, u32> = FnvHashMap::default();
             let mut records = 0usize;
             let mut app_bytes = 0u64;
             for stream in node.received.values() {

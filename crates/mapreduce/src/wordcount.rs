@@ -27,7 +27,7 @@
 use daiet_wire::checksum::crc32;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use daiet_wire::fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet};
 
 use crate::serialize::Record;
 
@@ -106,7 +106,7 @@ pub struct Corpus {
     /// that reducer.
     pub partitions: Vec<Vec<Vec<Record>>>,
     /// Ground truth: final count per word.
-    pub truth: HashMap<String, u32>,
+    pub truth: FnvHashMap<String, u32>,
     /// Per-reducer sorted ground truth, precomputed once (the correctness
     /// check runs after every simulated shuffle; recomputing it per run
     /// used to dominate small benches).
@@ -123,8 +123,9 @@ impl Corpus {
 
         // 1. Dictionary: unique words, collision-free per reducer.
         let mut words: Vec<String> = Vec::with_capacity(spec.distinct_words);
-        let mut seen: HashSet<String> = HashSet::with_capacity(spec.distinct_words);
-        let mut used_cells: Vec<HashSet<u32>> = vec![HashSet::new(); spec.n_reducers];
+        let mut seen: FnvHashSet<String> =
+            FnvHashSet::with_capacity_and_hasher(spec.distinct_words, FnvBuildHasher::default());
+        let mut used_cells: Vec<FnvHashSet<u32>> = vec![FnvHashSet::default(); spec.n_reducers];
         while words.len() < spec.distinct_words {
             let len = rng.random_range(spec.min_len..=spec.max_len);
             let w: String = (0..len)
@@ -147,7 +148,8 @@ impl Corpus {
         // 2. Spread each word over a sampled set of mappers.
         let mut partitions: Vec<Vec<Vec<Record>>> =
             vec![vec![Vec::new(); spec.n_reducers]; spec.n_mappers];
-        let mut truth: HashMap<String, u32> = HashMap::with_capacity(words.len());
+        let mut truth: FnvHashMap<String, u32> =
+            FnvHashMap::with_capacity_and_hasher(words.len(), FnvBuildHasher::default());
         for w in &words {
             let r = partition(w, spec.n_reducers);
             let mult = sample_multiplicity(&mut rng, spec);
@@ -177,7 +179,7 @@ impl Corpus {
         self.partitions
             .iter()
             .flat_map(|per_reducer| per_reducer.iter())
-            .map(|recs| recs.len())
+            .map(std::vec::Vec::len)
             .sum()
     }
 
@@ -234,7 +236,7 @@ mod tests {
     #[test]
     fn truth_matches_partitions() {
         let corpus = Corpus::generate(&CorpusSpec::tiny(1));
-        let mut sums: HashMap<String, u32> = HashMap::new();
+        let mut sums: FnvHashMap<String, u32> = FnvHashMap::default();
         for mapper in &corpus.partitions {
             for reducer_part in mapper {
                 for rec in reducer_part {
@@ -263,7 +265,7 @@ mod tests {
         let spec = CorpusSpec { register_cells: 128, ..CorpusSpec::tiny(3) };
         let corpus = Corpus::generate(&spec);
         for r in 0..spec.n_reducers {
-            let mut cells = HashSet::new();
+            let mut cells = FnvHashSet::default();
             for w in corpus.truth.keys().filter(|w| partition(w, spec.n_reducers) == r) {
                 let key = Key::from_str_key(w).unwrap();
                 let cell = crc32(&key.0) % spec.register_cells as u32;

@@ -197,7 +197,7 @@ mod tests {
             d.samples
                 .iter()
                 .filter(|s| s.label == class)
-                .flat_map(|s| s.active_pixels())
+                .flat_map(super::Sample::active_pixels)
                 .collect()
         };
         let a = union(0);

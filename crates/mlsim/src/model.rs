@@ -135,7 +135,7 @@ impl Model {
 
 /// Numerically stable softmax.
 pub fn softmax(z: &[f32; CLASSES]) -> [f32; CLASSES] {
-    let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let max = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut out = [0.0f32; CLASSES];
     let mut sum = 0.0f32;
     for c in 0..CLASSES {

@@ -21,6 +21,9 @@
 //! which is precisely the property the acceptance test pins
 //! (`tests/iterative_recovery.rs`), loss-free and under chaos at k = 1.
 
+// lint:allow-file(layer-netsim): network-mode training harness — drives the
+// IterativeRunner under the Simulator with fault profiles. The gradient
+// aggregation protocol itself stays fabric-only.
 use crate::data::{DataSpec, Dataset, Sample, CLASSES, DIM};
 use crate::model::{Model, SparseGrad};
 use crate::optimizer::Optimizer;

@@ -4,7 +4,7 @@
 
 use crate::data::CLASSES;
 use crate::model::SparseGrad;
-use std::collections::HashMap;
+use daiet_wire::fnv::FnvHashMap;
 
 /// A parameter update: deltas for the touched rows plus bias.
 #[derive(Debug, Clone)]
@@ -82,8 +82,8 @@ pub struct Adam {
     /// Numerical stabilizer.
     pub eps: f32,
     t: i32,
-    m: HashMap<usize, [f32; CLASSES]>,
-    v: HashMap<usize, [f32; CLASSES]>,
+    m: FnvHashMap<usize, [f32; CLASSES]>,
+    v: FnvHashMap<usize, [f32; CLASSES]>,
     m_bias: [f32; CLASSES],
     v_bias: [f32; CLASSES],
 }
@@ -97,8 +97,8 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            m: FnvHashMap::default(),
+            v: FnvHashMap::default(),
             m_bias: [0.0; CLASSES],
             v_bias: [0.0; CLASSES],
         }

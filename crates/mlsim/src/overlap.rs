@@ -21,7 +21,7 @@
 use crate::data::{DataSpec, Dataset};
 use crate::optimizer::{Adam, Optimizer, Sgd};
 use crate::psworker::{PsCluster, StepTrace};
-use std::collections::HashMap;
+use daiet_wire::fnv::FnvHashMap;
 
 /// One point of the Figure-1 curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +39,7 @@ pub struct OverlapPoint {
 /// Computes the overlap of one step's updates; `threshold_frac` is the
 /// significance cutoff relative to each worker's own largest element.
 pub fn step_overlap(trace: &StepTrace, threshold_frac: f32) -> OverlapPoint {
-    let mut counts: HashMap<usize, u32> = HashMap::new();
+    let mut counts: FnvHashMap<usize, u32> = FnvHashMap::default();
     for wu in &trace.updates {
         let max_mag = wu
             .grad

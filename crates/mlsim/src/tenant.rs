@@ -91,7 +91,7 @@ impl TenantWorkload for SgdTenant {
     fn absorb(&mut self, _round: u64, per_tree: Vec<Vec<(Key, u32)>>) {
         self.wire_digest = fold_round_digest(self.wire_digest, &per_tree);
         let mut sums = LaneSums::new();
-        for (key, value) in per_tree.first().map(Vec::as_slice).unwrap_or(&[]) {
+        for (key, value) in per_tree.first().map_or(&[][..], Vec::as_slice) {
             sums.insert(grad_key_decode(key), *value);
         }
         self.cluster.apply_sums(&sums);

@@ -266,7 +266,7 @@ mod tests {
         EventKind::Timer { node: NodeId(node), token }
     }
 
-    fn token_of(ev: Event) -> u64 {
+    fn token_of(ev: &Event) -> u64 {
         match ev.kind {
             EventKind::Timer { token, .. } => token,
             _ => unreachable!(),
@@ -279,7 +279,7 @@ mod tests {
         q.push(SimTime(30), NodeId(0), timer(0, 3));
         q.push(SimTime(10), NodeId(0), timer(0, 1));
         q.push(SimTime(20), NodeId(0), timer(0, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| token_of(&e)).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -294,7 +294,7 @@ mod tests {
         q.push(SimTime(42), NodeId(0), timer(0, 1));
         q.push(SimTime(42), NodeId(2), timer(2, 21));
         q.push(SimTime(42), NodeId(1), timer(1, 11));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| token_of(&e)).collect();
         assert_eq!(order, vec![0, 1, 10, 11, 20, 21]);
     }
 
@@ -317,7 +317,7 @@ mod tests {
                 q.push(SimTime(7), NodeId(src), timer(src, token));
             }
             std::iter::from_fn(move || q.pop())
-                .map(|e| (e.src.0, token_of(e)))
+                .map(|e| (e.src.0, token_of(&e)))
                 .collect::<Vec<_>>()
         };
         // Two different interleavings of the same per-source streams.
@@ -342,11 +342,11 @@ mod tests {
     fn past_pushes_clamp_to_the_current_instant() {
         let mut q = EventQueue::new();
         q.push(SimTime(10), NodeId(0), timer(0, 0));
-        assert_eq!(token_of(q.pop().unwrap()), 0); // now = 10
+        assert_eq!(token_of(&q.pop().unwrap()), 0); // now = 10
         q.push(SimTime(3), NodeId(0), timer(0, 1)); // in the past: fires now
         let ev = q.pop().unwrap();
         assert_eq!(ev.time, SimTime(10));
-        assert_eq!(token_of(ev), 1);
+        assert_eq!(token_of(&ev), 1);
     }
 
     #[test]
@@ -354,12 +354,12 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime(10), NodeId(5), timer(5, 50));
         q.push(SimTime(10), NodeId(1), timer(1, 10));
-        assert_eq!(token_of(q.pop().unwrap()), 10); // now = 10, src 1 first
+        assert_eq!(token_of(&q.pop().unwrap()), 10); // now = 10, src 1 first
         // A same-tick push from a source *below* the pending one fires
         // before it — key order, not FIFO.
         q.push(SimTime(10), NodeId(2), timer(2, 20));
-        assert_eq!(token_of(q.pop().unwrap()), 20);
-        assert_eq!(token_of(q.pop().unwrap()), 50);
+        assert_eq!(token_of(&q.pop().unwrap()), 20);
+        assert_eq!(token_of(&q.pop().unwrap()), 50);
         assert!(q.pop().is_none());
     }
 
@@ -369,7 +369,7 @@ mod tests {
         q.push(SimTime(10), NodeId(0), timer(0, 0));
         q.push(SimTime(20), NodeId(0), timer(0, 1));
         assert!(q.pop_at(SimTime(5)).is_none());
-        assert_eq!(token_of(q.pop_at(SimTime(10)).unwrap()), 0);
+        assert_eq!(token_of(&q.pop_at(SimTime(10)).unwrap()), 0);
         assert!(q.pop_at(SimTime(10)).is_none());
         assert_eq!(q.len(), 1);
     }
@@ -381,7 +381,7 @@ mod tests {
         q.push(SimTime(10), NodeId(3), timer(3, 30)); // local: (10, 3, 0)
         // A remote partition assigned (10, 2, 0) to this delivery.
         q.push_keyed(SimTime(10), NodeId(2), 0, timer(2, 20));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| token_of(&e)).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

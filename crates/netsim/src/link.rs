@@ -556,6 +556,8 @@ impl PortTable {
             if deliver_frame.try_mut().is_none() {
                 deliver_frame = net.pool.copy_from_slice(&deliver_frame);
             }
+            // lint:allow(panic-hotpath): the branch above just replaced any shared frame
+            // with a fresh pool copy, so exclusive access is guaranteed here.
             let owned = deliver_frame.try_mut().expect("fresh pool copy is unshared");
             if ecn_mark_ce(owned) {
                 net.stats.link_ecn_mark(idx, dir_idx);
@@ -570,6 +572,8 @@ impl PortTable {
                 deliver_frame = net.pool.copy_from_slice(&deliver_frame);
             }
             let rng = &mut dir.rng;
+            // lint:allow(panic-hotpath): the branch above just replaced any shared frame
+            // with a fresh pool copy, so exclusive access is guaranteed here.
             let owned = deliver_frame.try_mut().expect("fresh pool copy is unshared");
             if !owned.is_empty() {
                 let pos = rng.random_range(0..owned.len());

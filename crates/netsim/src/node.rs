@@ -172,11 +172,11 @@ impl Fabric for Context<'_> {
     }
 
     fn send(&mut self, port: PortId, frame: Frame) {
-        Context::send(self, port, frame)
+        Context::send(self, port, frame);
     }
 
     fn schedule(&mut self, delay: SimDuration, token: u64) {
-        Context::schedule(self, delay, token)
+        Context::schedule(self, delay, token);
     }
 
     fn pool(&self) -> &FramePool {

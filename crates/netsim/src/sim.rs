@@ -326,6 +326,9 @@ impl SyncState {
 /// the scope runs — so the `Rc`-backed internals never cross threads.
 struct PartCell(*mut Partition);
 #[allow(unsafe_code)]
+// lint:allow(part-unsafe-send): each PartCell pointer is moved into exactly
+// one scoped worker thread; partitions are distinct Vec elements and the
+// main thread is parked at the scope join while workers run.
 unsafe impl Send for PartCell {}
 
 fn flush_outboxes(part: &mut Partition, sync: &SyncState) {

@@ -20,6 +20,9 @@
 //! coordinator; worker→switch links can then be given loss/duplication
 //! faults while the query still answers exactly.
 
+// lint:allow-file(layer-netsim): GROUP BY executor harness — builds the
+// Simulator, places scan/reduce nodes, and compares backends. The DAIET
+// aggregation path under test remains fabric-only.
 use crate::plan::QueryPlan;
 use crate::query::{Query, QueryResult};
 use crate::table::{group_of_key, Table};

@@ -14,6 +14,7 @@
 //! * `rows_per_worker` × `n_workers` — scan size.
 
 use daiet_wire::daiet::Key;
+use daiet_wire::fnv::FnvHashSet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -114,7 +115,7 @@ impl Table {
 
     /// Number of distinct groups actually present.
     pub fn groups_present(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FnvHashSet::default();
         for shard in &self.shards {
             for row in shard {
                 seen.insert(row.group);
@@ -127,11 +128,11 @@ impl Table {
     /// bounds how much in-network aggregation can collapse (exactly like
     /// word multiplicity in the WordCount corpus).
     pub fn group_multiplicity(&self) -> f64 {
-        let mut per_worker: Vec<std::collections::HashSet<u32>> = Vec::new();
+        let mut per_worker: Vec<FnvHashSet<u32>> = Vec::new();
         for shard in &self.shards {
             per_worker.push(shard.iter().map(|r| r.group).collect());
         }
-        let total: usize = per_worker.iter().map(|s| s.len()).sum();
+        let total: usize = per_worker.iter().map(FnvHashSet::len).sum();
         total as f64 / self.groups_present().max(1) as f64
     }
 }

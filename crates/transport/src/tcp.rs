@@ -13,7 +13,7 @@ use daiet_netsim::{Fabric, Frame, FramePool, Node, PortId, SimDuration, SimTime}
 use daiet_wire::stack::{build_tcp_into, Endpoints, Parsed, Transport};
 use daiet_wire::tcpseg::{Flags, Repr};
 use daiet_wire::fnv::FnvHashMap;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Transport parameters.
 #[derive(Debug, Clone, Copy)]
@@ -756,7 +756,7 @@ impl Node for BulkSenderNode {
 pub struct SinkReceiverNode {
     stack: TcpStack,
     /// Bytes received per connection, completed when the peer FINs.
-    pub received: HashMap<ConnKey, Vec<u8>>,
+    pub received: FnvHashMap<ConnKey, Vec<u8>>,
     /// Connections whose peer has finished sending.
     pub finished: Vec<ConnKey>,
     /// Time the last expected stream finished, if tracked.
@@ -770,7 +770,7 @@ impl SinkReceiverNode {
         stack.listen(port);
         SinkReceiverNode {
             stack,
-            received: HashMap::new(),
+            received: FnvHashMap::default(),
             finished: Vec::new(),
             last_fin_at: None,
         }

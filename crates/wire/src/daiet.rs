@@ -283,6 +283,8 @@ impl<T: AsRef<[u8]>> Packet<T> {
     /// Iterates over all entries.
     pub fn entries(&self) -> impl Iterator<Item = Pair> + '_ {
         (0..self.num_entries() as usize).map(move |i| {
+            // lint:allow(panic-hotpath): i ranges over 0..num_entries() on the same
+            // immutable view, so entry() cannot fail for these indices.
             self.entry(i).expect("entry index within num_entries")
         })
     }
@@ -599,6 +601,8 @@ impl Repr {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = vec![0u8; self.buffer_len()];
         let mut packet = Packet::new_unchecked(&mut buf[..]);
+        // lint:allow(panic-hotpath): buf was sized by buffer_len() from this exact
+        // Repr, so emit cannot run out of room.
         self.emit(&mut packet).expect("entry count bounded by packetizer");
         buf
     }

@@ -221,7 +221,7 @@ fn handshake() -> (UdpSocket, Vec<SocketAddr>) {
 fn stop_on_stdin_eof(stop: Arc<AtomicBool>) {
     std::thread::spawn(move || {
         let mut sink = String::new();
-        while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+        while std::io::stdin().read_line(&mut sink).is_ok_and(|n| n > 0) {
             sink.clear();
         }
         stop.store(true, Ordering::Relaxed);
